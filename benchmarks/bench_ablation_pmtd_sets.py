@@ -1,0 +1,80 @@
+"""Ablation — how the PMTD set shapes the tradeoff envelope.
+
+§4 promises that adding PMTDs can only improve the tradeoff.  The bench
+computes the 3-reachability envelope under three PMTD sets — the two trivial
+PMTDs (Theorem 6.1's materialize-or-scan), the §6.3 induced set of the chain
+decomposition, and the full Figure-3 enumeration — and checks the pointwise
+ordering trivial >= induced >= full at every budget.
+"""
+
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import print_table
+
+from repro.decomposition import enumerate_pmtds, induced_pmtds, trivial_pmtds
+from repro.problems import chain_decomposition
+from repro.query.catalog import k_path_cqap
+from repro.tradeoff import rules_from_pmtds, symbolic_program
+
+
+@lru_cache(maxsize=1)
+def experiment():
+    cqap = k_path_cqap(3)
+    prog = symbolic_program(cqap)
+    sets = {
+        "trivial (2 PMTDs)": trivial_pmtds(cqap),
+        "induced chain (§6.3)": induced_pmtds(
+            cqap, chain_decomposition(3), 0
+        ),
+        "full enumeration (Fig. 3)": enumerate_pmtds(cqap),
+    }
+    budgets = (1.0, 1.2, 4 / 3, 1.5, 1.75, 2.0)
+    table = {}
+    for name, pmtds in sets.items():
+        rules = rules_from_pmtds(pmtds)
+        table[name] = (
+            len(pmtds), len(rules),
+            [max(prog.obj_for_budget(r, y).log_time for r in rules)
+             for y in budgets],
+        )
+    return budgets, table
+
+
+def report():
+    budgets, table = experiment()
+    rows = []
+    for name, (n_pmtds, n_rules, values) in table.items():
+        rows.append([name, n_pmtds, n_rules]
+                    + [f"{v:.3f}" for v in values])
+    print_table(
+        "Ablation — envelope log_D T by PMTD set (3-reachability)",
+        ["PMTD set", "#PMTDs", "#rules"]
+        + [f"logS={b:.2f}" for b in budgets],
+        rows,
+    )
+    return budgets, table
+
+
+def test_pmtd_set_ablation(benchmark):
+    budgets, table = report()
+    trivial = table["trivial (2 PMTDs)"][2]
+    induced = table["induced chain (§6.3)"][2]
+    full = table["full enumeration (Fig. 3)"][2]
+    for t, i, f in zip(trivial, induced, full):
+        assert f <= i + 1e-6 <= t + 2e-6, (
+            "adding PMTDs must not worsen the envelope"
+        )
+    # the full set is strictly better than trivial somewhere
+    assert any(f < t - 0.05 for t, f in zip(trivial, full))
+    cqap = k_path_cqap(3)
+    prog = symbolic_program(cqap)
+    rule = rules_from_pmtds(trivial_pmtds(cqap))[0]
+    benchmark(lambda: prog.obj_for_budget(rule, 1.5).log_time)
+
+
+if __name__ == "__main__":
+    report()

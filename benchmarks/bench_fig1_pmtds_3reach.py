@@ -1,0 +1,64 @@
+"""Figure 1 — three PMTDs for the 3-reachability CQAP.
+
+Regenerates the figure's three decompositions with their view labels
+((T134, T123), (T134, S13), (S14)) and machine-checks the ν(·) schemas of
+Definition 3.2 plus Example 3.6's redundancy/domination statements.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import print_table
+
+from repro.decomposition import PMTD, TreeDecomposition
+from repro.query.catalog import k_path_cqap
+
+
+def figure1_pmtds():
+    cqap = k_path_cqap(3)
+    two_bag = TreeDecomposition(
+        {0: {"x1", "x3", "x4"}, 1: {"x1", "x2", "x3"}}, [(0, 1)]
+    )
+    one_bag = TreeDecomposition({0: {"x1", "x2", "x3", "x4"}}, [])
+    left = PMTD(two_bag, 0, (), cqap.head, cqap.access)
+    middle = PMTD(two_bag, 0, (1,), cqap.head, cqap.access)
+    right = PMTD(one_bag, 0, (0,), cqap.head, cqap.access)
+    return cqap, left, middle, right
+
+
+def report():
+    cqap, left, middle, right = figure1_pmtds()
+    rows = [
+        ["left", ", ".join(left.labels), "T134, T123"],
+        ["middle", ", ".join(middle.labels), "T134, S13"],
+        ["right", ", ".join(right.labels), "S14"],
+    ]
+    print_table("Figure 1 — PMTDs for the 3-reachability CQAP",
+                ["PMTD", "regenerated views", "paper views"], rows)
+    return left, middle, right
+
+
+def test_figure1(benchmark):
+    left, middle, right = report()
+    assert left.labels == ["T134", "T123"]
+    assert middle.labels == ["T134", "S13"]
+    assert right.labels == ["S14"]
+    # Example 3.6: materializing both bags of the left tree is redundant
+    cqap = k_path_cqap(3)
+    both = PMTD(left.td, 0, (0, 1), cqap.head, cqap.access)
+    assert both.is_redundant()
+    # ... and the all-T single bag dominates the left PMTD
+    one_bag_t = PMTD(right.td, 0, (), cqap.head, cqap.access)
+    assert left.dominated_by(one_bag_t)
+    # the three figure PMTDs are pairwise non-dominating
+    for a in (left, middle, right):
+        for b in (left, middle, right):
+            if a is not b:
+                assert not a.dominated_by(b)
+    benchmark(lambda: PMTD(left.td, 0, (1,), cqap.head, cqap.access).labels)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,103 @@
+"""Figure 2 / Example 5.2 / Example E.5 — the square CQAP.
+
+Regenerates the two PMTDs, verifies the joint Shannon-flow inequality of the
+E.5 proof sequence by LP, sweeps the analytic tradeoff (S·T² ≍ D²·Q²), and
+measures the executable oracle: stored tuples vs budget and online probes
+per query, whose log-log slope must track T ∝ S^{-1/2}.
+"""
+
+import math
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from harness import geometric_budgets, log_slope, print_table
+
+from repro.data import random_edge_relation
+from repro.decomposition import paper_pmtds_square
+from repro.problems import SquareOracle
+from repro.query.catalog import square_cqap
+from repro.query.hypergraph import varset
+from repro.tradeoff import catalog, rules_from_pmtds, symbolic_program
+from repro.util.counters import Counters
+
+
+def v(*nums):
+    return varset(f"x{n}" for n in nums)
+
+
+@lru_cache(maxsize=1)
+def analytic():
+    cqap = square_cqap()
+    prog = symbolic_program(cqap)
+    rules = rules_from_pmtds(paper_pmtds_square())
+    sweep = {}
+    for y in (1.0, 1.25, 1.5, 1.75, 2.0):
+        sweep[y] = max(prog.obj_for_budget(r, y).log_time for r in rules)
+    # the E.5 joint Shannon-flow inequality for the first rule
+    inequality_ok = prog.verify_joint_inequality(
+        lhs_s={(varset(()), v(1)): 1, (varset(()), v(3)): 1},
+        lhs_t={(v(1), v(1, 4)): 1, (v(3), v(3, 4)): 1,
+               (varset(()), v(1, 3)): 2},
+        rhs_s={v(1, 3): 1},
+        rhs_t={v(1, 3, 4): 2},
+    )
+    return sweep, inequality_ok
+
+
+@lru_cache(maxsize=1)
+def measured():
+    edges = random_edge_relation("E", ("a", "b"), 900, 120, seed=13,
+                                 skew_hubs=4).tuples
+    n = 900
+    budgets = geometric_budgets(n, [0.8, 1.0, 1.2, 1.4])
+    rows = []
+    for budget in budgets:
+        oracle = SquareOracle(edges, budget)
+        ctr = Counters()
+        for probe in range(25):
+            oracle.query(probe % 120, (probe * 7) % 120, counters=ctr)
+        rows.append((budget, oracle.stored_tuples,
+                     ctr.online_work / 25))
+    return rows
+
+
+def report():
+    sweep, inequality_ok = analytic()
+    formula = catalog.square_query()
+    rows = [[f"{y:.2f}", f"{t:.4f}", f"{formula.log_time(y):.4f}"]
+            for y, t in sweep.items()]
+    print_table(
+        "Figure 2 / Ex. 5.2 — square CQAP analytic tradeoff "
+        f"(E.5 inequality LP-verified: {inequality_ok})",
+        ["log_D S", "OBJ(S) = log_D T", "paper S·T² = D²"], rows,
+    )
+    meas = measured()
+    print_table(
+        "Square oracle — measured space and online work",
+        ["budget", "stored tuples", "avg online ops / query"],
+        [[b, s, f"{w:.1f}"] for b, s, w in meas],
+    )
+    return sweep, inequality_ok, meas
+
+
+def test_figure2_square(benchmark):
+    sweep, inequality_ok, meas = report()
+    assert inequality_ok
+    formula = catalog.square_query()
+    for y, t in sweep.items():
+        assert t == pytest.approx(formula.log_time(y), abs=1e-6)
+    # measured online work must not grow with budget
+    works = [w for _, _, w in meas]
+    assert works[-1] <= works[0] + 1e-9
+    edges = random_edge_relation("E", ("a", "b"), 400, 80, seed=3).tuples
+    oracle = SquareOracle(edges, 400)
+    benchmark(lambda: oracle.query(5, 17))
+
+
+if __name__ == "__main__":
+    report()

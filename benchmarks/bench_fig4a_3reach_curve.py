@@ -1,0 +1,88 @@
+"""Figure 4a — the 3-reachability space-time tradeoff envelope.
+
+Sweeps OBJ(S) over log_D S in [1, 2] for the four Table-1 rules, takes the
+per-budget maximum (§4.3), reconstructs the exact rational breakpoints, and
+compares against the paper's dotted curve:
+
+    (1, 1) -> (4/3, 2/3) -> (7/5, 2/5) -> (2, 0)
+
+with the prior state of the art (brown baseline) S·T = D² — matched on
+[1, 4/3], strictly improved on (4/3, 2).
+"""
+
+import sys
+from fractions import Fraction as F
+from functools import lru_cache
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import fmt_points, print_table
+
+from repro.decomposition import paper_pmtds_3reach
+from repro.query.catalog import k_path_cqap
+from repro.tradeoff import (
+    PiecewiseCurve,
+    catalog,
+    rules_from_pmtds,
+    symbolic_program,
+)
+
+
+@lru_cache(maxsize=1)
+def envelope():
+    prog = symbolic_program(k_path_cqap(3))
+    rules = rules_from_pmtds(paper_pmtds_3reach())
+
+    def env(y):
+        return max(prog.obj_for_budget(r, y).log_time for r in rules)
+
+    return PiecewiseCurve.sample(env, 1.0, 2.0, steps=60)
+
+
+def report():
+    curve = envelope()
+    got = curve.breakpoints()
+    expected = catalog.figure4a_expected_breakpoints()
+    baseline = catalog.goldstein_k_reach(3)
+    rows = [
+        ["this reproduction", fmt_points(got)],
+        ["paper Fig. 4a", fmt_points(expected)],
+        ["baseline (S·T^{2/(k-1)} = D²)",
+         "logT = 2 - logS (uncapped)"],
+    ]
+    print_table("Figure 4a — 3-reachability envelope (log_D S vs log_D T, "
+                "|Q|=1)", ["curve", "breakpoints"], rows)
+    sample_rows = []
+    for y in (1.0, 1.2, 4 / 3, 1.4, 1.6, 1.8, 2.0):
+        ours = curve.value_at(y)
+        base = baseline.log_time(y)
+        sample_rows.append([f"{y:.3f}", f"{ours:.4f}", f"{base:.4f}",
+                            "better" if ours < base - 1e-6 else "equal"])
+    print_table("Figure 4a — pointwise vs baseline",
+                ["log_D S", "ours log_D T", "baseline", "verdict"],
+                sample_rows)
+    return got, expected
+
+
+def test_figure4a(benchmark):
+    got, expected = report()
+    assert got == expected
+    curve = envelope()
+    baseline = catalog.goldstein_k_reach(3)
+    # equal on [1, 4/3], strictly better beyond
+    for y in (1.0, 1.2, float(F(4, 3))):
+        assert curve.value_at(y) == (
+            __import__("pytest").approx(baseline.log_time(y), abs=1e-6)
+        )
+    # the improvement margin is (2 - y)/3 on (4/3, 2)
+    for y in (1.5, 1.7, 1.9):
+        margin = (2 - y) / 3
+        assert curve.value_at(y) < baseline.log_time(y) - margin / 2
+    prog = symbolic_program(k_path_cqap(3))
+    rule = rules_from_pmtds(paper_pmtds_3reach())[0]
+    benchmark(lambda: prog.obj_for_budget(rule, 1.4).log_time)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,79 @@
+"""Scenario: friend-of-friend-of-friend lookups in a social graph.
+
+A service wants to answer "can u reach v in exactly 3 follows?" with a
+memory cap.  This example sweeps the cap across the space-time spectrum of
+Figure 4a and reports, for each budget, the stored tuples and the measured
+online work — plus the batched variant for feed-building workloads.
+
+Run:  python examples/social_reachability.py
+"""
+
+import math
+import random
+
+from repro.data import random_edge_relation
+from repro.problems import KReachOracle
+from repro.util.counters import Counters
+
+
+def build_graph(n_users: int = 220, n_follows: int = 2600,
+                celebrities: int = 6, seed: int = 5):
+    """A follows-graph with a few celebrity hubs (heavy out-degrees)."""
+    rel = random_edge_relation("follows", ("src", "dst"), n_follows,
+                               n_users, seed=seed, skew_hubs=celebrities)
+    return set(rel.tuples), n_users
+
+
+def main() -> None:
+    edges, n_users = build_graph()
+    n = len(edges)
+    print(f"social graph: {n_users} users, {n} follows edges")
+
+    rng = random.Random(1)
+    queries = [(rng.randrange(n_users), rng.randrange(n_users))
+               for _ in range(50)]
+
+    print("\n-- budget sweep (framework strategy, Figure 4a regimes) --")
+    header = (f"{'budget':>10}  {'log_D S':>8}  {'stored':>7}  "
+              f"{'avg ops':>8}  {'pred T':>8}")
+    print(header)
+    oracles = {}
+    for exponent in (1.0, 1.3, 1.6, 1.9):
+        budget = int(n ** exponent)
+        oracle = KReachOracle(edges, k=3, space_budget=budget)
+        oracles[exponent] = oracle
+        counters = Counters()
+        for u, v in queries:
+            oracle.query(u, v, counters=counters)
+        predicted = 2 ** oracle._index.predicted_log_time
+        print(f"{budget:>10}  {exponent:>8.2f}  {oracle.stored_tuples:>7}  "
+              f"{counters.online_work / len(queries):>8.1f}  "
+              f"{predicted:>8.1f}")
+
+    print("\n-- strategies at budget = |E| --")
+    for strategy in ("framework", "chain", "bfs", "full"):
+        oracle = KReachOracle(edges, k=3, space_budget=n,
+                              strategy=strategy)
+        counters = Counters()
+        hits = sum(oracle.query(u, v, counters=counters)
+                   for u, v in queries)
+        print(f"{strategy:>10}: stored={oracle.stored_tuples:>6}  "
+              f"avg ops={counters.online_work / len(queries):>8.1f}  "
+              f"hits={hits}")
+
+    print("\n-- batched feed-building (64 pairs at once) --")
+    oracle = oracles[1.3]
+    pairs = [(rng.randrange(n_users), rng.randrange(n_users))
+             for _ in range(64)]
+    one_by_one = Counters()
+    for u, v in pairs:
+        oracle.query(u, v, counters=one_by_one)
+    batched = Counters()
+    oracle.answer_batch(pairs, counters=batched)
+    print(f"one-by-one: {one_by_one.online_work} ops; "
+          f"batched: {batched.online_work} ops "
+          f"({one_by_one.online_work / max(1, batched.online_work):.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Analytic tradeoff explorer — the paper's framework as a calculator.
+
+For any catalog CQAP this walks the whole §4 pipeline symbolically:
+enumerate PMTDs, generate the 2-phase disjunctive rules, sweep the OBJ(S)
+LP, and print the piecewise tradeoff with exact rational exponents — the
+tool that regenerates Table 1 and Figures 4a/4b.
+
+Run:  python examples/tradeoff_explorer.py [query]
+      (query in: path2 path3 square setdisj2 setdisj3 ...)
+"""
+
+import sys
+
+from repro.decomposition import enumerate_pmtds, trivial_pmtds
+from repro.query import catalog
+from repro.tradeoff import (
+    PiecewiseCurve,
+    fit_segment_formulas,
+    rules_from_pmtds,
+    symbolic_program,
+)
+
+
+def explore(name: str) -> None:
+    cqap = catalog.by_name(name)
+    print("query:   ", cqap)
+    try:
+        pmtds = enumerate_pmtds(cqap)
+    except Exception:
+        pmtds = trivial_pmtds(cqap)
+    if not pmtds:
+        pmtds = trivial_pmtds(cqap)
+    print(f"PMTDs:    {len(pmtds)} non-redundant, non-dominant")
+    for pmtd in pmtds:
+        print("   ", ", ".join(pmtd.labels))
+    rules = rules_from_pmtds(pmtds)
+    print(f"rules:    {len(rules)} (reduced 2-phase disjunctive rules)")
+    prog = symbolic_program(cqap)
+
+    print("\nper-rule tradeoffs on log_D S in [1, 2] (|Q| = 1):")
+    curves = []
+    for rule in rules:
+        curve = PiecewiseCurve.sample(
+            lambda y, r=rule: prog.obj_for_budget(r, y).log_time,
+            1.0, 2.0, steps=40,
+        )
+        curves.append(curve)
+        formulas = fit_segment_formulas(curve)
+        pretty = "; ".join(str(f) for f in formulas)
+        print(f"  {rule.label:<45s} {pretty}")
+
+    print("\nquery envelope (max over rules — §4.3):")
+    env = PiecewiseCurve.sample(
+        lambda y: max(prog.obj_for_budget(r, y).log_time for r in rules),
+        1.0, 2.0, steps=40,
+    )
+    corners = " -> ".join(f"({x}, {y})" for x, y in env.breakpoints())
+    print(" ", corners)
+    print("\n  log_D S   log_D T")
+    for i in range(0, len(env.xs), 8):
+        print(f"  {env.xs[i]:>7.3f}   {env.ys[i]:>7.4f}")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "path3"
+    explore(name)
+
+
+if __name__ == "__main__":
+    main()

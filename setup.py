@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no `wheel` package, so
+PEP 660 editable installs fail; `pip install -e . --no-build-isolation` falls
+back to `setup.py develop` through this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — Space-time tradeoffs for conjunctive queries with access patterns.
+
+A from-scratch implementation of the PODS 2023 framework of Zhao, Deep and
+Koutris: partially materialized tree decompositions (PMTDs), 2-phase
+disjunctive rules, joint Shannon-flow inequalities, and the 2PP evaluation
+algorithm, plus the paper's applications (k-set disjointness, k-reachability,
+square/triangle queries, hierarchical CQAPs).
+
+Quickstart::
+
+    from repro import CQAPIndex, catalog, path_database
+
+    cqap = catalog.k_path_cqap(2)
+    db = path_database(k=2, n_edges=2000, domain=300, seed=1)
+    index = CQAPIndex(cqap, db, space_budget=4000)
+    index.preprocess()
+    print(index.answer_boolean((3, 17)))   # is there a 2-path from 3 to 17?
+"""
+
+from repro.data import (
+    Database,
+    Relation,
+    path_database,
+    singleton_request,
+    square_database,
+    star_database,
+    triangle_database,
+)
+from repro.query import (
+    Atom,
+    CQAP,
+    ConjunctiveQuery,
+    ConstraintSet,
+    DegreeConstraint,
+    catalog,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "CQAP",
+    "CQAPIndex",
+    "ConjunctiveQuery",
+    "ConstraintSet",
+    "Database",
+    "DegreeConstraint",
+    "Relation",
+    "catalog",
+    "path_database",
+    "singleton_request",
+    "square_database",
+    "star_database",
+    "triangle_database",
+]
+
+
+def __getattr__(name):
+    # CQAPIndex pulls in the planner stack; import lazily to keep the base
+    # import light and cycle-free.
+    if name == "CQAPIndex":
+        from repro.core.index import CQAPIndex
+
+        return CQAPIndex
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,220 @@
+"""CQAPIndex — the user-facing data structure (the paper's §4 framework).
+
+Preprocess once against a space budget, then answer any access request:
+
+    from repro import CQAPIndex, catalog, path_database
+
+    cqap = catalog.k_path_cqap(3)
+    db = path_database(k=3, n_edges=5000, domain=500, seed=1)
+    index = CQAPIndex(cqap, db, space_budget=20_000)
+    index.preprocess()
+    index.answer_boolean((4, 17))      # one (x1, x4) probe
+    index.answer_batch([(4, 17), (8, 2)])
+
+The pipeline is §4.2/§4.3 verbatim:
+
+* choose a PMTD set (given, or enumerated, falling back to the two trivial
+  PMTDs when enumeration is too large);
+* generate the 2-phase disjunctive rules and plan each with the 2PP planner;
+* preprocessing materializes every designated S-target, unions same-schema
+  targets into the PMTDs' S-views, and builds their hash indexes;
+* answering runs the online phase of every plan, unions T-targets into
+  T-views, runs Online Yannakakis per PMTD, and unions the ψ_i.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.online_yannakakis import OnlineYannakakis
+from repro.core.two_phase import (
+    PlanningError,
+    RulePlan,
+    TwoPhaseExecutor,
+    TwoPhasePlanner,
+)
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.decomposition.enumeration import enumerate_pmtds
+from repro.decomposition.pmtd import PMTD, trivial_pmtds
+from repro.query.constraints import ConstraintSet
+from repro.query.cq import CQAP
+from repro.query.hypergraph import VarSet
+from repro.tradeoff.rules import TwoPhaseRule, rules_from_pmtds
+from repro.util.counters import Counters
+
+
+@dataclass
+class IndexStats:
+    """Space/answering accounting for a preprocessed index."""
+
+    stored_tuples: int = 0
+    s_view_tuples: Dict[str, int] = field(default_factory=dict)
+    preprocess_counters: Dict = field(default_factory=dict)
+    last_answer_counters: Dict = field(default_factory=dict)
+    plans: List[str] = field(default_factory=list)
+
+
+class CQAPIndex:
+    """A space-budgeted index answering one CQAP's access requests."""
+
+    def __init__(
+        self,
+        cqap: CQAP,
+        db: Database,
+        space_budget: float,
+        pmtds: Optional[Sequence[PMTD]] = None,
+        dc: Optional[ConstraintSet] = None,
+        ac: Optional[ConstraintSet] = None,
+        request_size: float = 1,
+        max_bags: int = 3,
+        max_splits: int = 4,
+        budget_slack: float = 8.0,
+        measure_degrees: bool = False,
+        threshold_scale: float = 1.0,
+    ) -> None:
+        self.cqap = cqap
+        self.db = db
+        self.space_budget = float(space_budget)
+        if dc is None and measure_degrees:
+            from repro.query.constraints import measured_constraints
+
+            dc = measured_constraints(
+                db, [(a.relation, a.variables) for a in cqap.atoms]
+            )
+        if pmtds is None:
+            try:
+                pmtds = enumerate_pmtds(cqap, max_bags=max_bags)
+            except Exception:
+                pmtds = trivial_pmtds(cqap)
+            if not pmtds:
+                pmtds = trivial_pmtds(cqap)
+        self.pmtds: List[PMTD] = list(pmtds)
+        self.rules: List[TwoPhaseRule] = rules_from_pmtds(self.pmtds)
+        self.planner = TwoPhasePlanner(
+            cqap, db, space_budget, dc=dc, ac=ac,
+            request_size=request_size, max_splits=max_splits,
+            threshold_scale=threshold_scale,
+        )
+        self.executor = TwoPhaseExecutor(cqap, budget_slack=budget_slack)
+        self.plans: List[RulePlan] = []
+        self._s_targets: Dict[VarSet, Relation] = {}
+        self._yannakakis: List[OnlineYannakakis] = []
+        self.stats = IndexStats()
+        self._ready = False
+
+    # ------------------------------------------------------------------
+    # preprocessing phase
+    # ------------------------------------------------------------------
+    def preprocess(self, counters: Optional[Counters] = None) -> "CQAPIndex":
+        """Plan every rule, materialize S-targets, build per-PMTD structures."""
+        ctr = counters or Counters()
+        self.plans = [self.planner.plan_rule(rule) for rule in self.rules]
+        self._s_targets = self.executor.preprocess(
+            self.plans, self.space_budget, counters=ctr
+        )
+        self._yannakakis = []
+        self.stats = IndexStats()
+        for pmtd in self.pmtds:
+            s_views: Dict = {}
+            for node, view in pmtd.s_views.items():
+                matching = self._s_targets.get(view.variables)
+                schema = tuple(sorted(view.variables))
+                if matching is None:
+                    s_views[node] = Relation(view.label, schema, ())
+                else:
+                    s_views[node] = Relation(view.label, matching.schema,
+                                             matching.tuples)
+            self._yannakakis.append(OnlineYannakakis(pmtd, s_views))
+        self.stats.stored_tuples = sum(
+            len(rel) for rel in self._s_targets.values()
+        )
+        self.stats.s_view_tuples = {
+            "|".join(sorted(schema)): len(rel)
+            for schema, rel in self._s_targets.items()
+        }
+        self.stats.preprocess_counters = ctr.snapshot()
+        self.stats.plans = [plan.describe() for plan in self.plans]
+        self._ready = True
+        return self
+
+    # ------------------------------------------------------------------
+    # online phase
+    # ------------------------------------------------------------------
+    def _normalize_request(self, request) -> Relation:
+        if isinstance(request, Relation):
+            if set(request.schema) == set(self.cqap.access):
+                return Relation("Q_A", self.cqap.access,
+                                request.project(self.cqap.access).tuples)
+            if len(request.schema) == len(self.cqap.access):
+                return Relation("Q_A", self.cqap.access, request.tuples)
+            raise ValueError(
+                f"request schema {request.schema} incompatible with access "
+                f"pattern {self.cqap.access}"
+            )
+        if isinstance(request, tuple):
+            request = [request]
+        rows = [tuple(r) if isinstance(r, (tuple, list)) else (r,)
+                for r in request]
+        return Relation("Q_A", self.cqap.access, rows)
+
+    def answer(self, request, counters: Optional[Counters] = None) -> Relation:
+        """Return the access CQ's output for ``request`` (tuple(s) or Relation)."""
+        if not self._ready:
+            raise RuntimeError("call preprocess() before answer()")
+        ctr = counters or Counters()
+        q_a = self._normalize_request(request)
+        t_targets = self.executor.online(self.plans, q_a, counters=ctr)
+        out_rows: set = set()
+        head = tuple(self.cqap.head)
+        for oy in self._yannakakis:
+            t_views: Dict = {}
+            for node, view in oy.pmtd.t_views.items():
+                matching = t_targets.get(view.variables)
+                schema = tuple(sorted(view.variables))
+                if matching is None:
+                    t_views[node] = Relation(view.label, schema, ())
+                else:
+                    t_views[node] = Relation(view.label, matching.schema,
+                                             matching.tuples)
+            psi = oy.answer(q_a, t_views, counters=ctr)
+            if set(psi.schema) == set(head):
+                out_rows |= psi.project(head, counters=ctr).tuples
+            elif psi.schema == ():
+                # Boolean ψ (empty head)
+                out_rows |= psi.tuples
+        self.stats.last_answer_counters = ctr.snapshot()
+        return Relation(f"{self.cqap.name}_answer", head, out_rows)
+
+    def answer_boolean(self, request,
+                       counters: Optional[Counters] = None) -> bool:
+        """True iff the access CQ has at least one answer for ``request``."""
+        return len(self.answer(request, counters=counters)) > 0
+
+    def answer_batch(self, requests: Iterable[tuple],
+                     counters: Optional[Counters] = None) -> Relation:
+        """Answer many single-tuple requests in one online pass (§2.1)."""
+        return self.answer(list(requests), counters=counters)
+
+    # ------------------------------------------------------------------
+    @property
+    def stored_tuples(self) -> int:
+        """Intrinsic space actually used (S-target tuples)."""
+        return self.stats.stored_tuples
+
+    @property
+    def predicted_log_time(self) -> float:
+        """The planner's OBJ(S) across rules (the T in the tradeoff)."""
+        if not self.plans:
+            raise RuntimeError("not preprocessed yet")
+        return max(plan.predicted_log_time for plan in self.plans)
+
+    def describe(self) -> str:
+        """Human-readable plan dump (per rule: splits and phase decisions)."""
+        header = [
+            f"CQAPIndex({self.cqap.name}): budget {self.space_budget:g} "
+            f"tuples, {len(self.pmtds)} PMTDs, {len(self.rules)} rules",
+        ]
+        return "\n".join(header + [p.describe() for p in self.plans])

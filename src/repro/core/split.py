@@ -1,0 +1,193 @@
+"""Heavy/light split steps and subproblem enumeration (Def. C.2, §5).
+
+A split step partitions a guard relation on a key ``X ⊂ Y`` at a degree
+threshold Δ:
+
+* the **heavy** piece keeps the tuples whose X-value has degree > Δ — it has
+  at most ``N/Δ`` distinct X-values (refined constraint ``(∅, X, N/Δ)``);
+* the **light** piece has per-X degree at most Δ (refined ``(X, Y, Δ)``).
+
+The paper applies ``O(log N)`` doubling buckets; the 2PP plans this engine
+emits only ever need the single binary split at the LP-derived threshold —
+exactly what the §5 walkthrough does with ``Δ = |D|/√S``.  A list of splits
+spawns ``2^k`` :class:`Subproblem`\\ s, each holding its restricted relation
+pieces and the refined constraint set ``DC(j)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.constraints import ConstraintSet
+from repro.query.cq import Atom, CQAP
+from repro.query.hypergraph import VarSet, varset
+
+HEAVY = "H"
+LIGHT = "L"
+
+
+@dataclass(frozen=True)
+class SplitStep:
+    """Split ``atom``'s relation on the key ``x_vars`` at ``threshold``."""
+
+    atom: Atom
+    x_vars: Tuple[str, ...]
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not set(self.x_vars) < set(self.atom.variables):
+            raise ValueError(
+                f"split key {self.x_vars} must be a proper subset of the "
+                f"atom variables {self.atom.variables}"
+            )
+        if self.threshold < 1:
+            raise ValueError("split thresholds must be >= 1")
+
+    def __repr__(self) -> str:
+        return (f"Split({self.atom.relation} on ({', '.join(self.x_vars)}) "
+                f"@ {self.threshold:g})")
+
+    def partition(self, relation: Relation) -> Tuple[Relation, Relation]:
+        """(heavy, light) pieces of ``relation`` (schema = atom variables)."""
+        index = relation.index_on(self.x_vars)
+        heavy_rows: List[tuple] = []
+        light_rows: List[tuple] = []
+        for key, rows in index.items():
+            if len(rows) > self.threshold:
+                heavy_rows.extend(rows)
+            else:
+                light_rows.extend(rows)
+        base = relation.name
+        heavy = Relation(f"{base}^H", relation.schema, heavy_rows)
+        light = Relation(f"{base}^L", relation.schema, light_rows)
+        return heavy, light
+
+
+@dataclass
+class Subproblem:
+    """One cell of the split partition: restricted pieces + DC(j)."""
+
+    signature: Tuple[str, ...]           # H/L per split, in split order
+    relations: Dict[str, Relation]       # atom relation name -> piece
+    constraints: ConstraintSet           # refined DC(j)
+
+    def label(self) -> str:
+        return "".join(self.signature) or "(no splits)"
+
+    def atom_relation(self, atom: Atom) -> Relation:
+        """The (possibly split) relation for ``atom``, on atom variables.
+
+        Cached per atom so the hash indexes built during one online phase
+        are reused by every later access request.
+        """
+        cache = getattr(self, "_atom_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_atom_cache", cache)
+        key = (atom.relation, atom.variables)
+        if key not in cache:
+            piece = self.relations[atom.relation]
+            cache[key] = Relation(atom.relation, atom.variables,
+                                  piece.tuples)
+        return cache[key]
+
+
+def apply_splits(cqap: CQAP, db: Database, splits: Sequence[SplitStep],
+                 base_constraints: ConstraintSet) -> List[Subproblem]:
+    """Spawn the ``2^k`` subproblems of a split sequence.
+
+    Splits are applied in order; later splits partition the pieces produced
+    by earlier splits of the same relation.  Every subproblem's constraint
+    set starts from ``base_constraints`` and adds the refined cardinality /
+    degree constraints of its chosen pieces (including the piece's actual
+    cardinality, which is often far below the worst case).
+    """
+    atom_by_name = {atom.relation: atom for atom in cqap.atoms}
+    subproblems: List[Subproblem] = []
+    for choice in product((HEAVY, LIGHT), repeat=len(splits)):
+        relations: Dict[str, Relation] = {
+            atom.relation: Relation(
+                atom.relation, atom.variables, db[atom.relation].tuples
+            )
+            for atom in cqap.atoms
+        }
+        constraints = base_constraints.copy()
+        for side, split in zip(choice, splits):
+            name = split.atom.relation
+            heavy, light = split.partition(relations[name])
+            piece = heavy if side == HEAVY else light
+            relations[name] = Relation(name, split.atom.variables,
+                                       piece.tuples)
+            n_total = max(1, len(db[name]))
+            if side == HEAVY:
+                # few distinct X-values: N/Δ of them at most
+                constraints.add_cardinality(
+                    split.x_vars, max(1.0, n_total / split.threshold)
+                )
+            else:
+                constraints.add_degree(
+                    split.x_vars, split.atom.variables,
+                    max(1.0, split.threshold),
+                )
+        # refresh cardinalities with the actual piece sizes
+        for atom in cqap.atoms:
+            constraints.add_cardinality(
+                atom.variables, max(1, len(relations[atom.relation]))
+            )
+        subproblems.append(Subproblem(choice, relations, constraints))
+    return subproblems
+
+
+def split_steps_from_duals(
+    cqap: CQAP,
+    db: Database,
+    duals: Dict,
+    h_s: Dict[VarSet, float],
+    h_t: Dict[VarSet, float],
+    tolerance: float = 1e-7,
+    max_splits: int = 4,
+) -> List[SplitStep]:
+    """Derive the split sequence from an optimal joint-flow solution.
+
+    Every split-constraint dual γ > 0 names a coupled (X, Y) pair
+    (Theorem D.5's witness); the threshold realizing the corresponding
+    binding inequality is ``Δ = 2^{h_T(Y) - h_T(X)}`` for the
+    heavy-X-materialized orientation and ``Δ = 2^{h_S(Y) - h_S(X)}`` for the
+    light orientation — both sides of the same binary partition, so a single
+    step per (atom, X) suffices.  The most-binding ``max_splits`` pairs are
+    kept (each split doubles the subproblem count).
+    """
+    candidates: Dict[Tuple[str, Tuple[str, ...]], float] = {}
+    for name, value in duals.items():
+        if not isinstance(name, tuple) or len(name) != 2:
+            continue
+        kind, key = name
+        if kind not in ("sc_s_heavy", "sc_t_heavy") or value <= tolerance:
+            continue
+        x_sorted, y_sorted = key
+        x, y = varset(x_sorted), varset(y_sorted)
+        # find an atom guarding the pair (Y within the atom schema)
+        for atom in cqap.atoms:
+            if y <= atom.varset and x < atom.varset:
+                if kind == "sc_s_heavy":
+                    delta = 2.0 ** (h_t.get(y, 0.0) - h_t.get(x, 0.0))
+                else:
+                    delta = 2.0 ** (h_s.get(y, 0.0) - h_s.get(x, 0.0))
+                entry = (atom.relation, tuple(sorted(x)))
+                current = candidates.get(entry)
+                # keep the largest dual weight per (atom, X); remember Δ
+                if current is None or value > current[0]:
+                    candidates[entry] = (value, delta)
+                break
+    ranked = sorted(candidates.items(), key=lambda kv: -kv[1][0])
+    atom_by_name = {atom.relation: atom for atom in cqap.atoms}
+    steps: List[SplitStep] = []
+    for (rel_name, x_vars), (_, delta) in ranked[:max_splits]:
+        threshold = max(1.0, delta)
+        steps.append(SplitStep(atom_by_name[rel_name], x_vars, threshold))
+    return steps

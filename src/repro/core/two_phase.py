@@ -1,0 +1,280 @@
+"""The 2PP algorithm: LP-guided two-phase plans per disjunctive rule (§D.4).
+
+For every 2-phase disjunctive rule the planner:
+
+1. solves ``OBJ(S)`` (Theorem C.3).  If the budget constraint is infeasible,
+   the rule's cheapest S-target provably fits in Õ(S) and is materialized
+   outright (no splits);
+2. otherwise reads the optimal solution's split-constraint duals — the γ
+   witness coordinates of Theorem D.5 — and turns each positive one into a
+   binary heavy/light :class:`SplitStep` at the LP-derived threshold;
+3. for each of the spawned subproblems, compares the refined single-target
+   polymatroid bounds (``DC(j)``, Theorem C.1) against the budget and
+   designates either an S-target (preprocess) or a T-target (online).
+
+Execution materializes designated S-targets as *exact projections* of the
+subproblem bodies via the generic join — a simplification of PANDA's
+proof-sequence interpreter documented in DESIGN.md: every published strategy
+in the paper resolves each subproblem with a single target, and exact
+projections are automatically within the single-target bound, so the
+space/time shape is preserved (the bound-gap ablation quantifies the
+difference).  A hard ``limit`` on the materializer backstops the analysis:
+if an S-piece unexpectedly outgrows the budget, the subproblem falls back to
+the online phase, mirroring Algorithm 1's abort path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.joins import BudgetExceeded, project_join
+from repro.core.split import SplitStep, Subproblem, apply_splits, split_steps_from_duals
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.constraints import ConstraintSet
+from repro.query.cq import CQAP
+from repro.query.hypergraph import VarSet
+from repro.tradeoff.joint_flow import JointFlowProgram
+from repro.tradeoff.rules import TwoPhaseRule
+from repro.util.counters import Counters, global_counters
+
+S_PHASE = "S"
+T_PHASE = "T"
+
+
+class PlanningError(RuntimeError):
+    """Raised when a rule cannot be scheduled (e.g. S-only over budget)."""
+
+
+@dataclass
+class PhaseDecision:
+    """One subproblem's fate: which phase, which designated target."""
+
+    subproblem: Subproblem
+    phase: str                       # S_PHASE or T_PHASE
+    target: VarSet
+    predicted_log_size: float
+
+    def describe(self) -> str:
+        kind = "preprocess" if self.phase == S_PHASE else "online"
+        return (f"[{self.subproblem.label()}] {kind} -> "
+                f"{{{','.join(sorted(self.target))}}} "
+                f"(bound 2^{self.predicted_log_size:.2f})")
+
+
+@dataclass
+class RulePlan:
+    """A fully scheduled rule: splits plus per-subproblem decisions."""
+
+    rule: TwoPhaseRule
+    splits: List[SplitStep]
+    decisions: List[PhaseDecision]
+    predicted_log_time: float        # OBJ(S) for this rule
+    materialize_all: bool = False
+
+    @property
+    def online_decisions(self) -> List[PhaseDecision]:
+        return [d for d in self.decisions if d.phase == T_PHASE]
+
+    @property
+    def preprocess_decisions(self) -> List[PhaseDecision]:
+        return [d for d in self.decisions if d.phase == S_PHASE]
+
+    def describe(self) -> str:
+        lines = [f"rule {self.rule.label}  (OBJ = 2^"
+                 f"{self.predicted_log_time:.3f})"]
+        for split in self.splits:
+            lines.append(f"  {split}")
+        for decision in self.decisions:
+            lines.append("  " + decision.describe())
+        return "\n".join(lines)
+
+
+class TwoPhasePlanner:
+    """Plans every rule of a CQAP at a fixed space budget."""
+
+    def __init__(self, cqap: CQAP, db: Database, space_budget: float,
+                 dc: Optional[ConstraintSet] = None,
+                 ac: Optional[ConstraintSet] = None,
+                 request_size: float = 1,
+                 max_splits: int = 4,
+                 threshold_scale: float = 1.0) -> None:
+        self.cqap = cqap
+        self.db = db
+        self.space_budget = float(space_budget)
+        self.log_budget = math.log2(max(1.0, space_budget))
+        self.dc = dc if dc is not None else cqap.default_constraints(db)
+        self.ac = ac if ac is not None else cqap.access_constraints(request_size)
+        self.program = JointFlowProgram(cqap.variables, self.dc, self.ac)
+        self.max_splits = max_splits
+        # multiplies every LP-derived split threshold; 1.0 is the optimum,
+        # other values exist for the threshold-sensitivity ablation
+        self.threshold_scale = threshold_scale
+        self._bound_cache: Dict = {}
+
+    # ------------------------------------------------------------------
+    def _single_bound(self, target: VarSet, phase: str,
+                      extra: Optional[ConstraintSet] = None) -> float:
+        key = (
+            target, phase,
+            tuple(sorted(
+                (tuple(sorted(c.x)), tuple(sorted(c.y)), c.bound)
+                for c in (extra or ())
+            )),
+        )
+        if key not in self._bound_cache:
+            self._bound_cache[key] = self.program.log_size_bound(
+                [target], phase=phase, extra=extra
+            )
+        return self._bound_cache[key]
+
+    def _best_target(self, targets: Iterable[VarSet], phase: str,
+                     extra: Optional[ConstraintSet] = None,
+                     ) -> Tuple[Optional[VarSet], float]:
+        best, best_bound = None, math.inf
+        for target in sorted(targets, key=lambda t: tuple(sorted(t))):
+            bound = self._single_bound(target, phase, extra)
+            if bound < best_bound:
+                best, best_bound = target, bound
+        return best, best_bound
+
+    # ------------------------------------------------------------------
+    def plan_rule(self, rule: TwoPhaseRule) -> RulePlan:
+        """Schedule one rule at the planner's budget."""
+        obj = self.program.obj_for_budget(rule, self.log_budget)
+        if obj.fits_in_budget and rule.s_targets:
+            target, bound = self._best_target(rule.s_targets, S_PHASE)
+            if not rule.t_targets and bound > self.log_budget + 1e-6:
+                raise PlanningError(
+                    f"rule {rule.label} has only S-targets with bound "
+                    f"2^{bound:.2f} exceeding the budget "
+                    f"2^{self.log_budget:.2f}"
+                )
+            whole = apply_splits(self.cqap, self.db, [], self.dc)[0]
+            decision = PhaseDecision(whole, S_PHASE, target, bound)
+            return RulePlan(rule, [], [decision], 0.0, materialize_all=True)
+        if not rule.t_targets:
+            raise PlanningError(
+                f"rule {rule.label} has only S-targets but its bound exceeds "
+                f"the budget 2^{self.log_budget:.2f}"
+            )
+        splits = split_steps_from_duals(
+            self.cqap, self.db, obj.duals, obj.h_s, obj.h_t,
+            max_splits=self.max_splits,
+        )
+        if self.threshold_scale != 1.0:
+            splits = [
+                SplitStep(s.atom, s.x_vars,
+                          max(1.0, s.threshold * self.threshold_scale))
+                for s in splits
+            ]
+        subproblems = apply_splits(self.cqap, self.db, splits, self.dc)
+        decisions: List[PhaseDecision] = []
+        for subproblem in subproblems:
+            s_target, s_bound = (None, math.inf)
+            if rule.s_targets:
+                s_target, s_bound = self._best_target(
+                    rule.s_targets, S_PHASE, extra=subproblem.constraints
+                )
+            if s_target is not None and s_bound <= self.log_budget + 1e-6:
+                decisions.append(
+                    PhaseDecision(subproblem, S_PHASE, s_target, s_bound)
+                )
+            else:
+                t_target, t_bound = self._best_target(
+                    rule.t_targets, T_PHASE, extra=subproblem.constraints
+                )
+                decisions.append(
+                    PhaseDecision(subproblem, T_PHASE, t_target, t_bound)
+                )
+        return RulePlan(rule, splits, decisions, obj.log_time)
+
+
+class TwoPhaseExecutor:
+    """Runs the two phases of a set of rule plans."""
+
+    def __init__(self, cqap: CQAP, budget_slack: float = 8.0) -> None:
+        self.cqap = cqap
+        self.budget_slack = budget_slack
+
+    # ------------------------------------------------------------------
+    def preprocess(self, plans: Sequence[RulePlan], space_budget: float,
+                   counters: Optional[Counters] = None,
+                   ) -> Dict[VarSet, Relation]:
+        """Materialize every designated S-target; returns schema -> union.
+
+        A subproblem whose exact projection outgrows ``budget_slack × S``
+        falls back to the online phase (Algorithm 1's abort), mutating the
+        plan in place.
+        """
+        ctr = counters or global_counters
+        limit = int(self.budget_slack * max(1.0, space_budget)) + 1
+        targets: Dict[VarSet, Relation] = {}
+        for plan in plans:
+            for decision in list(plan.decisions):
+                if decision.phase != S_PHASE:
+                    continue
+                relations = [
+                    decision.subproblem.atom_relation(atom)
+                    for atom in self.cqap.atoms
+                ]
+                schema = tuple(sorted(decision.target))
+                try:
+                    piece = project_join(
+                        relations, schema,
+                        name=f"S_{''.join(schema)}",
+                        limit=limit, counters=ctr,
+                    )
+                except BudgetExceeded:
+                    if not plan.rule.t_targets:
+                        raise PlanningError(
+                            f"rule {plan.rule.label}: S-target outgrew the "
+                            "budget and the rule has no T-target to fall "
+                            "back to"
+                        )
+                    decision.phase = T_PHASE
+                    decision.target = min(
+                        plan.rule.t_targets,
+                        key=lambda t: tuple(sorted(t)),
+                    )
+                    decision.predicted_log_size = math.inf
+                    continue
+                key = decision.target
+                if key in targets:
+                    targets[key] = targets[key].union(piece,
+                                                      name=piece.name)
+                else:
+                    targets[key] = piece
+        for key, rel in targets.items():
+            ctr.stores += len(rel)
+        return targets
+
+    # ------------------------------------------------------------------
+    def online(self, plans: Sequence[RulePlan], request: Relation,
+               counters: Optional[Counters] = None,
+               ) -> Dict[VarSet, Relation]:
+        """Compute every designated T-target against ``request``."""
+        ctr = counters or global_counters
+        targets: Dict[VarSet, Relation] = {}
+        request_bound = Relation("Q_A", self.cqap.access, request.tuples)
+        for plan in plans:
+            for decision in plan.online_decisions:
+                relations = [
+                    decision.subproblem.atom_relation(atom)
+                    for atom in self.cqap.atoms
+                ]
+                if self.cqap.access:
+                    relations = [request_bound] + relations
+                schema = tuple(sorted(decision.target))
+                piece = project_join(
+                    relations, schema,
+                    name=f"T_{''.join(schema)}", counters=ctr,
+                )
+                key = decision.target
+                if key in targets:
+                    targets[key] = targets[key].union(piece, name=piece.name)
+                else:
+                    targets[key] = piece
+        return targets

@@ -1,0 +1,31 @@
+"""Data substrate: relations, databases, and synthetic generators."""
+
+from repro.data.database import Database
+from repro.data.relation import Relation, SchemaError, singleton_request
+from repro.data.generators import (
+    access_requests_from_output,
+    hierarchical_binary_tree_database,
+    layered_path_database,
+    path_database,
+    random_edge_relation,
+    set_family,
+    square_database,
+    star_database,
+    triangle_database,
+)
+
+__all__ = [
+    "Database",
+    "Relation",
+    "SchemaError",
+    "singleton_request",
+    "access_requests_from_output",
+    "hierarchical_binary_tree_database",
+    "layered_path_database",
+    "path_database",
+    "random_edge_relation",
+    "set_family",
+    "square_database",
+    "star_database",
+    "triangle_database",
+]

@@ -1,0 +1,64 @@
+"""Database instances: named relations guarding degree constraints."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.data.relation import Relation
+
+
+class Database:
+    """A mapping from relation names to :class:`Relation` instances.
+
+    ``|D|`` (the paper's database size) is the *maximum* relation cardinality,
+    matching §2's convention ``|D| = max_F |R_F|``.
+    """
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self._relations: Dict[str, Relation] = {}
+        for rel in relations:
+            self.add(rel)
+
+    def add(self, relation: Relation) -> None:
+        """Register a relation; names must be unique."""
+        if relation.name in self._relations:
+            raise KeyError(f"duplicate relation name {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def __getitem__(self, name: str) -> Relation:
+        return self._relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def names(self) -> list:
+        return list(self._relations)
+
+    @property
+    def size(self) -> int:
+        """``|D|``: maximum cardinality over the stored relations."""
+        if not self._relations:
+            return 0
+        return max(len(rel) for rel in self._relations.values())
+
+    @property
+    def total_tuples(self) -> int:
+        """Sum of all relation cardinalities (storage accounting)."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def get(self, name: str, default: Optional[Relation] = None):
+        return self._relations.get(name, default)
+
+    def copy(self) -> "Database":
+        return Database(rel.copy() for rel in self)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{r.name}[{len(r)}]" for r in self)
+        return f"Database({parts})"

@@ -1,0 +1,197 @@
+"""Synthetic workload generators.
+
+The paper proves worst-case bounds and gives no datasets, so benchmarks run on
+synthetic inputs designed to *exercise* the heavy/light machinery: uniform
+random graphs, graphs with planted high-degree hubs (skew), layered DAGs for
+k-reachability, set families with planted large sets, and hierarchical fact
+tables matching Figure 6a.
+
+All generators take an explicit ``seed`` so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+
+def random_edge_relation(name: str, schema: Sequence[str], n_edges: int,
+                         domain: int, seed: int = 0,
+                         skew_hubs: int = 0,
+                         hub_fraction: float = 0.5) -> Relation:
+    """A binary relation of ``n_edges`` distinct pairs over ``[0, domain)``.
+
+    With ``skew_hubs > 0``, roughly ``hub_fraction`` of the edges attach their
+    first column to one of ``skew_hubs`` hub values, planting heavy keys so
+    heavy/light splits are non-trivial.
+    """
+    if len(schema) != 2:
+        raise ValueError("random_edge_relation builds binary relations")
+    rng = random.Random(seed)
+    edges = set()
+    attempts = 0
+    max_attempts = 50 * n_edges + 100
+    while len(edges) < n_edges and attempts < max_attempts:
+        attempts += 1
+        if skew_hubs and rng.random() < hub_fraction:
+            src = rng.randrange(skew_hubs)
+        else:
+            src = rng.randrange(domain)
+        dst = rng.randrange(domain)
+        edges.add((src, dst))
+    return Relation(name, schema, edges)
+
+
+def path_database(k: int, n_edges: int, domain: int, seed: int = 0,
+                  shared_relation: bool = False,
+                  skew_hubs: int = 0) -> Database:
+    """Input for the k-path / k-reachability CQAP.
+
+    Produces relations ``R1(x1,x2) ... Rk(xk,xk+1)``.  With
+    ``shared_relation=True`` all k atoms share the *same* edge set (the graph
+    semantics of Example 2.3); otherwise each layer is drawn independently.
+    """
+    db = Database()
+    base = random_edge_relation("R_base", ("a", "b"), n_edges, domain,
+                                seed=seed, skew_hubs=skew_hubs)
+    for i in range(1, k + 1):
+        schema = (f"x{i}", f"x{i + 1}")
+        if shared_relation:
+            rel = Relation(f"R{i}", schema, base.tuples)
+        else:
+            rel = random_edge_relation(f"R{i}", schema, n_edges, domain,
+                                       seed=seed + i, skew_hubs=skew_hubs)
+        db.add(rel)
+    return db
+
+
+def layered_path_database(k: int, layer_size: int, out_degree: int,
+                          seed: int = 0) -> Database:
+    """A layered DAG with ``k + 1`` layers; guarantees many length-k paths.
+
+    Layer ``i`` holds values ``i * layer_size .. (i+1) * layer_size - 1``;
+    every node gets ``out_degree`` random successors in the next layer.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    for i in range(1, k + 1):
+        lo_src = (i - 1) * layer_size
+        lo_dst = i * layer_size
+        edges = set()
+        for src in range(lo_src, lo_src + layer_size):
+            for _ in range(out_degree):
+                edges.add((src, lo_dst + rng.randrange(layer_size)))
+        db.add(Relation(f"R{i}", (f"x{i}", f"x{i + 1}"), edges))
+    return db
+
+
+def set_family(n_sets: int, universe: int, total_elements: int,
+               seed: int = 0, heavy_sets: int = 0,
+               heavy_size: Optional[int] = None) -> Relation:
+    """A set membership relation ``R(y, x)``: element ``y`` belongs to set ``x``.
+
+    ``heavy_sets`` plants that many sets of size ``heavy_size`` (default:
+    ``universe // 2``) so that the heavy/light threshold separates a real
+    population.  Remaining elements are spread uniformly.
+    """
+    rng = random.Random(seed)
+    rows = set()
+    if heavy_sets:
+        size = heavy_size if heavy_size is not None else max(1, universe // 2)
+        for s in range(heavy_sets):
+            members = rng.sample(range(universe), min(size, universe))
+            for y in members:
+                rows.add((y, s))
+    while len(rows) < total_elements:
+        rows.add((rng.randrange(universe), rng.randrange(n_sets)))
+    return Relation("R", ("y", "x"), rows)
+
+
+def star_database(k: int, n_edges: int, domain: int, seed: int = 0,
+                  heavy_sets: int = 0) -> Database:
+    """Input for the k-set disjointness CQAP: atoms ``R(y, x_i)``, i in [k].
+
+    All atoms share one membership relation, per Example 2.2.
+    """
+    membership = set_family(domain, domain, n_edges, seed=seed,
+                            heavy_sets=heavy_sets)
+    db = Database()
+    for i in range(1, k + 1):
+        db.add(Relation(f"R{i}", ("y", f"x{i}"), membership.tuples))
+    return db
+
+
+def square_database(n_edges: int, domain: int, seed: int = 0,
+                    skew_hubs: int = 0) -> Database:
+    """Input for the square CQAP: R1(x1,x2), R2(x2,x3), R3(x3,x4), R4(x4,x1)."""
+    base = random_edge_relation("base", ("a", "b"), n_edges, domain,
+                                seed=seed, skew_hubs=skew_hubs)
+    db = Database()
+    schemas = [("x1", "x2"), ("x2", "x3"), ("x3", "x4"), ("x4", "x1")]
+    for i, schema in enumerate(schemas, start=1):
+        db.add(Relation(f"R{i}", schema, base.tuples))
+    return db
+
+
+def triangle_database(n_edges: int, domain: int, seed: int = 0) -> Database:
+    """Input for the triangle CQAP over one shared edge relation."""
+    base = random_edge_relation("base", ("a", "b"), n_edges, domain, seed=seed)
+    db = Database()
+    schemas = [("x1", "x2"), ("x2", "x3"), ("x3", "x1")]
+    for i, schema in enumerate(schemas, start=1):
+        db.add(Relation(f"R{i}", schema, base.tuples))
+    return db
+
+
+def hierarchical_binary_tree_database(n_tuples: int, domain: int,
+                                      seed: int = 0,
+                                      heavy_x: int = 0) -> Database:
+    """Input for the Figure 6a hierarchical CQAP.
+
+    Relations R(x,y1,z1), S(x,y1,z2), T(x,y2,z3), U(x,y2,z4).  ``heavy_x``
+    plants that many x-values with large fanout, exercising the §F heavy/light
+    indicator views.
+    """
+    rng = random.Random(seed)
+
+    def draw_x() -> int:
+        if heavy_x and rng.random() < 0.5:
+            return rng.randrange(heavy_x)
+        return rng.randrange(domain)
+
+    def ternary(name: str, schema: Tuple[str, str, str]) -> Relation:
+        rows = set()
+        while len(rows) < n_tuples:
+            rows.add((draw_x(), rng.randrange(domain), rng.randrange(domain)))
+        return Relation(name, schema, rows)
+
+    db = Database()
+    db.add(ternary("R", ("x", "y1", "z1")))
+    db.add(ternary("S", ("x", "y1", "z2")))
+    db.add(ternary("T", ("x", "y2", "z3")))
+    db.add(ternary("U", ("x", "y2", "z4")))
+    return db
+
+
+def access_requests_from_output(full_output: Relation, access_vars: Sequence[str],
+                                count: int, seed: int = 0,
+                                hit_fraction: float = 0.5,
+                                domain: int = 1 << 30) -> List[Tuple]:
+    """Sample ``count`` single-tuple access requests.
+
+    A ``hit_fraction`` of them are projections of actual query answers (so the
+    online phase does real work); the rest are random misses.
+    """
+    rng = random.Random(seed)
+    hits = list(full_output.project(access_vars).tuples)
+    requests: List[Tuple] = []
+    for _ in range(count):
+        if hits and rng.random() < hit_fraction:
+            requests.append(rng.choice(hits))
+        else:
+            requests.append(tuple(rng.randrange(domain)
+                                  for _ in access_vars))
+    return requests

@@ -1,0 +1,273 @@
+"""In-memory relations over named variables.
+
+A :class:`Relation` is a named set of tuples together with a *schema*: an
+ordered tuple of variable names.  All engine operators (projection, selection,
+semijoin, hash join) live here and report their work through the counters
+substrate so that benchmarks can measure probes/scans/stores instead of
+wall-clock time.
+
+Values are arbitrary hashable Python objects (the test suite and generators
+use ints and strings).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.util.counters import Counters, global_counters
+
+Tuple_ = Tuple[object, ...]
+
+
+class SchemaError(ValueError):
+    """Raised when an operation references variables absent from a schema."""
+
+
+class Relation:
+    """A named set of tuples with an ordered schema of variable names.
+
+    The tuple set is stored as a Python ``set`` for O(1) membership; auxiliary
+    hash indexes are built lazily per key and cached.
+    """
+
+    __slots__ = ("name", "schema", "tuples", "_indexes")
+
+    def __init__(self, name: str, schema: Sequence[str],
+                 tuples: Iterable[Tuple_] = ()) -> None:
+        self.name = name
+        self.schema: Tuple[str, ...] = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise SchemaError(f"duplicate variables in schema {self.schema}")
+        self.tuples: set = set()
+        width = len(self.schema)
+        for row in tuples:
+            row = tuple(row)
+            if len(row) != width:
+                raise SchemaError(
+                    f"tuple {row} has arity {len(row)}, schema {self.schema} "
+                    f"expects {width}"
+                )
+            self.tuples.add(row)
+        self._indexes: Dict[Tuple[str, ...], Dict[Tuple_, list]] = {}
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[Tuple_]:
+        return iter(self.tuples)
+
+    def __contains__(self, row: Tuple_) -> bool:
+        return tuple(row) in self.tuples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if set(self.schema) != set(other.schema):
+            return False
+        reordered = other.project(self.schema, name=other.name)
+        return self.tuples == reordered.tuples
+
+    def __hash__(self):  # relations are mutable containers
+        raise TypeError("Relation objects are unhashable")
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, schema={self.schema}, n={len(self)})"
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        """The schema as an (unordered) frozenset of variable names."""
+        return frozenset(self.schema)
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        """Shallow copy (tuples are shared immutable objects)."""
+        return Relation(name or self.name, self.schema, self.tuples)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, row: Tuple_, counters: Optional[Counters] = None) -> None:
+        """Insert one tuple, invalidating cached indexes."""
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            raise SchemaError(f"arity mismatch adding {row} to {self.schema}")
+        if row not in self.tuples:
+            self.tuples.add(row)
+            (counters or global_counters).stores += 1
+            self._indexes.clear()
+
+    def discard(self, row: Tuple_) -> None:
+        """Remove one tuple if present, invalidating cached indexes."""
+        self.tuples.discard(tuple(row))
+        self._indexes.clear()
+
+    # ------------------------------------------------------------------
+    # positions and indexes
+    # ------------------------------------------------------------------
+    def positions(self, variables: Sequence[str]) -> Tuple[int, ...]:
+        """Column positions of ``variables`` within the schema."""
+        try:
+            return tuple(self.schema.index(v) for v in variables)
+        except ValueError as exc:
+            raise SchemaError(
+                f"{list(variables)} not all in schema {self.schema}"
+            ) from exc
+
+    def index_on(self, key: Sequence[str]) -> Dict[Tuple_, list]:
+        """Hash index: key-tuple -> list of full tuples (built lazily)."""
+        key = tuple(key)
+        cached = self._indexes.get(key)
+        if cached is not None:
+            return cached
+        pos = self.positions(key)
+        index: Dict[Tuple_, list] = {}
+        for row in self.tuples:
+            index.setdefault(tuple(row[p] for p in pos), []).append(row)
+        self._indexes[key] = index
+        return index
+
+    def key_values(self, key: Sequence[str]) -> set:
+        """Distinct key tuples over ``key``."""
+        return set(self.index_on(key).keys())
+
+    def degree(self, key: Sequence[str]) -> int:
+        """Maximum number of tuples sharing one ``key`` value (0 if empty)."""
+        index = self.index_on(key)
+        if not index:
+            return 0
+        return max(len(bucket) for bucket in index.values())
+
+    def degree_of(self, key: Sequence[str], key_value: Tuple_) -> int:
+        """Number of tuples whose ``key`` columns equal ``key_value``."""
+        return len(self.index_on(key).get(tuple(key_value), ()))
+
+    # ------------------------------------------------------------------
+    # relational operators
+    # ------------------------------------------------------------------
+    def project(self, onto: Sequence[str], name: Optional[str] = None,
+                counters: Optional[Counters] = None) -> "Relation":
+        """Duplicate-eliminating projection onto ``onto`` (ordered)."""
+        ctr = counters or global_counters
+        onto = tuple(onto)
+        pos = self.positions(onto)
+        out = set()
+        for row in self.tuples:
+            ctr.scans += 1
+            out.add(tuple(row[p] for p in pos))
+        return Relation(name or f"pi_{self.name}", onto, out)
+
+    def select(self, predicate: Callable[[dict], bool],
+               name: Optional[str] = None,
+               counters: Optional[Counters] = None) -> "Relation":
+        """Filter by an arbitrary predicate over a var->value mapping."""
+        ctr = counters or global_counters
+        out = []
+        for row in self.tuples:
+            ctr.scans += 1
+            if predicate(dict(zip(self.schema, row))):
+                out.append(row)
+        return Relation(name or f"sigma_{self.name}", self.schema, out)
+
+    def select_equals(self, bindings: dict, name: Optional[str] = None,
+                      counters: Optional[Counters] = None) -> "Relation":
+        """Equality selection via the hash index on the bound variables."""
+        ctr = counters or global_counters
+        key = tuple(v for v in self.schema if v in bindings)
+        if not key:
+            return self.copy(name)
+        index = self.index_on(key)
+        ctr.probes += 1
+        want = tuple(bindings[v] for v in key)
+        rows = index.get(want, [])
+        ctr.scans += len(rows)
+        return Relation(name or f"sigma_{self.name}", self.schema, rows)
+
+    def rename(self, mapping: Dict[str, str],
+               name: Optional[str] = None) -> "Relation":
+        """Rename variables; ``mapping`` may be partial."""
+        new_schema = tuple(mapping.get(v, v) for v in self.schema)
+        return Relation(name or self.name, new_schema, self.tuples)
+
+    def union(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        """Set union; the other relation is reordered to this schema."""
+        if set(other.schema) != set(self.schema):
+            raise SchemaError(
+                f"union schema mismatch: {self.schema} vs {other.schema}"
+            )
+        reordered = other.project(self.schema, name=other.name)
+        return Relation(name or f"{self.name}_u_{other.name}", self.schema,
+                        self.tuples | reordered.tuples)
+
+    def semijoin(self, other: "Relation",
+                 counters: Optional[Counters] = None,
+                 name: Optional[str] = None) -> "Relation":
+        """``self ⋉ other``: keep tuples matching ``other`` on shared vars.
+
+        Probes a hash index on ``other``; cost is one probe per tuple of
+        ``self`` — never a scan of ``other`` (this is what makes Online
+        Yannakakis independent of S-view sizes).
+        """
+        ctr = counters or global_counters
+        shared = tuple(v for v in self.schema if v in other.variables)
+        if not shared:
+            # A cartesian semijoin degenerates to emptiness testing.
+            if len(other) == 0:
+                return Relation(name or self.name, self.schema, ())
+            return self.copy(name)
+        other_keys = other.key_values(shared)
+        pos = self.positions(shared)
+        out = []
+        for row in self.tuples:
+            ctr.scans += 1
+            ctr.probes += 1
+            if tuple(row[p] for p in pos) in other_keys:
+                out.append(row)
+        return Relation(name or self.name, self.schema, out)
+
+    def join(self, other: "Relation", name: Optional[str] = None,
+             counters: Optional[Counters] = None) -> "Relation":
+        """Natural hash join on the shared variables.
+
+        Builds the hash side on ``other`` and streams ``self``.
+        """
+        ctr = counters or global_counters
+        shared = tuple(v for v in self.schema if v in other.variables)
+        extra = tuple(v for v in other.schema if v not in self.variables)
+        out_schema = self.schema + extra
+        index = other.index_on(shared)
+        pos_self = self.positions(shared)
+        pos_extra = other.positions(extra)
+        out = set()
+        for row in self.tuples:
+            ctr.scans += 1
+            ctr.probes += 1
+            key = tuple(row[p] for p in pos_self)
+            for match in index.get(key, ()):
+                ctr.joins_emitted += 1
+                out.add(row + tuple(match[p] for p in pos_extra))
+        return Relation(name or f"{self.name}_x_{other.name}", out_schema, out)
+
+    def is_empty(self) -> bool:
+        """True when the relation holds no tuples."""
+        return not self.tuples
+
+    def to_bindings(self) -> Iterator[dict]:
+        """Yield each tuple as a var->value dict."""
+        for row in self.tuples:
+            yield dict(zip(self.schema, row))
+
+    @classmethod
+    def from_bindings(cls, name: str, schema: Sequence[str],
+                      bindings: Iterable[dict]) -> "Relation":
+        """Build a relation from var->value dicts (missing keys error)."""
+        schema = tuple(schema)
+        rows = [tuple(b[v] for v in schema) for b in bindings]
+        return cls(name, schema, rows)
+
+
+def singleton_request(schema: Sequence[str], values: Tuple_,
+                      name: str = "Q_A") -> Relation:
+    """The most natural access request: a single fixed binding (|Q_A| = 1)."""
+    return Relation(name, schema, [tuple(values)])

@@ -1,0 +1,38 @@
+"""Tree decompositions, PMTDs, and their enumeration (§3 / §6.3)."""
+
+from repro.decomposition.enumeration import (
+    decompositions_over_bags,
+    enumerate_pmtds,
+    enumerate_tree_decompositions,
+    induced_pmtds,
+    minimal_under_domination,
+    paper_pmtds_3reach,
+    paper_pmtds_4reach,
+    paper_pmtds_square,
+)
+from repro.decomposition.pmtd import PMTD, S_VIEW, T_VIEW, View, trivial_pmtds, view_label
+from repro.decomposition.tree_decomposition import (
+    DecompositionError,
+    TreeDecomposition,
+    path_decomposition,
+)
+
+__all__ = [
+    "DecompositionError",
+    "PMTD",
+    "S_VIEW",
+    "T_VIEW",
+    "TreeDecomposition",
+    "View",
+    "decompositions_over_bags",
+    "enumerate_pmtds",
+    "enumerate_tree_decompositions",
+    "induced_pmtds",
+    "minimal_under_domination",
+    "paper_pmtds_3reach",
+    "paper_pmtds_4reach",
+    "paper_pmtds_square",
+    "path_decomposition",
+    "trivial_pmtds",
+    "view_label",
+]

@@ -1,0 +1,320 @@
+"""Enumeration of tree decompositions and PMTD sets.
+
+The paper's framework is parameterized by a finite set of non-redundant,
+pairwise non-dominating PMTDs; "including all such PMTDs will result in the
+best possible tradeoff" (§4).  The paper never spells out an enumeration
+procedure, so this module provides one that is exhaustive for the small
+hypergraphs the paper analyzes:
+
+1. candidate bags = connected vertex subsets of the *access hypergraph*
+   (body hyperedges plus the ``Q_A`` edge);
+2. bag sets of bounded size that are non-redundant, cover every hyperedge,
+   and admit a join tree (checked by brute force over labeled trees with the
+   running-intersection property);
+3. for every valid (tree, root ⊇ A, free-connex) combination, every
+   descendant-closed materialization set;
+4. redundancy filter (Def. 3.4), deduplication, then a global domination
+   filter keeping only the *minimal* PMTDs — Example 3.6 discards the
+   single-bag PMTD because it dominates the two-bag one.
+
+It also implements the §6.3 *induced* construction: starting from one fixed
+decomposition, every antichain of nodes becomes a materialization set after
+merging each chosen node's subtree into its bag.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.decomposition.pmtd import PMTD
+from repro.decomposition.tree_decomposition import (
+    DecompositionError,
+    NodeId,
+    TreeDecomposition,
+)
+from repro.query.cq import CQAP
+from repro.query.hypergraph import Hypergraph, VarSet, varset
+
+
+def _labeled_trees(n: int) -> List[List[Tuple[int, int]]]:
+    """All labeled trees on nodes 0..n-1 (brute force; fine for n <= 5)."""
+    if n == 1:
+        return [[]]
+    all_edges = list(combinations(range(n), 2))
+    trees = []
+    for subset in combinations(all_edges, n - 1):
+        # union-find acyclicity/connectivity check
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        ok = True
+        for a, b in subset:
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                ok = False
+                break
+            parent[ra] = rb
+        if ok:
+            trees.append(list(subset))
+    return trees
+
+
+def decompositions_over_bags(bags: Sequence[VarSet]) -> List[TreeDecomposition]:
+    """All tree shapes over a fixed bag list that satisfy running intersection."""
+    out = []
+    for edges in _labeled_trees(len(bags)):
+        try:
+            out.append(TreeDecomposition(dict(enumerate(bags)), edges))
+        except DecompositionError:
+            continue
+    return out
+
+
+def enumerate_tree_decompositions(
+    hypergraph: Hypergraph,
+    max_bags: int = 3,
+    candidate_bags: Optional[Iterable[VarSet]] = None,
+) -> List[TreeDecomposition]:
+    """Non-redundant tree decompositions of ``hypergraph``.
+
+    Bags default to connected vertex subsets; the count is exponential in the
+    vertex count, intended for n <= 8.  Decompositions are deduplicated by
+    their bag/edge signature.
+    """
+    if candidate_bags is None:
+        candidates = list(hypergraph.connected_subsets())
+    else:
+        candidates = [varset(bag) for bag in candidate_bags]
+    edges = list(hypergraph.edge_sets)
+    out: List[TreeDecomposition] = []
+    seen = set()
+    for size in range(1, max_bags + 1):
+        for combo in combinations(candidates, size):
+            # non-redundant bag set
+            if any(a <= b or b <= a for a, b in combinations(combo, 2)):
+                continue
+            # must cover every hyperedge
+            if not all(any(e <= bag for bag in combo) for e in edges):
+                continue
+            for td in decompositions_over_bags(combo):
+                sig = td.signature()
+                if sig not in seen:
+                    seen.add(sig)
+                    out.append(td)
+    return out
+
+
+def _descendant_closed_sets(td: TreeDecomposition,
+                            root: NodeId) -> List[frozenset]:
+    """All materialization sets: unions of complete subtrees."""
+    nodes = td.nodes
+    # A set M is descendant-closed iff it is a union of complete subtrees;
+    # enumerate by choosing, for every node, whether its full subtree is in.
+    subtree_of = {n: frozenset(td.subtree(n, root)) for n in nodes}
+    frontier = [frozenset()]
+    for node in nodes:
+        new = []
+        for current in frontier:
+            new.append(current)
+            new.append(current | subtree_of[node])
+        frontier = list(dict.fromkeys(new))
+    return list(dict.fromkeys(frozenset(s) for s in frontier))
+
+
+def enumerate_pmtds(
+    cqap: CQAP,
+    max_bags: int = 3,
+    candidate_bags: Optional[Iterable[VarSet]] = None,
+    filter_redundant: bool = True,
+    filter_dominating: bool = True,
+) -> List[PMTD]:
+    """All non-redundant, non-dominant PMTDs of ``cqap`` (up to ``max_bags``).
+
+    Reproduces Figure 3: for the 3-reachability CQAP this returns exactly the
+    five PMTDs {(T134,T123), (T134,S13), (T124,T234), (T124,S24), (S14)}.
+    """
+    hypergraph = cqap.access_hypergraph()
+    pmtds: List[PMTD] = []
+    seen = set()
+    for td in enumerate_tree_decompositions(hypergraph, max_bags,
+                                            candidate_bags):
+        for root in td.nodes:
+            if not cqap.access_set <= td.bags[root]:
+                continue
+            if not td.is_free_connex_wrt(root, cqap.head_set):
+                continue
+            for mat_set in _descendant_closed_sets(td, root):
+                pmtd = PMTD(td, root, mat_set, cqap.head, cqap.access)
+                if filter_redundant and pmtd.is_redundant():
+                    continue
+                sig = pmtd.signature()
+                if sig in seen:
+                    continue
+                seen.add(sig)
+                pmtds.append(pmtd)
+    if filter_dominating:
+        pmtds = minimal_under_domination(pmtds)
+    return pmtds
+
+
+def minimal_under_domination(pmtds: Sequence[PMTD]) -> List[PMTD]:
+    """Drop every PMTD that (strictly) dominates another one.
+
+    Mutually-dominating (equivalent) PMTDs keep a single representative.
+    """
+    # collapse mutual-domination (equivalence) classes to one representative
+    reps: List[PMTD] = []
+    for pmtd in pmtds:
+        if not any(pmtd.dominated_by(rep) and rep.dominated_by(pmtd)
+                   for rep in reps):
+            reps.append(pmtd)
+    # drop any representative that strictly dominates another
+    return [
+        p for p in reps
+        if not any(
+            q is not p and q.dominated_by(p) and not p.dominated_by(q)
+            for q in reps
+        )
+    ]
+
+
+def induced_pmtds(cqap: CQAP, td: TreeDecomposition,
+                  root: NodeId) -> List[PMTD]:
+    """The §6.3 induced PMTD set of one fixed decomposition.
+
+    For every antichain of nodes (no two on a common root-to-leaf path), each
+    chosen node absorbs its entire subtree into its bag (the subtree is
+    truncated) and becomes a materialized leaf.  The empty antichain yields
+    the all-T PMTD.
+    """
+    td.validate(cqap.access_hypergraph())
+    if not cqap.access_set <= td.bags[root]:
+        raise ValueError("root bag must contain the access pattern")
+    children = td.children_map(root)
+    parents = td.parent_map(root)
+    nodes = td.nodes
+
+    def is_antichain(selection: Sequence[NodeId]) -> bool:
+        chosen = set(selection)
+        for node in selection:
+            above = set(td.ancestors(node, root))
+            if above & chosen:
+                return False
+        return True
+
+    out: List[PMTD] = []
+    seen = set()
+    for size in range(0, len(nodes) + 1):
+        for selection in combinations(nodes, size):
+            if not is_antichain(selection):
+                continue
+            merged_bags: Dict[NodeId, VarSet] = {}
+            merged_edges: List[Tuple[NodeId, NodeId]] = []
+            removed: Set[NodeId] = set()
+            for node in selection:
+                subtree = td.subtree(node, root)
+                removed |= subtree - {node}
+            for node in nodes:
+                if node in removed:
+                    continue
+                if node in selection:
+                    bag: Set[str] = set()
+                    for member in td.subtree(node, root):
+                        bag |= td.bags[member]
+                    merged_bags[node] = varset(bag)
+                else:
+                    merged_bags[node] = td.bags[node]
+            for node in merged_bags:
+                parent = parents[node]
+                if parent is not None and parent in merged_bags:
+                    merged_edges.append((parent, node))
+            try:
+                new_td = TreeDecomposition(merged_bags, merged_edges)
+                pmtd = PMTD(new_td, root, frozenset(selection),
+                            cqap.head, cqap.access)
+            except (DecompositionError, ValueError):
+                continue
+            if pmtd.is_redundant():
+                continue
+            sig = pmtd.signature()
+            if sig not in seen:
+                seen.add(sig)
+                out.append(pmtd)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Paper fixtures: the exact PMTD sets the paper fixes for its figures.
+# ----------------------------------------------------------------------
+def paper_pmtds_3reach() -> List[PMTD]:
+    """The five PMTDs of Figure 3 (constructed explicitly, not enumerated)."""
+    from repro.query.catalog import k_path_cqap
+
+    cqap = k_path_cqap(3)
+    two_a = TreeDecomposition(
+        {0: {"x1", "x3", "x4"}, 1: {"x1", "x2", "x3"}}, [(0, 1)]
+    )
+    two_b = TreeDecomposition(
+        {0: {"x1", "x2", "x4"}, 1: {"x2", "x3", "x4"}}, [(0, 1)]
+    )
+    one = TreeDecomposition({0: {"x1", "x2", "x3", "x4"}}, [])
+    return [
+        PMTD(two_a, 0, (), cqap.head, cqap.access),
+        PMTD(two_a, 0, (1,), cqap.head, cqap.access),
+        PMTD(two_b, 0, (), cqap.head, cqap.access),
+        PMTD(two_b, 0, (1,), cqap.head, cqap.access),
+        PMTD(one, 0, (0,), cqap.head, cqap.access),
+    ]
+
+
+def paper_pmtds_4reach() -> List[PMTD]:
+    """The eleven PMTDs fixed in §E.8 for the 4-reachability analysis.
+
+    Written as (root view, child view) tuples in the paper:
+    (T1235,T345) (T1235,S35) (T1345,T123) (T1345,S13) (T1245,T234)
+    (T1245,S24) (T125,T2345) (T125,S25) (T145,T1234) (T145,S14) (S15).
+    """
+    from repro.query.catalog import k_path_cqap
+
+    cqap = k_path_cqap(4)
+
+    def two(root_bag, child_bag, materialize_child):
+        td = TreeDecomposition({0: root_bag, 1: child_bag}, [(0, 1)])
+        mat = (1,) if materialize_child else ()
+        return PMTD(td, 0, mat, cqap.head, cqap.access)
+
+    one = TreeDecomposition({0: {"x1", "x2", "x3", "x4", "x5"}}, [])
+    return [
+        two({"x1", "x2", "x3", "x5"}, {"x3", "x4", "x5"}, False),
+        two({"x1", "x2", "x3", "x5"}, {"x3", "x4", "x5"}, True),
+        two({"x1", "x3", "x4", "x5"}, {"x1", "x2", "x3"}, False),
+        two({"x1", "x3", "x4", "x5"}, {"x1", "x2", "x3"}, True),
+        two({"x1", "x2", "x4", "x5"}, {"x2", "x3", "x4"}, False),
+        two({"x1", "x2", "x4", "x5"}, {"x2", "x3", "x4"}, True),
+        two({"x1", "x2", "x5"}, {"x2", "x3", "x4", "x5"}, False),
+        two({"x1", "x2", "x5"}, {"x2", "x3", "x4", "x5"}, True),
+        two({"x1", "x4", "x5"}, {"x1", "x2", "x3", "x4"}, False),
+        two({"x1", "x4", "x5"}, {"x1", "x2", "x3", "x4"}, True),
+        PMTD(one, 0, (0,), cqap.head, cqap.access),
+    ]
+
+
+def paper_pmtds_square() -> List[PMTD]:
+    """The two PMTDs of Figure 2 for the square CQAP."""
+    from repro.query.catalog import square_cqap
+
+    cqap = square_cqap()
+    two = TreeDecomposition(
+        {0: {"x1", "x3", "x4"}, 1: {"x1", "x2", "x3"}}, [(0, 1)]
+    )
+    one = TreeDecomposition({0: {"x1", "x2", "x3", "x4"}}, [])
+    return [
+        PMTD(two, 0, (), cqap.head, cqap.access),
+        PMTD(one, 0, (0,), cqap.head, cqap.access),
+    ]

@@ -1,0 +1,226 @@
+"""Partially materialized tree decompositions (Definition 3.2).
+
+A PMTD augments a free-connex tree decomposition with a *materialization set*
+``M`` (closed under taking descendants away from the root).  Nodes in ``M``
+carry *S-views* — materialized in the preprocessing phase — while the other
+nodes carry *T-views*, computed online.  The view schema ``ν(t)`` follows the
+three-case definition in §3; redundancy (Def. 3.4) and domination (Def. 3.5)
+are defined over these views rather than the raw bags.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.decomposition.tree_decomposition import NodeId, TreeDecomposition
+from repro.query.cq import CQAP
+from repro.query.hypergraph import VarSet, varset
+
+S_VIEW = "S"
+T_VIEW = "T"
+
+_XNUM = re.compile(r"^[A-Za-z]+(\d+)$")
+
+
+def view_label(kind: str, variables: Iterable[str]) -> str:
+    """Compact paper-style label, e.g. ``T134`` for a T-view on x1,x3,x4.
+
+    Falls back to explicit names (``S{a,b}``) when variables do not all end
+    in distinct numeric suffixes.
+    """
+    variables = sorted(variables)
+    suffixes = []
+    for var in variables:
+        match = _XNUM.match(var)
+        if not match:
+            suffixes = None
+            break
+        suffixes.append(match.group(1))
+    if suffixes is not None and len(set(suffixes)) == len(suffixes):
+        return kind + "".join(sorted(suffixes, key=lambda s: (len(s), s)))
+    return kind + "{" + ",".join(variables) + "}"
+
+
+@dataclass(frozen=True)
+class View:
+    """A (kind, schema) pair attached to a PMTD node."""
+
+    kind: str  # S_VIEW or T_VIEW
+    variables: VarSet
+
+    @property
+    def label(self) -> str:
+        return view_label(self.kind, self.variables)
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+class PMTD:
+    """A partially materialized tree decomposition for a CQAP.
+
+    Args:
+        td: the underlying tree decomposition (of the access hypergraph).
+        root: node whose bag contains the access pattern.
+        mat_set: the materialization set ``M`` (descendant-closed).
+        head: head variables ``H`` of the CQAP.
+        access: access pattern ``A ⊆ H``.
+    """
+
+    def __init__(self, td: TreeDecomposition, root: NodeId,
+                 mat_set: Iterable[NodeId], head: Iterable[str],
+                 access: Iterable[str]) -> None:
+        self.td = td
+        self.root = root
+        self.mat_set: FrozenSet[NodeId] = frozenset(mat_set)
+        self.head: VarSet = varset(head)
+        self.access: VarSet = varset(access)
+        self._validate()
+        self._views = self._compute_views()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.root not in self.td.bags:
+            raise ValueError(f"root {self.root} not a decomposition node")
+        if not self.access <= self.td.bags[self.root]:
+            raise ValueError(
+                f"access pattern {set(self.access)} not inside the root bag "
+                f"{set(self.td.bags[self.root])}"
+            )
+        if not self.access <= self.head:
+            raise ValueError("PMTDs require A ⊆ H (normalize the CQAP first)")
+        if not self.td.is_free_connex_wrt(self.root, self.head):
+            raise ValueError("decomposition is not free-connex w.r.t. root")
+        for node in self.mat_set:
+            subtree = self.td.subtree(node, self.root)
+            if not subtree <= self.mat_set:
+                raise ValueError(
+                    f"materialization set is not descendant-closed at {node}"
+                )
+
+    def _compute_views(self) -> Dict[NodeId, View]:
+        """ν(·) per Definition 3.2."""
+        parents = self.td.parent_map(self.root)
+        views: Dict[NodeId, View] = {}
+        for node, bag in self.td.bags.items():
+            if node not in self.mat_set:
+                views[node] = View(T_VIEW, bag)
+                continue
+            if node == self.root:
+                views[node] = View(S_VIEW, bag & self.head)
+                continue
+            parent = parents[node]
+            parent_bag = self.td.bags[parent]
+            if parent not in self.mat_set:
+                schema = bag & (self.head | parent_bag)
+            elif not (bag & self.head) <= (parent_bag & self.head):
+                schema = bag & self.head
+            else:
+                schema = varset(())
+            views[node] = View(S_VIEW, schema)
+        return views
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def views(self) -> Dict[NodeId, View]:
+        """Node -> view mapping (ν plus the S/T kind)."""
+        return dict(self._views)
+
+    def view(self, node: NodeId) -> View:
+        return self._views[node]
+
+    @property
+    def s_views(self) -> Dict[NodeId, View]:
+        return {n: v for n, v in self._views.items() if v.kind == S_VIEW}
+
+    @property
+    def t_views(self) -> Dict[NodeId, View]:
+        return {n: v for n, v in self._views.items() if v.kind == T_VIEW}
+
+    @property
+    def labels(self) -> List[str]:
+        """View labels in root-first BFS order (paper display order)."""
+        order = sorted(self.td.nodes,
+                       key=lambda n: (self.td.depths(self.root)[n], n))
+        return [self._views[n].label for n in order]
+
+    def __repr__(self) -> str:
+        return "PMTD(" + ", ".join(self.labels) + ")"
+
+    def signature(self) -> Tuple:
+        """View-level identity used for deduplication.
+
+        Two PMTDs with the same multiset of (kind, schema) views and the same
+        parent-child view relationships are interchangeable everywhere in the
+        framework.
+        """
+        parents = self.td.parent_map(self.root)
+
+        def key(node: NodeId) -> Tuple:
+            view = self._views[node]
+            return (view.kind, tuple(sorted(view.variables)))
+
+        edges = []
+        for node, parent in parents.items():
+            if parent is not None:
+                edges.append((key(parent), key(node)))
+        return (
+            tuple(sorted(key(n) for n in self.td.nodes)),
+            tuple(sorted(edges)),
+        )
+
+    # ------------------------------------------------------------------
+    # redundancy / domination
+    # ------------------------------------------------------------------
+    def is_redundant(self) -> bool:
+        """Definition 3.4 (negated: returns True when redundant)."""
+        s_schemas = [v.variables for v in self.s_views.values()]
+        t_schemas = [v.variables for v in self.t_views.values()]
+        if any(not schema for schema in s_schemas):
+            return True
+        for group in (s_schemas, t_schemas):
+            for i, a in enumerate(group):
+                for j, b in enumerate(group):
+                    if i != j and a <= b:
+                        return True
+        return False
+
+    def dominated_by(self, other: "PMTD") -> bool:
+        """Definition 3.5: every view fits inside a same-kind view of other."""
+        mine_s = [v.variables for v in self.s_views.values()]
+        mine_t = [v.variables for v in self.t_views.values()]
+        theirs_s = [v.variables for v in other.s_views.values()]
+        theirs_t = [v.variables for v in other.t_views.values()]
+        return all(any(a <= b for b in theirs_s) for a in mine_s) and all(
+            any(a <= b for b in theirs_t) for a in mine_t
+        )
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_cqap(cls, cqap: CQAP, td: TreeDecomposition, root: NodeId,
+                 mat_set: Iterable[NodeId] = ()) -> "PMTD":
+        """Build and validate a PMTD of ``cqap``'s access hypergraph."""
+        td.validate(cqap.access_hypergraph())
+        return cls(td, root, mat_set, cqap.head, cqap.access)
+
+
+def trivial_pmtds(cqap: CQAP) -> List[PMTD]:
+    """The two one-bag PMTDs used by Theorem 6.1.
+
+    Bag = all variables; either nothing is materialized (answer from scratch)
+    or the single bag is materialized, giving the S-view on ``H`` — for
+    ``H = A`` this is exactly "store the full answer table".
+    """
+    all_vars = sorted(cqap.variables)
+    td1 = TreeDecomposition({0: all_vars}, [])
+    td2 = TreeDecomposition({0: all_vars}, [])
+    return [
+        PMTD(td1, 0, (), cqap.head, cqap.access),
+        PMTD(td2, 0, (0,), cqap.head, cqap.access),
+    ]

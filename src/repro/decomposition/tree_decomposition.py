@@ -1,0 +1,259 @@
+"""Tree decompositions (Definition 3.1) with free-connex checks.
+
+A tree decomposition is a tree whose nodes carry *bags* of variables such
+that (1) every hyperedge fits inside some bag and (2) each variable's bag set
+induces a connected subtree (the running-intersection property).
+
+The class is root-agnostic; rooted notions (parents, ancestors, ``TOP_r``,
+free-connexness w.r.t. a root) take the root as an argument, because PMTDs
+fix a root while enumeration considers several.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.query.hypergraph import Hypergraph, VarSet, varset
+
+NodeId = int
+Edge = Tuple[NodeId, NodeId]
+
+
+class DecompositionError(ValueError):
+    """Raised for structurally invalid tree decompositions."""
+
+
+class TreeDecomposition:
+    """An undirected tree with variable bags on its nodes."""
+
+    def __init__(self, bags: Dict[NodeId, Iterable[str]],
+                 edges: Iterable[Edge]) -> None:
+        self.bags: Dict[NodeId, VarSet] = {
+            node: varset(bag) for node, bag in bags.items()
+        }
+        self.edges: Tuple[Edge, ...] = tuple(
+            (a, b) if a <= b else (b, a) for a, b in edges
+        )
+        self._adj: Dict[NodeId, Set[NodeId]] = {n: set() for n in self.bags}
+        for a, b in self.edges:
+            if a not in self.bags or b not in self.bags:
+                raise DecompositionError(f"edge ({a},{b}) uses unknown node")
+            self._adj[a].add(b)
+            self._adj[b].add(a)
+        self._check_tree()
+        self._check_running_intersection()
+
+    # ------------------------------------------------------------------
+    # structure checks
+    # ------------------------------------------------------------------
+    def _check_tree(self) -> None:
+        n = len(self.bags)
+        if n == 0:
+            raise DecompositionError("a decomposition needs at least one bag")
+        if len(set(self.edges)) != n - 1:
+            raise DecompositionError(
+                f"{n} nodes need exactly {n - 1} distinct edges, "
+                f"got {len(set(self.edges))}"
+            )
+        # connectivity
+        start = next(iter(self.bags))
+        seen = {start}
+        stack = [start]
+        while stack:
+            for nxt in self._adj[stack.pop()]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        if seen != set(self.bags):
+            raise DecompositionError("decomposition tree is disconnected")
+
+    def _check_running_intersection(self) -> None:
+        for var in self.all_variables:
+            nodes = {n for n, bag in self.bags.items() if var in bag}
+            start = next(iter(nodes))
+            seen = {start}
+            stack = [start]
+            while stack:
+                for nxt in self._adj[stack.pop()]:
+                    if nxt in nodes and nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            if seen != nodes:
+                raise DecompositionError(
+                    f"variable {var!r} does not induce a connected subtree"
+                )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[NodeId]:
+        return sorted(self.bags)
+
+    @property
+    def all_variables(self) -> VarSet:
+        out: Set[str] = set()
+        for bag in self.bags.values():
+            out |= bag
+        return varset(out)
+
+    def neighbors(self, node: NodeId) -> Set[NodeId]:
+        return set(self._adj[node])
+
+    def __len__(self) -> int:
+        return len(self.bags)
+
+    def __repr__(self) -> str:
+        bags = "; ".join(
+            f"{n}:{{{','.join(sorted(bag))}}}" for n, bag in sorted(self.bags.items())
+        )
+        return f"TreeDecomposition({bags})"
+
+    # ------------------------------------------------------------------
+    # validity w.r.t. a hypergraph
+    # ------------------------------------------------------------------
+    def covers(self, hypergraph: Hypergraph) -> bool:
+        """True when every hyperedge is contained in some bag."""
+        return all(
+            any(edge <= bag for bag in self.bags.values())
+            for edge in hypergraph.edges
+        )
+
+    def validate(self, hypergraph: Hypergraph) -> None:
+        """Raise unless this is a valid decomposition of ``hypergraph``."""
+        if not hypergraph.vertices <= self.all_variables:
+            missing = hypergraph.vertices - self.all_variables
+            raise DecompositionError(f"variables {set(missing)} not in any bag")
+        if not self.covers(hypergraph):
+            raise DecompositionError("some hyperedge is not inside any bag")
+
+    def is_non_redundant(self) -> bool:
+        """No bag contained in another bag (§3, Redundancy)."""
+        bags = list(self.bags.values())
+        return not any(
+            a <= b for a, b in combinations(bags, 2)
+        ) and not any(b <= a for a, b in combinations(bags, 2))
+
+    # ------------------------------------------------------------------
+    # rooted structure
+    # ------------------------------------------------------------------
+    def parent_map(self, root: NodeId) -> Dict[NodeId, Optional[NodeId]]:
+        """Parent of every node when rooted at ``root`` (root maps to None)."""
+        parents: Dict[NodeId, Optional[NodeId]] = {root: None}
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            for nxt in self._adj[current]:
+                if nxt not in parents:
+                    parents[nxt] = current
+                    stack.append(nxt)
+        return parents
+
+    def children_map(self, root: NodeId) -> Dict[NodeId, List[NodeId]]:
+        """Children of every node when rooted at ``root``."""
+        children: Dict[NodeId, List[NodeId]] = {n: [] for n in self.bags}
+        for node, parent in self.parent_map(root).items():
+            if parent is not None:
+                children[parent].append(node)
+        for kids in children.values():
+            kids.sort()
+        return children
+
+    def subtree(self, node: NodeId, root: NodeId) -> Set[NodeId]:
+        """All nodes in ``node``'s subtree when rooted at ``root``."""
+        children = self.children_map(root)
+        out = {node}
+        stack = [node]
+        while stack:
+            for kid in children[stack.pop()]:
+                out.add(kid)
+                stack.append(kid)
+        return out
+
+    def ancestors(self, node: NodeId, root: NodeId) -> List[NodeId]:
+        """Proper ancestors of ``node`` from parent up to the root."""
+        parents = self.parent_map(root)
+        out = []
+        current = parents[node]
+        while current is not None:
+            out.append(current)
+            current = parents[current]
+        return out
+
+    def top(self, variable: str, root: NodeId) -> NodeId:
+        """``TOP_r(x)``: the highest node (closest to root) whose bag has x."""
+        holders = [n for n, bag in self.bags.items() if variable in bag]
+        if not holders:
+            raise DecompositionError(f"variable {variable!r} in no bag")
+        depths = self.depths(root)
+        return min(holders, key=lambda n: depths[n])
+
+    def depths(self, root: NodeId) -> Dict[NodeId, int]:
+        """Distance from the root for every node."""
+        depths = {root: 0}
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            for nxt in self._adj[current]:
+                if nxt not in depths:
+                    depths[nxt] = depths[current] + 1
+                    stack.append(nxt)
+        return depths
+
+    def is_free_connex_wrt(self, root: NodeId, head: Iterable[str]) -> bool:
+        """Free-connexness w.r.t. ``root`` (§3).
+
+        For every head variable x and non-head variable y, ``TOP_r(y)`` must
+        not be a *proper* ancestor of ``TOP_r(x)``.
+        """
+        head = varset(head)
+        non_head = self.all_variables - head
+        if not non_head or not head:
+            return True
+        ancestor_cache: Dict[NodeId, Set[NodeId]] = {}
+
+        def proper_ancestors(node: NodeId) -> Set[NodeId]:
+            if node not in ancestor_cache:
+                ancestor_cache[node] = set(self.ancestors(node, root))
+            return ancestor_cache[node]
+
+        tops_head = {self.top(x, root) for x in head if x in self.all_variables}
+        tops_non = {self.top(y, root) for y in non_head}
+        for tx in tops_head:
+            above = proper_ancestors(tx)
+            if above & tops_non:
+                return False
+        return True
+
+    def root_to_leaf_paths(self, root: NodeId) -> List[List[NodeId]]:
+        """Every path from the root to a leaf (used by §6.3 tradeoffs)."""
+        children = self.children_map(root)
+        paths: List[List[NodeId]] = []
+
+        def descend(node: NodeId, prefix: List[NodeId]) -> None:
+            prefix = prefix + [node]
+            if not children[node]:
+                paths.append(prefix)
+                return
+            for kid in children[node]:
+                descend(kid, prefix)
+
+        descend(root, [])
+        return paths
+
+    def signature(self) -> Tuple:
+        """Shape-insensitive identity: sorted bags plus bag-pair edges."""
+        bag_key = tuple(sorted(tuple(sorted(b)) for b in self.bags.values()))
+        edge_key = tuple(sorted(
+            tuple(sorted([tuple(sorted(self.bags[a])), tuple(sorted(self.bags[b]))]))
+            for a, b in self.edges
+        ))
+        return (bag_key, edge_key)
+
+
+def path_decomposition(bags: Sequence[Iterable[str]]) -> TreeDecomposition:
+    """Convenience builder: bags chained in a path, node ids 0..m-1."""
+    bag_map = {i: varset(bag) for i, bag in enumerate(bags)}
+    edges = [(i, i + 1) for i in range(len(bags) - 1)]
+    return TreeDecomposition(bag_map, edges)

@@ -1,0 +1,34 @@
+"""Polymatroid cone, LP layer, and Shannon-flow proof calculus."""
+
+from repro.polymatroid.cone import add_polymatroid_constraints, elemental_inequalities
+from repro.polymatroid.lattice import SubsetSpace
+from repro.polymatroid.lp import LinearProgram, LPError, LPSolution
+from repro.polymatroid.shannon import (
+    ProofSequence,
+    ProofStep,
+    compose,
+    decompose,
+    make_vector,
+    mono,
+    submod,
+    vector_ge,
+    vector_nonnegative,
+)
+
+__all__ = [
+    "LinearProgram",
+    "LPError",
+    "LPSolution",
+    "ProofSequence",
+    "ProofStep",
+    "SubsetSpace",
+    "add_polymatroid_constraints",
+    "compose",
+    "decompose",
+    "elemental_inequalities",
+    "make_vector",
+    "mono",
+    "submod",
+    "vector_ge",
+    "vector_nonnegative",
+]

@@ -1,0 +1,84 @@
+"""The subset lattice over a fixed variable tuple.
+
+The LP machinery indexes polymatroid coordinates by nonempty subsets of the
+query variables.  :class:`SubsetSpace` fixes an ordering of the variables and
+converts between frozensets of names and integer bitmasks, which keeps the LP
+construction fast and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.query.hypergraph import VarSet, varset
+
+
+class SubsetSpace:
+    """Bitmask arithmetic over a fixed ordered variable universe."""
+
+    def __init__(self, variables: Iterable[str]) -> None:
+        self.variables: Tuple[str, ...] = tuple(sorted(set(variables)))
+        if not self.variables:
+            raise ValueError("need at least one variable")
+        self._position: Dict[str, int] = {
+            v: i for i, v in enumerate(self.variables)
+        }
+        self.full_mask = (1 << len(self.variables)) - 1
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def mask(self, subset: Iterable[str]) -> int:
+        """Bitmask of a set of variable names."""
+        out = 0
+        for var in subset:
+            try:
+                out |= 1 << self._position[var]
+            except KeyError as exc:
+                raise KeyError(
+                    f"variable {var!r} not in universe {self.variables}"
+                ) from exc
+        return out
+
+    def members(self, mask: int) -> VarSet:
+        """Variable names present in ``mask``."""
+        return varset(
+            v for i, v in enumerate(self.variables) if mask >> i & 1
+        )
+
+    def label(self, mask: int) -> str:
+        """Human-readable label for a mask, e.g. ``{x1,x3}``."""
+        return "{" + ",".join(sorted(self.members(mask))) + "}"
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def nonempty_masks(self) -> Iterator[int]:
+        """All nonempty subsets, ascending by mask value."""
+        return iter(range(1, self.full_mask + 1))
+
+    def singletons(self) -> List[int]:
+        return [1 << i for i in range(len(self.variables))]
+
+    def strict_pairs(self) -> Iterator[Tuple[int, int]]:
+        """All (X, Y) with ∅ ⊆ X ⊂ Y ⊆ [n] as mask pairs (X may be 0)."""
+        for y in range(1, self.full_mask + 1):
+            x = (y - 1) & y
+            while True:
+                yield (x, y)
+                if x == 0:
+                    break
+                x = (x - 1) & y
+
+    def subsets_of(self, mask: int, proper: bool = False) -> Iterator[int]:
+        """All subsets of ``mask`` (including 0; excluding mask if proper)."""
+        sub = mask
+        while True:
+            if not (proper and sub == mask):
+                yield sub
+            if sub == 0:
+                break
+            sub = (sub - 1) & mask

@@ -1,0 +1,142 @@
+"""A small named-variable linear-programming layer over scipy.
+
+``scipy.optimize.linprog`` wants dense matrices and anonymous columns; the
+tradeoff layer wants to say ``h_S({x1,x3}) - h_S({x1}) <= log N``.  This
+module bridges the two, and exposes dual values so witnesses of Shannon-flow
+inequalities can be extracted (Theorem D.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+
+class LPError(RuntimeError):
+    """Raised when an LP terminates abnormally (not infeasible/unbounded)."""
+
+
+@dataclass
+class LPSolution:
+    """Solved LP: status plus primal/dual values keyed by names."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded"
+    objective: Optional[float]
+    values: Dict[Hashable, float] = field(default_factory=dict)
+    duals: Dict[Hashable, float] = field(default_factory=dict)
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+    def __getitem__(self, name: Hashable) -> float:
+        return self.values[name]
+
+
+class LinearProgram:
+    """Incrementally built LP: named variables, <=/==/>= constraints."""
+
+    def __init__(self) -> None:
+        self._var_index: Dict[Hashable, int] = {}
+        self._lower: List[float] = []
+        self._upper: List[float] = []
+        self._rows_ub: List[Dict[int, float]] = []
+        self._rhs_ub: List[float] = []
+        self._names_ub: List[Hashable] = []
+        self._rows_eq: List[Dict[int, float]] = []
+        self._rhs_eq: List[float] = []
+        self._objective: Dict[int, float] = {}
+        self._maximize = True
+
+    # ------------------------------------------------------------------
+    def variable(self, name: Hashable, lower: float = 0.0,
+                 upper: float = np.inf) -> Hashable:
+        """Declare (or fetch) a variable; returns the name for chaining."""
+        if name not in self._var_index:
+            self._var_index[name] = len(self._var_index)
+            self._lower.append(lower)
+            self._upper.append(upper)
+        return name
+
+    def _row(self, coeffs: Dict[Hashable, float]) -> Dict[int, float]:
+        row: Dict[int, float] = {}
+        for name, coef in coeffs.items():
+            if coef == 0:
+                continue
+            if name not in self._var_index:
+                self.variable(name)
+            row[self._var_index[name]] = row.get(self._var_index[name], 0.0) + coef
+        return row
+
+    def add_le(self, coeffs: Dict[Hashable, float], rhs: float,
+               name: Hashable = None) -> None:
+        """Add ``sum coeffs <= rhs``."""
+        self._rows_ub.append(self._row(coeffs))
+        self._rhs_ub.append(rhs)
+        self._names_ub.append(name if name is not None
+                              else f"ub{len(self._rhs_ub)}")
+
+    def add_ge(self, coeffs: Dict[Hashable, float], rhs: float,
+               name: Hashable = None) -> None:
+        """Add ``sum coeffs >= rhs`` (stored as negated <=)."""
+        self.add_le({k: -v for k, v in coeffs.items()}, -rhs, name=name)
+
+    def add_eq(self, coeffs: Dict[Hashable, float], rhs: float) -> None:
+        self._rows_eq.append(self._row(coeffs))
+        self._rhs_eq.append(rhs)
+
+    def set_objective(self, coeffs: Dict[Hashable, float],
+                      maximize: bool = True) -> None:
+        self._objective = dict(self._row(coeffs))
+        self._maximize = maximize
+
+    # ------------------------------------------------------------------
+    def solve(self) -> LPSolution:
+        """Run HiGHS and translate the result."""
+        n = len(self._var_index)
+        c = np.zeros(n)
+        for idx, coef in self._objective.items():
+            c[idx] = -coef if self._maximize else coef
+
+        def densify(rows: List[Dict[int, float]]) -> Optional[np.ndarray]:
+            if not rows:
+                return None
+            mat = np.zeros((len(rows), n))
+            for i, row in enumerate(rows):
+                for j, coef in row.items():
+                    mat[i, j] = coef
+            return mat
+
+        a_ub = densify(self._rows_ub)
+        a_eq = densify(self._rows_eq)
+        res = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=np.array(self._rhs_ub) if self._rhs_ub else None,
+            A_eq=a_eq,
+            b_eq=np.array(self._rhs_eq) if self._rhs_eq else None,
+            bounds=list(zip(self._lower, self._upper)),
+            method="highs",
+        )
+        if res.status == 2:
+            return LPSolution("infeasible", None)
+        if res.status == 3:
+            return LPSolution("unbounded", None)
+        if res.status != 0:
+            raise LPError(f"linprog failed: {res.message}")
+        objective = -res.fun if self._maximize else res.fun
+        values = {
+            name: float(res.x[idx]) for name, idx in self._var_index.items()
+        }
+        duals: Dict[Hashable, float] = {}
+        if a_ub is not None and res.ineqlin is not None:
+            for row_name, marginal in zip(self._names_ub,
+                                          res.ineqlin.marginals):
+                # HiGHS marginals are <= 0 for binding <= rows under
+                # minimization; flip sign so duals are the usual >= 0
+                # multipliers of the stated inequality.
+                duals[row_name] = float(-marginal)
+        return LPSolution("optimal", float(objective), values, duals)

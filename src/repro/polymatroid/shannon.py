@@ -1,0 +1,192 @@
+"""Shannon-flow inequalities and proof sequences (Appendix D.1).
+
+A Shannon-flow inequality ``⟨δ, h⟩ ≥ ⟨λ, h⟩`` lives over *conditional
+polymatroid* coordinates ``h(Y|X)`` indexed by pairs ``∅ ⊆ X ⊂ Y ⊆ [n]``.
+A *proof sequence* derives it step by step using four rules:
+
+====  =================  ===============================================
+R1    submodularity      consume  h(I | I∩J)   produce  h(I∪J | J)
+R2    monotonicity       consume  h(Y | ∅)     produce  h(X | ∅)
+R3    composition        consume  h(Y|X), h(X|∅)  produce  h(Y | ∅)
+R4    decomposition      consume  h(Y | ∅)     produce  h(Y|X), h(X|∅)
+====  =================  ===============================================
+
+Each rule's "consumed minus produced" pairing is nonnegative on every
+polymatroid, so ``⟨δ_i, h⟩`` decreases monotonically along a valid sequence.
+The :class:`ProofSequence` verifier checks — in exact rational arithmetic —
+that every intermediate coefficient vector stays nonnegative and that the
+final vector dominates the target (conditions (3) and (4) of the paper's
+definition).
+
+The PANDA evaluator consumes these same step objects, interpreting each as a
+relational operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.polymatroid.lattice import SubsetSpace
+
+Coord = Tuple[int, int]  # (X mask, Y mask) with X ⊂ Y
+Vector = Dict[Coord, Fraction]
+
+
+def _check_coord(x: int, y: int) -> None:
+    if x & ~y or x == y:
+        raise ValueError(f"invalid conditional coordinate X={x}, Y={y}")
+
+
+def make_vector(entries: Dict[Coord, object]) -> Vector:
+    """Normalize an entries dict into a Fraction-valued vector."""
+    out: Vector = {}
+    for (x, y), value in entries.items():
+        _check_coord(x, y)
+        frac = Fraction(value)
+        if frac:
+            out[(x, y)] = frac
+    return out
+
+
+def vector_ge(a: Vector, b: Vector) -> bool:
+    """Pointwise ``a >= b``."""
+    keys = set(a) | set(b)
+    return all(a.get(k, Fraction(0)) >= b.get(k, Fraction(0)) for k in keys)
+
+
+def vector_nonnegative(a: Vector) -> bool:
+    return all(v >= 0 for v in a.values())
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One weighted application of rules R1-R4.
+
+    ``kind`` is one of ``"submodularity" | "monotonicity" | "composition" |
+    "decomposition"``; the masks parameterize the rule as in the table above.
+    """
+
+    kind: str
+    # R1 uses (i_mask, j_mask); R2-R4 use (x_mask, y_mask)
+    first: int
+    second: int
+    weight: Fraction = Fraction(1)
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("proof step weights must be positive")
+        if self.kind == "submodularity":
+            i, j = self.first, self.second
+            if i & ~j == 0 or j & ~i == 0:
+                raise ValueError(
+                    "submodularity needs incomparable sets I ⊥ J"
+                )
+        elif self.kind in ("monotonicity", "composition", "decomposition"):
+            _check_coord(self.first, self.second)
+        else:
+            raise ValueError(f"unknown proof step kind {self.kind!r}")
+
+    # ------------------------------------------------------------------
+    def consumed(self) -> List[Tuple[Coord, Fraction]]:
+        """Coordinates this step consumes (must be present in δ)."""
+        w = self.weight
+        if self.kind == "submodularity":
+            i, j = self.first, self.second
+            return [(((i & j), i), w)]
+        if self.kind == "monotonicity":
+            return [((0, self.second), w)]
+        if self.kind == "composition":
+            x, y = self.first, self.second
+            return [((x, y), w), ((0, x), w)]
+        # decomposition
+        return [((0, self.second), w)]
+
+    def produced(self) -> List[Tuple[Coord, Fraction]]:
+        """Coordinates this step produces."""
+        w = self.weight
+        if self.kind == "submodularity":
+            i, j = self.first, self.second
+            return [((j, i | j), w)]
+        if self.kind == "monotonicity":
+            return [((0, self.first), w)]
+        if self.kind == "composition":
+            return [((0, self.second), w)]
+        # decomposition
+        x, y = self.first, self.second
+        return [((x, y), w), ((0, x), w)]
+
+    def apply(self, delta: Vector) -> Vector:
+        """Return δ + w·step; raises if any coefficient would go negative."""
+        out = dict(delta)
+        for coord, amount in self.consumed():
+            new = out.get(coord, Fraction(0)) - amount
+            if new < 0:
+                raise ValueError(
+                    f"step {self} consumes {amount} at {coord} but only "
+                    f"{out.get(coord, Fraction(0))} is available"
+                )
+            if new:
+                out[coord] = new
+            else:
+                out.pop(coord, None)
+        for coord, amount in self.produced():
+            out[coord] = out.get(coord, Fraction(0)) + amount
+        return out
+
+    def describe(self, space: Optional[SubsetSpace] = None) -> str:
+        label = (lambda m: space.label(m)) if space else str
+        if self.kind == "submodularity":
+            return (f"{self.weight}·submod: h({label(self.first)}|"
+                    f"{label(self.first & self.second)}) → "
+                    f"h({label(self.first | self.second)}|{label(self.second)})")
+        return (f"{self.weight}·{self.kind}: "
+                f"({label(self.first)}, {label(self.second)})")
+
+
+class ProofSequence:
+    """An ordered list of proof steps with a machine-checked verifier."""
+
+    def __init__(self, steps: Iterable[ProofStep]) -> None:
+        self.steps: List[ProofStep] = list(steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def run(self, delta: Vector) -> Vector:
+        """Apply all steps to δ, checking nonnegativity along the way."""
+        current = make_vector(delta)
+        for step in self.steps:
+            current = step.apply(current)
+        return current
+
+    def verifies(self, delta: Vector, target: Vector) -> bool:
+        """True iff the sequence proves ``⟨δ, h⟩ ≥ ⟨target, h⟩``."""
+        try:
+            final = self.run(delta)
+        except ValueError:
+            return False
+        return vector_ge(final, make_vector(target))
+
+    def explain(self, space: Optional[SubsetSpace] = None) -> str:
+        return "\n".join(step.describe(space) for step in self.steps)
+
+
+def submod(i: int, j: int, weight=1) -> ProofStep:
+    return ProofStep("submodularity", i, j, Fraction(weight))
+
+
+def mono(x: int, y: int, weight=1) -> ProofStep:
+    return ProofStep("monotonicity", x, y, Fraction(weight))
+
+
+def compose(x: int, y: int, weight=1) -> ProofStep:
+    return ProofStep("composition", x, y, Fraction(weight))
+
+
+def decompose(x: int, y: int, weight=1) -> ProofStep:
+    return ProofStep("decomposition", x, y, Fraction(weight))

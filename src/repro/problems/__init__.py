@@ -1,0 +1,45 @@
+"""Problem-specific data structures: the paper's application catalog."""
+
+from repro.problems.hierarchical import (
+    AdaptedKaraBaseline,
+    HierarchicalAnalysis,
+    HierarchicalIndex,
+    canonical_order,
+    figure6_decomposition,
+    is_hierarchical,
+    static_width,
+)
+from repro.problems.reachability import (
+    AtMostKReachOracle,
+    KReachOracle,
+    chain_decomposition,
+    graph_database,
+)
+from repro.problems.set_disjointness import (
+    KSetDisjointnessIndex,
+    KSetIntersectionIndex,
+    SetFamily,
+)
+from repro.problems.square import SquareOracle, square_graph_database
+from repro.problems.triangle import EdgeTriangleIndex, TrianglePairIndex
+
+__all__ = [
+    "AdaptedKaraBaseline",
+    "AtMostKReachOracle",
+    "EdgeTriangleIndex",
+    "HierarchicalAnalysis",
+    "HierarchicalIndex",
+    "KReachOracle",
+    "KSetDisjointnessIndex",
+    "KSetIntersectionIndex",
+    "SetFamily",
+    "SquareOracle",
+    "TrianglePairIndex",
+    "canonical_order",
+    "chain_decomposition",
+    "figure6_decomposition",
+    "graph_database",
+    "is_hierarchical",
+    "square_graph_database",
+    "static_width",
+]

@@ -1,0 +1,25 @@
+"""Query formalism: hypergraphs, CQs, CQAPs, and degree constraints."""
+
+from repro.query.cq import Atom, CQAP, ConjunctiveQuery
+from repro.query.constraints import (
+    ConstraintSet,
+    DegreeConstraint,
+    SplitConstraint,
+    cardinalities_from_database,
+)
+from repro.query.hypergraph import Hypergraph, VarSet, varset
+from repro.query import catalog
+
+__all__ = [
+    "Atom",
+    "CQAP",
+    "ConjunctiveQuery",
+    "ConstraintSet",
+    "DegreeConstraint",
+    "SplitConstraint",
+    "cardinalities_from_database",
+    "Hypergraph",
+    "VarSet",
+    "varset",
+    "catalog",
+]

@@ -1,0 +1,147 @@
+"""Catalog of the CQAPs the paper analyzes.
+
+Every example query from the paper is constructible here by name, with the
+same variable naming the paper uses (``x1 .. xk+1`` for paths, etc.), so the
+tests and benchmarks can refer to them unambiguously.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.query.cq import Atom, CQAP, ConjunctiveQuery
+
+
+def k_path_cqap(k: int, boolean: bool = True) -> CQAP:
+    """k-reachability (Example 2.3): φ_k(x1, x_{k+1} | x1, x_{k+1}).
+
+    Atoms ``R_i(x_i, x_{i+1})`` for i in [k].  The paper's Boolean version
+    has head = access = {x1, x_{k+1}}; since the framework requires H ⊇ A the
+    Boolean and "normalized" versions coincide here.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    atoms = [Atom(f"R{i}", (f"x{i}", f"x{i + 1}")) for i in range(1, k + 1)]
+    head = ("x1", f"x{k + 1}")
+    return CQAP(head, head, atoms, name=f"path{k}")
+
+
+def k_set_disjointness_cqap(k: int, boolean: bool = True) -> CQAP:
+    """k-set disjointness / intersection (Example 2.2, §6.1).
+
+    Encoding: ``R(y, x)`` = element y belongs to set x.  The Boolean variant
+    is φ(x_[k] | x_[k]); the enumeration variant (non-Boolean, eq. (2)) keeps
+    y in the head: φ(y, x_[k] | x_[k]).
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    atoms = [Atom(f"R{i}", ("y", f"x{i}")) for i in range(1, k + 1)]
+    access = tuple(f"x{i}" for i in range(1, k + 1))
+    head = access if boolean else ("y",) + access
+    return CQAP(head, access, atoms,
+                name=f"setdisj{k}" if boolean else f"setint{k}")
+
+
+def square_cqap() -> CQAP:
+    """The square query (Example 5.2 / E.5): φ(x1, x3 | x1, x3).
+
+    Given two vertices, decide whether they sit on opposite corners of a
+    square (4-cycle).
+    """
+    atoms = [
+        Atom("R1", ("x1", "x2")),
+        Atom("R2", ("x2", "x3")),
+        Atom("R3", ("x3", "x4")),
+        Atom("R4", ("x4", "x1")),
+    ]
+    return CQAP(("x1", "x3"), ("x1", "x3"), atoms, name="square")
+
+
+def triangle_cqap() -> CQAP:
+    """The triangle query with empty access pattern (Example E.4)."""
+    atoms = [
+        Atom("R1", ("x1", "x2")),
+        Atom("R2", ("x2", "x3")),
+        Atom("R3", ("x3", "x1")),
+    ]
+    return CQAP(("x1", "x3"), (), atoms, name="triangle")
+
+
+def edge_triangle_cqap() -> CQAP:
+    """Edge-triangle detection (§1): does edge (x1, x2) close a triangle?"""
+    atoms = [
+        Atom("R1", ("x1", "x2")),
+        Atom("R2", ("x2", "x3")),
+        Atom("R3", ("x3", "x1")),
+    ]
+    return CQAP(("x1", "x2"), ("x1", "x2"), atoms, name="edge_triangle")
+
+
+def hierarchical_binary_tree_cqap() -> CQAP:
+    """The Figure 6a hierarchical CQAP (§F, Example F.5).
+
+    φ(Z | Z) with Z = {z1, z2, z3, z4}, body
+    R(x,y1,z1) ∧ S(x,y1,z2) ∧ T(x,y2,z3) ∧ U(x,y2,z4).
+    """
+    atoms = [
+        Atom("R", ("x", "y1", "z1")),
+        Atom("S", ("x", "y1", "z2")),
+        Atom("T", ("x", "y2", "z3")),
+        Atom("U", ("x", "y2", "z4")),
+    ]
+    z = ("z1", "z2", "z3", "z4")
+    return CQAP(z, z, atoms, name="hier_tree")
+
+
+def online_yannakakis_example_cq() -> ConjunctiveQuery:
+    """The Example A.1 free-connex acyclic CQ used to illustrate Online
+    Yannakakis (Figure 5).
+
+    ψ(x_H) ← Q12 ∧ T12 ∧ T13 ∧ T345 ∧ S45 ∧ S37 ∧ S78 with
+    H = {x1,x2,x3,x4,x7,x8}.  Relation names match the paper's view labels.
+    """
+    atoms = [
+        Atom("Q12", ("x1", "x2")),
+        Atom("T12", ("x1", "x2")),
+        Atom("T13", ("x1", "x3")),
+        Atom("T345", ("x3", "x4", "x5")),
+        Atom("S45", ("x4", "x5", "x6")),
+        Atom("S37", ("x3", "x7")),
+        Atom("S78", ("x7", "x8", "x9")),
+    ]
+    head = ("x1", "x2", "x3", "x4", "x7", "x8")
+    return ConjunctiveQuery(head, atoms, name="exA1")
+
+
+def two_set_disjointness_cqap() -> CQAP:
+    """2-set disjointness (§1): φ(|y1, y2) ← R(x, y1) ∧ R(x, y2).
+
+    Uses the paper's intro naming; equivalent to k_set_disjointness_cqap(2)
+    up to renaming.
+    """
+    atoms = [Atom("R1", ("x", "y1")), Atom("R2", ("x", "y2"))]
+    return CQAP(("y1", "y2"), ("y1", "y2"), atoms, name="2setdisj")
+
+
+NAMED_QUERIES = {
+    "path2": lambda: k_path_cqap(2),
+    "path3": lambda: k_path_cqap(3),
+    "path4": lambda: k_path_cqap(4),
+    "square": square_cqap,
+    "triangle": triangle_cqap,
+    "edge_triangle": edge_triangle_cqap,
+    "setdisj2": lambda: k_set_disjointness_cqap(2),
+    "setdisj3": lambda: k_set_disjointness_cqap(3),
+    "setint2": lambda: k_set_disjointness_cqap(2, boolean=False),
+    "hier_tree": hierarchical_binary_tree_cqap,
+}
+
+
+def by_name(name: str) -> CQAP:
+    """Look up a catalog query by its paper-facing name."""
+    try:
+        return NAMED_QUERIES[name]()
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown query {name!r}; known: {sorted(NAMED_QUERIES)}"
+        ) from exc

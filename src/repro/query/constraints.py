@@ -1,0 +1,233 @@
+"""Degree constraints, constraint sets, and split constraints (§2, Def. C.2).
+
+A *degree constraint* is a triple ``(X, Y, N_{Y|X})`` with ``X ⊂ Y``: in the
+guard relation, every ``X``-value has at most ``N_{Y|X}`` distinct
+``Y``-extensions.  ``X = ∅`` makes it a *cardinality constraint*.
+
+A :class:`ConstraintSet` maintains the paper's *best constraints assumption*
+(at most one constraint per (X, Y) pair — keep the minimum bound) and knows
+how to span its *split constraints* ``SC`` (Def. C.2), which couple the
+preprocessing and online polymatroids in the joint Shannon-flow LP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.data.relation import Relation
+from repro.query.hypergraph import VarSet, varset
+
+
+@dataclass(frozen=True)
+class DegreeConstraint:
+    """``(X, Y, N_{Y|X})`` guarded by some relation with schema ⊇ Y."""
+
+    x: VarSet
+    y: VarSet
+    bound: float  # N_{Y|X}; float so +inf can express "unconstrained"
+
+    def __post_init__(self) -> None:
+        if not self.x < self.y:
+            raise ValueError(
+                f"degree constraint requires X ⊂ Y, got X={set(self.x)}, "
+                f"Y={set(self.y)}"
+            )
+        if self.bound < 1:
+            raise ValueError("degree bounds must be >= 1")
+
+    @property
+    def is_cardinality(self) -> bool:
+        """True for cardinality constraints (X = ∅)."""
+        return not self.x
+
+    @property
+    def log_bound(self) -> float:
+        """``n_{Y|X} = log2 N_{Y|X}``."""
+        return math.log2(self.bound)
+
+    def __repr__(self) -> str:
+        x = "{" + ",".join(sorted(self.x)) + "}"
+        y = "{" + ",".join(sorted(self.y)) + "}"
+        return f"DC({x} -> {y} <= {self.bound:g})"
+
+    @classmethod
+    def cardinality(cls, variables: Iterable[str], bound: float) -> "DegreeConstraint":
+        """Convenience builder for ``(∅, Y, N)``."""
+        return cls(varset(()), varset(variables), bound)
+
+    def satisfied_by(self, relation: Relation) -> bool:
+        """Check the constraint against an actual relation (guard test)."""
+        if not self.y <= relation.variables:
+            return False
+        if self.is_cardinality:
+            return len(relation.project(sorted(self.y))) <= self.bound
+        proj = relation.project(sorted(self.y))
+        return proj.degree(sorted(self.x)) <= self.bound
+
+
+@dataclass(frozen=True)
+class SplitConstraint:
+    """``(X, Y|X, N_{Z|∅})`` — Def. C.2.
+
+    Encodes the splitting property: the guard of the cardinality constraint on
+    ``Z`` can be partitioned so that ``N_X * N_{Y|X} <= N_Z`` holds piecewise.
+    In the joint LP it contributes both correlated terms
+    ``h_S(X) + h_T(Y|X) <= log N_Z`` and ``h_S(Y|X) + h_T(X) <= log N_Z``.
+    """
+
+    x: VarSet
+    y: VarSet
+    cardinality_bound: float  # N_{Z|∅} of the spanning cardinality constraint
+    z: VarSet                 # the Z of the spanning constraint
+
+    @property
+    def log_bound(self) -> float:
+        return math.log2(self.cardinality_bound)
+
+    def __repr__(self) -> str:
+        x = "{" + ",".join(sorted(self.x)) + "}"
+        y = "{" + ",".join(sorted(self.y)) + "}"
+        z = "{" + ",".join(sorted(self.z)) + "}"
+        return f"SC({x}, {y}|{x}; N_{z} <= {self.cardinality_bound:g})"
+
+
+class ConstraintSet:
+    """A set of degree constraints under the best-constraints assumption."""
+
+    def __init__(self, constraints: Iterable[DegreeConstraint] = ()) -> None:
+        self._by_pair: Dict[Tuple[VarSet, VarSet], DegreeConstraint] = {}
+        for constraint in constraints:
+            self.add(constraint)
+
+    def add(self, constraint: DegreeConstraint) -> None:
+        """Insert, keeping only the minimum bound per (X, Y) pair."""
+        key = (constraint.x, constraint.y)
+        existing = self._by_pair.get(key)
+        if existing is None or constraint.bound < existing.bound:
+            self._by_pair[key] = constraint
+
+    def add_cardinality(self, variables: Iterable[str], bound: float) -> None:
+        self.add(DegreeConstraint.cardinality(variables, bound))
+
+    def add_degree(self, x: Iterable[str], y: Iterable[str],
+                   bound: float) -> None:
+        self.add(DegreeConstraint(varset(x), varset(y), bound))
+
+    def __iter__(self) -> Iterator[DegreeConstraint]:
+        return iter(self._by_pair.values())
+
+    def __len__(self) -> int:
+        return len(self._by_pair)
+
+    def __contains__(self, pair: Tuple[VarSet, VarSet]) -> bool:
+        return pair in self._by_pair
+
+    def get(self, x: Iterable[str], y: Iterable[str]) -> Optional[DegreeConstraint]:
+        return self._by_pair.get((varset(x), varset(y)))
+
+    def bound(self, x: Iterable[str], y: Iterable[str]) -> float:
+        """N_{Y|X}, or +inf when the pair is unconstrained."""
+        constraint = self.get(x, y)
+        return constraint.bound if constraint else math.inf
+
+    @property
+    def cardinalities(self) -> List[DegreeConstraint]:
+        return [c for c in self if c.is_cardinality]
+
+    def union(self, other: "ConstraintSet") -> "ConstraintSet":
+        """Best-constraint merge of two sets (used for DC ∪ AC)."""
+        merged = ConstraintSet(self)
+        for constraint in other:
+            merged.add(constraint)
+        return merged
+
+    def copy(self) -> "ConstraintSet":
+        return ConstraintSet(self)
+
+    def __repr__(self) -> str:
+        return "ConstraintSet(" + ", ".join(map(repr, self)) + ")"
+
+    # ------------------------------------------------------------------
+    # split constraints
+    # ------------------------------------------------------------------
+    def split_constraints(self) -> List[SplitConstraint]:
+        """Span SC from every cardinality constraint (Def. C.2).
+
+        For each ``(∅, Z, N_Z)`` and every pair ``∅ ≠ X ⊂ Y ⊆ Z`` we emit one
+        split constraint.  The count is exponential in ``|Z|`` but tiny for
+        the arities the paper uses (binary/ternary atoms).
+        """
+        best: Dict[Tuple[VarSet, VarSet], SplitConstraint] = {}
+        for constraint in self.cardinalities:
+            z = constraint.y
+            members = sorted(z)
+            # enumerate Y ⊆ Z and nonempty X ⊂ Y
+            for y_mask in range(1, 1 << len(members)):
+                y = varset(m for i, m in enumerate(members)
+                           if y_mask >> i & 1)
+                for x_mask in range(1, y_mask):
+                    if x_mask & ~y_mask:
+                        continue
+                    x = varset(m for i, m in enumerate(members)
+                               if x_mask >> i & 1)
+                    key = (x, y)
+                    current = best.get(key)
+                    if current is None or constraint.bound < current.cardinality_bound:
+                        best[key] = SplitConstraint(x, y, constraint.bound, z)
+        return list(best.values())
+
+    # ------------------------------------------------------------------
+    # guard checking
+    # ------------------------------------------------------------------
+    def guarded_by(self, relations: Iterable[Relation]) -> bool:
+        """True when every constraint is guarded by some relation."""
+        relations = list(relations)
+        return all(
+            any(c.satisfied_by(rel) for rel in relations
+                if c.y <= rel.variables)
+            for c in self
+        )
+
+
+def cardinalities_from_database(db, atoms) -> ConstraintSet:
+    """Build DC containing one cardinality constraint per atom from a database.
+
+    ``atoms`` is an iterable of (relation_name, schema-variables) pairs; each
+    contributes ``(∅, vars, |R|)``.
+    """
+    dc = ConstraintSet()
+    for name, variables in atoms:
+        dc.add_cardinality(variables, max(1, len(db[name])))
+    return dc
+
+
+def measured_constraints(db, atoms, max_key_size: int = 2) -> ConstraintSet:
+    """DC with cardinalities plus *measured* degree constraints.
+
+    For every atom and every nonempty key ``X ⊂ vars`` with ``|X| <=
+    max_key_size``, adds ``(X, vars, max observed degree)``.  The paper's
+    framework takes any DC guarded by the instance; feeding measured degrees
+    makes the planner's worst-case bounds track the actual data instead of
+    the cardinality-only pessimum.
+
+    ``atoms`` is an iterable of (relation_name, variables) pairs.
+    """
+    from itertools import combinations
+
+    dc = ConstraintSet()
+    for name, variables in atoms:
+        relation = db[name]
+        variables = tuple(variables)
+        dc.add_cardinality(variables, max(1, len(relation)))
+        rebound = relation
+        if relation.schema != variables:
+            from repro.data.relation import Relation
+
+            rebound = Relation(name, variables, relation.tuples)
+        for size in range(1, min(max_key_size, len(variables) - 1) + 1):
+            for key in combinations(variables, size):
+                degree = rebound.degree(key)
+                dc.add_degree(key, variables, max(1, degree))
+    return dc

@@ -1,0 +1,98 @@
+"""Hypergraphs over variable names (§2 of the paper).
+
+A conjunctive query is associated with a hypergraph ``H = (V, E)`` whose
+vertices are variables and whose hyperedges are atom schemas.  The class also
+provides the connectivity helpers the decomposition layer needs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+VarSet = FrozenSet[str]
+
+
+def varset(variables: Iterable[str]) -> VarSet:
+    """Normalize any iterable of variable names to a frozenset."""
+    return frozenset(variables)
+
+
+class Hypergraph:
+    """A hypergraph with named vertices and frozenset hyperedges."""
+
+    def __init__(self, vertices: Iterable[str],
+                 edges: Iterable[Iterable[str]]) -> None:
+        self.vertices: VarSet = varset(vertices)
+        self.edges: Tuple[VarSet, ...] = tuple(varset(e) for e in edges)
+        for edge in self.edges:
+            if not edge <= self.vertices:
+                raise ValueError(
+                    f"edge {set(edge)} not within vertices {set(self.vertices)}"
+                )
+
+    def __repr__(self) -> str:
+        edges = ", ".join("{" + ",".join(sorted(e)) + "}" for e in self.edges)
+        return f"Hypergraph(V={sorted(self.vertices)}, E=[{edges}])"
+
+    @property
+    def edge_sets(self) -> Set[VarSet]:
+        """The distinct hyperedges as a set."""
+        return set(self.edges)
+
+    def edges_containing(self, variable: str) -> List[VarSet]:
+        """All hyperedges containing ``variable``."""
+        return [e for e in self.edges if variable in e]
+
+    def covers(self, subset: Iterable[str]) -> bool:
+        """True when some single hyperedge contains ``subset``."""
+        target = varset(subset)
+        return any(target <= edge for edge in self.edges)
+
+    # ------------------------------------------------------------------
+    # connectivity
+    # ------------------------------------------------------------------
+    def neighbors(self, variable: str) -> VarSet:
+        """Variables co-occurring with ``variable`` in some edge."""
+        out: Set[str] = set()
+        for edge in self.edges:
+            if variable in edge:
+                out |= edge
+        out.discard(variable)
+        return varset(out)
+
+    def is_connected_subset(self, subset: Iterable[str]) -> bool:
+        """True when ``subset`` induces a connected sub-hypergraph."""
+        nodes = set(subset)
+        if not nodes:
+            return True
+        start = next(iter(nodes))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for edge in self.edges:
+                if current in edge:
+                    for other in edge & nodes:
+                        if other not in seen:
+                            seen.add(other)
+                            frontier.append(other)
+        return seen == nodes
+
+    def connected_subsets(self, max_size: int = None) -> Iterator[VarSet]:
+        """Enumerate nonempty connected vertex subsets (for bag candidates).
+
+        Exponential in the vertex count; intended for the small hypergraphs
+        (n <= 8 or so) the paper's examples use.
+        """
+        verts = sorted(self.vertices)
+        limit = max_size or len(verts)
+        for size in range(1, limit + 1):
+            for combo in combinations(verts, size):
+                if self.is_connected_subset(combo):
+                    yield varset(combo)
+
+    def with_edge(self, edge: Iterable[str]) -> "Hypergraph":
+        """A copy of this hypergraph with one extra hyperedge."""
+        return Hypergraph(self.vertices | varset(edge),
+                          list(self.edges) + [varset(edge)])

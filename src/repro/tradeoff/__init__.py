@@ -1,0 +1,54 @@
+"""Analytic tradeoff machinery: rules, joint Shannon-flow LP, curves."""
+
+from repro.tradeoff import catalog
+from repro.tradeoff.curves import (
+    PiecewiseCurve,
+    Segment,
+    TradeoffFormula,
+    envelope_max,
+    envelope_min,
+    fit_segment_formulas,
+)
+from repro.tradeoff.edge_cover import (
+    fractional_edge_cover,
+    slack,
+    theorem_6_1,
+    uniform_cover,
+)
+from repro.tradeoff.joint_flow import (
+    JointFlowProgram,
+    ObjResult,
+    for_cqap,
+    symbolic_program,
+)
+from repro.tradeoff.paths import path_tradeoff, worst_path_tradeoff
+from repro.tradeoff.rules import TwoPhaseRule, paper_rules_3reach, rules_from_pmtds
+from repro.tradeoff.witness import JointFlowWitness, extract_witness, obj_with_witness
+from repro.tradeoff import proofs_catalog
+
+__all__ = [
+    "JointFlowProgram",
+    "JointFlowWitness",
+    "extract_witness",
+    "obj_with_witness",
+    "proofs_catalog",
+    "ObjResult",
+    "PiecewiseCurve",
+    "Segment",
+    "TradeoffFormula",
+    "TwoPhaseRule",
+    "catalog",
+    "envelope_max",
+    "envelope_min",
+    "fit_segment_formulas",
+    "for_cqap",
+    "fractional_edge_cover",
+    "paper_rules_3reach",
+    "path_tradeoff",
+    "rules_from_pmtds",
+    "slack",
+    "symbolic_program",
+    "theorem_6_1",
+    "uniform_cover",
+    "worst_path_tradeoff",
+]

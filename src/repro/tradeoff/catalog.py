@@ -1,0 +1,146 @@
+"""Closed-form tradeoffs from the paper and prior work (baselines).
+
+Each entry is a :class:`TradeoffFormula` (or a function producing one), used
+by the figure benchmarks as the brown "baseline" lines and by tests as the
+expected outputs of the LP machinery.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from repro.tradeoff.curves import TradeoffFormula
+
+F = Fraction
+
+
+def goldstein_k_reach(k: int) -> TradeoffFormula:
+    """Goldstein et al.'s conjectured-optimal ``S · T^{2/(k-1)} ≍ D² · Q^{2/(k-1)}``.
+
+    The Figure 4a/4b brown baselines (§6.4); conjectured optimal for
+    ``|Q_A| = 1`` and falsified by the paper for k >= 3.
+    """
+    if k < 2:
+        raise ValueError("k-reachability baseline needs k >= 2")
+    return TradeoffFormula(F(k - 1), F(2), F(2 * (k - 1)), F(2))
+
+
+def set_disjointness_boolean(k: int) -> TradeoffFormula:
+    """``S · T^k ≍ D^k · Q^k`` — Example 6.2 via Theorem 6.1 (slack k)."""
+    return TradeoffFormula(F(1), F(k), F(k), F(k))
+
+
+def set_intersection_enumeration(k: int) -> TradeoffFormula:
+    """``S · T^{k-1} ≍ D^k · Q^{k-1}`` — §6.1 (non-Boolean k-set)."""
+    return TradeoffFormula(F(1), F(k - 1), F(k), F(k - 1))
+
+
+def two_set_disjointness() -> TradeoffFormula:
+    """The classic ``S · T² = O(N²)`` from Cohen-Porat / Goldstein et al."""
+    return TradeoffFormula(F(1), F(2), F(2), F(2))
+
+
+def square_query() -> TradeoffFormula:
+    """``S · T² ≍ D² · Q²`` — Example 5.2 / E.5."""
+    return TradeoffFormula(F(1), F(2), F(2), F(2))
+
+
+def example_6_3_path() -> TradeoffFormula:
+    """``S^{3/2} · T ≍ Q · D³`` — Example 6.3 (4-reachability, one path)."""
+    return TradeoffFormula(F(3, 2), F(1), F(3), F(1))
+
+
+def hierarchical_fig6_derived() -> TradeoffFormula:
+    """``S · T³ ≍ D⁴ · Q³`` — §F first derivation for the Fig. 6 query."""
+    return TradeoffFormula(F(1), F(3), F(4), F(3))
+
+
+def hierarchical_fig6_improved() -> TradeoffFormula:
+    """``S · T⁴ ≍ D⁴ · Q⁴`` — §F improved (bucketize on bound variables)."""
+    return TradeoffFormula(F(1), F(4), F(4), F(4))
+
+
+def table1_3reach() -> dict:
+    """Table 1: rule label -> list of intrinsic tradeoffs."""
+    return {
+        "T124 ∨ T134 ∨ S14": [
+            TradeoffFormula(F(1), F(2), F(2), F(2)),
+        ],
+        "T123 ∨ T124 ∨ S13 ∨ S14": [
+            TradeoffFormula(F(2), F(3), F(4), F(3)),
+            TradeoffFormula(F(0), F(1), F(1), F(1)),
+        ],
+        "T134 ∨ T234 ∨ S14 ∨ S24": [
+            TradeoffFormula(F(2), F(3), F(4), F(3)),
+            TradeoffFormula(F(0), F(1), F(1), F(1)),
+        ],
+        "T123 ∨ T234 ∨ S13 ∨ S14 ∨ S24": [
+            TradeoffFormula(F(1), F(1), F(2), F(1)),
+            TradeoffFormula(F(4), F(1), F(6), F(1)),
+            TradeoffFormula(F(0), F(1), F(1), F(1)),
+        ],
+    }
+
+
+def example_e8_4reach() -> dict:
+    """§E.8: the 4-reachability rule tradeoffs used for Figure 4b."""
+    return {
+        "rho1": [TradeoffFormula(F(1), F(1), F(2), F(1))],
+        "rho2": [TradeoffFormula(F(2), F(2), F(4), F(2))],
+        "rho4": [
+            TradeoffFormula(F(6), F(5), F(12), F(5)),
+            TradeoffFormula(F(8), F(3), F(13), F(3)),
+        ],
+        "bfs": [TradeoffFormula(F(0), F(1), F(1), F(1))],
+    }
+
+
+def figure4a_expected_breakpoints() -> List[tuple]:
+    """The (log_D S, log_D T) corners of the Fig. 4a dotted envelope.
+
+    Derived from Table 1 (|Q|=1): start (1,1); ρ4's S·T=D² until it meets
+    ρ4's S⁴·T=D⁶ at (4/3, 2/3); that line until ρ2's S²T³=D⁴ overtakes at
+    (7/5, 2/5); ρ2 to (2, 0).
+    """
+    return [
+        (F(1), F(1)),
+        (F(4, 3), F(2, 3)),
+        (F(7, 5), F(2, 5)),
+        (F(2), F(0)),
+    ]
+
+
+def figure4b_expected_breakpoints() -> List[tuple]:
+    """The (log_D S, log_D T) corners of the Fig. 4b dotted envelope.
+
+    Derived from §E.8 (|Q|=1): flat T=D until ρ4's S⁶T⁵=D¹² drops below at
+    S = D^{7/6}; that segment until it meets ρ4's S⁸T³=D¹³ at (29/22, 9/11);
+    then to ρ1's S·T=D² at (7/5, 3/5); then ρ1 to (2, 0).
+    """
+    return [
+        (F(1), F(1)),
+        (F(7, 6), F(1)),
+        (F(29, 22), F(9, 11)),
+        (F(7, 5), F(3, 5)),
+        (F(2), F(0)),
+    ]
+
+
+def figure4b_lp_breakpoints() -> List[tuple]:
+    """The LP-optimal Fig. 4b envelope computed by this reproduction.
+
+    Theorem C.3's LP finds the *optimal* joint Shannon-flow inequality per
+    rule, so the envelope can only sit at or below the paper's hand-derived
+    curve.  It coincides at (1,1), (7/6,1), (7/5,3/5), (2,0) and is strictly
+    better on (9/7, 7/5): the LP discovers an ``S⁵·T³ ≍ D⁹`` piece (slope
+    −5/3) between ρ4's two hand-constructed segments.
+    """
+    return [
+        (F(1), F(1)),
+        (F(7, 6), F(1)),
+        (F(9, 7), F(6, 7)),
+        (F(4, 3), F(7, 9)),
+        (F(7, 5), F(3, 5)),
+        (F(2), F(0)),
+    ]

@@ -1,0 +1,254 @@
+"""Piecewise-linear tradeoff curves in (log S, log T) space.
+
+Every per-rule value function ``OBJ(log S)`` is piecewise linear and
+non-increasing (it is the value of an LP whose right-hand side moves linearly
+with ``log S``); the query-level curve is the pointwise *max* over its rules
+(§4.3: the online phase must run every rule).  This module samples curves,
+takes envelopes, recovers exact rational breakpoints by intersecting the
+fitted segments, and pretty-prints the results benchmarks compare against
+the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.util.rationals import approx_fraction
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One maximal linear piece ``logT = intercept + slope * logS``."""
+
+    x_start: Fraction
+    x_end: Fraction
+    slope: Fraction
+    intercept: Fraction
+
+    def value(self, x: Fraction) -> Fraction:
+        return self.intercept + self.slope * x
+
+    def __repr__(self) -> str:
+        return (f"Segment([{self.x_start},{self.x_end}] "
+                f"T = {self.intercept} + {self.slope}·S)")
+
+
+class PiecewiseCurve:
+    """A sampled piecewise-linear curve with exact-rational reconstruction."""
+
+    def __init__(self, xs: Sequence[float], ys: Sequence[float]) -> None:
+        if len(xs) != len(ys) or len(xs) < 2:
+            raise ValueError("need >= 2 sample points")
+        self.xs = list(xs)
+        self.ys = list(ys)
+
+    @classmethod
+    def sample(cls, fn: Callable[[float], float], x_min: float, x_max: float,
+               steps: int = 120) -> "PiecewiseCurve":
+        xs = [x_min + (x_max - x_min) * i / steps for i in range(steps + 1)]
+        return cls(xs, [fn(x) for x in xs])
+
+    def value_at(self, x: float) -> float:
+        """Linear interpolation of the samples."""
+        if x <= self.xs[0]:
+            return self.ys[0]
+        if x >= self.xs[-1]:
+            return self.ys[-1]
+        for i in range(len(self.xs) - 1):
+            if self.xs[i] <= x <= self.xs[i + 1]:
+                t = (x - self.xs[i]) / (self.xs[i + 1] - self.xs[i])
+                return self.ys[i] * (1 - t) + self.ys[i + 1] * t
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    def segments(self, max_denominator: int = 64,
+                 tol: float = 1e-5) -> List[Segment]:
+        """Reconstruct exact segments from the samples.
+
+        Consecutive sample slopes are snapped to rationals; runs with equal
+        slope merge into one segment; breakpoints come from intersecting
+        adjacent segment lines (exact in Fraction arithmetic), which removes
+        the grid-resolution error.
+        """
+        slopes: List[Fraction] = []
+        for i in range(len(self.xs) - 1):
+            raw = (self.ys[i + 1] - self.ys[i]) / (self.xs[i + 1] - self.xs[i])
+            slopes.append(approx_fraction(raw, max_denominator, tol=0.5))
+        # merge equal-slope runs, fitting each line from its midpoint sample
+        pieces: List[Tuple[int, int, Fraction]] = []
+        start = 0
+        for i in range(1, len(slopes) + 1):
+            if i == len(slopes) or slopes[i] != slopes[start]:
+                pieces.append((start, i, slopes[start]))
+                start = i
+        # a sample interval that straddles a true breakpoint produces a
+        # single-interval run whose slope blends its neighbours; drop such
+        # interior runs — the surrounding lines intersect at the breakpoint
+        if len(pieces) > 2:
+            pieces = (
+                [pieces[0]]
+                + [p for p in pieces[1:-1] if p[1] - p[0] > 1]
+                + [pieces[-1]]
+            )
+        # re-merge neighbours that became slope-equal after dropping
+        merged: List[Tuple[int, int, Fraction]] = []
+        for piece in pieces:
+            if merged and merged[-1][2] == piece[2]:
+                merged[-1] = (merged[-1][0], piece[1], piece[2])
+            else:
+                merged.append(piece)
+        pieces = merged
+        lines: List[Tuple[Fraction, Fraction]] = []  # (slope, intercept)
+        for lo, hi, slope in pieces:
+            mid = (lo + hi) // 2
+            x_mid, y_mid = self.xs[mid], self.ys[mid]
+            intercept_f = y_mid - float(slope) * x_mid
+            intercept = approx_fraction(intercept_f, max_denominator * 8,
+                                        tol=10 * tol)
+            lines.append((slope, intercept))
+        # breakpoints by intersecting consecutive lines
+        xs: List[Fraction] = [approx_fraction(self.xs[0], 10**6, tol=1e-9)]
+        for (s1, b1), (s2, b2) in zip(lines, lines[1:]):
+            if s1 == s2:
+                continue
+            xs.append((b2 - b1) / (s1 - s2))
+        xs.append(approx_fraction(self.xs[-1], 10**6, tol=1e-9))
+        # dedupe slope-equal merges
+        merged_lines: List[Tuple[Fraction, Fraction]] = []
+        for line in lines:
+            if not merged_lines or merged_lines[-1] != line:
+                merged_lines.append(line)
+        segments: List[Segment] = []
+        idx = 0
+        for slope, intercept in merged_lines:
+            x0 = xs[idx]
+            x1 = xs[idx + 1]
+            segments.append(Segment(x0, x1, slope, intercept))
+            idx += 1
+        return segments
+
+    def breakpoints(self, max_denominator: int = 64) -> List[Tuple[Fraction, Fraction]]:
+        """(x, y) corners of the curve, endpoints included."""
+        segs = self.segments(max_denominator=max_denominator)
+        points = [(segs[0].x_start, segs[0].value(segs[0].x_start))]
+        for seg in segs:
+            points.append((seg.x_end, seg.value(seg.x_end)))
+        return points
+
+
+def envelope_max(curves: Sequence[PiecewiseCurve]) -> PiecewiseCurve:
+    """Pointwise maximum on the union of sample grids."""
+    if not curves:
+        raise ValueError("need at least one curve")
+    xs = sorted({x for c in curves for x in c.xs})
+    ys = [max(c.value_at(x) for c in curves) for x in xs]
+    return PiecewiseCurve(xs, ys)
+
+
+def envelope_min(curves: Sequence[PiecewiseCurve]) -> PiecewiseCurve:
+    """Pointwise minimum on the union of sample grids."""
+    if not curves:
+        raise ValueError("need at least one curve")
+    xs = sorted({x for c in curves for x in c.xs})
+    ys = [min(c.value_at(x) for c in curves) for x in xs]
+    return PiecewiseCurve(xs, ys)
+
+
+@dataclass(frozen=True)
+class TradeoffFormula:
+    """A closed-form tradeoff ``S^a · T^b ≍ D^c · Q^e``.
+
+    ``simeq`` in the paper; rendered in log space as
+    ``a·logS + b·logT = c·logD + e·logQ``.
+    """
+
+    s_exp: Fraction
+    t_exp: Fraction
+    d_exp: Fraction
+    q_exp: Fraction = Fraction(0)
+
+    def log_time(self, log_space: float, log_d: float = 1.0,
+                 log_q: float = 0.0) -> float:
+        """Solve for logT given logS (requires t_exp > 0)."""
+        if self.t_exp <= 0:
+            raise ValueError("cannot solve for T when its exponent is <= 0")
+        rhs = float(self.d_exp) * log_d + float(self.q_exp) * log_q
+        return (rhs - float(self.s_exp) * log_space) / float(self.t_exp)
+
+    def curve(self, x_min: float, x_max: float, log_d: float = 1.0,
+              log_q: float = 0.0, steps: int = 120,
+              floor: float = 0.0) -> PiecewiseCurve:
+        """Sample the formula's line, clamped below at ``floor``."""
+        return PiecewiseCurve.sample(
+            lambda x: max(floor, self.log_time(x, log_d, log_q)),
+            x_min, x_max, steps,
+        )
+
+    def normalized(self) -> "TradeoffFormula":
+        """Canonical form: scaled so the T exponent is 1 (when positive).
+
+        ``S³·T² ≍ D⁶·Q²`` and ``S^{3/2}·T ≍ D³·Q`` describe the same line;
+        comparisons should go through this form.
+        """
+        if self.t_exp <= 0:
+            return self
+        return TradeoffFormula(
+            self.s_exp / self.t_exp,
+            Fraction(1),
+            self.d_exp / self.t_exp,
+            self.q_exp / self.t_exp,
+        )
+
+    def __repr__(self) -> str:
+        def power(base: str, exp: Fraction) -> str:
+            if exp == 0:
+                return ""
+            if exp == 1:
+                return base
+            return f"{base}^{exp}"
+
+        lhs = "·".join(p for p in (power("S", self.s_exp),
+                                   power("T", self.t_exp)) if p)
+        rhs = "·".join(p for p in (power("D", self.d_exp),
+                                   power("Q", self.q_exp)) if p) or "1"
+        return f"{lhs} ≍ {rhs}"
+
+
+def fit_segment_formulas(curve: PiecewiseCurve,
+                         q_slope_probe: Optional[Callable[[float, float], float]] = None,
+                         max_denominator: int = 64) -> List[TradeoffFormula]:
+    """Convert each segment of a log_D-unit curve to a TradeoffFormula.
+
+    A segment ``logT = intercept + slope·logS`` (log_D units, Q = 1) matches
+    ``S^a T^b = D^c`` with ``a/b = -slope`` and ``c/b = intercept``.  The
+    exponents are normalized so (a, b, c) are the smallest integers.  When
+    ``q_slope_probe(x_mid, dq) -> dlogT`` is given, the |Q| exponent is
+    recovered from a finite difference in log Q.
+    """
+    out: List[TradeoffFormula] = []
+    for seg in curve.segments(max_denominator=max_denominator):
+        slope, intercept = seg.slope, seg.intercept
+        a, b, c = -slope, Fraction(1), intercept
+        q = Fraction(0)
+        if q_slope_probe is not None:
+            x_mid = float(seg.x_start + seg.x_end) / 2
+            dq = 0.125
+            dlog_t = q_slope_probe(x_mid, dq)
+            q = approx_fraction(dlog_t / dq, max_denominator, tol=1e-4)
+        # clear denominators
+        denominator = 1
+        for frac in (a, b, c, q):
+            denominator = denominator * frac.denominator // _gcd(
+                denominator, frac.denominator
+            )
+        out.append(TradeoffFormula(a * denominator, b * denominator,
+                                   c * denominator, q * denominator))
+    return out
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

@@ -1,0 +1,109 @@
+"""Tradeoffs via fractional edge covers and slack (§6.2, Theorem 6.1).
+
+For a CQAP ``φ(x_A | x_A)`` and any fractional edge cover ``u`` of its
+hypergraph, the paper proves the intrinsic tradeoff
+
+    S · T^{α(u, A)}  ≍  |Q_A|^{α(u, A)} · Π_F |R_F|^{u_F},
+
+where the *slack* ``α(u, A) = min_{i ∉ A} Σ_{F ∋ i} u_F`` is the largest
+factor by which ``u`` can be scaled down and still cover the non-access
+variables.  This module computes minimal covers by LP, slacks, and the
+resulting formulas; it is also the engine behind §6.3's per-bag covers.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, Iterable, Optional
+
+from repro.polymatroid.lp import LinearProgram
+from repro.query.cq import CQAP
+from repro.query.hypergraph import Hypergraph, VarSet, varset
+from repro.tradeoff.curves import TradeoffFormula
+from repro.util.rationals import approx_fraction
+
+
+def fractional_edge_cover(hypergraph: Hypergraph,
+                          cover: Iterable[str],
+                          minimize_over: Optional[Iterable[str]] = None,
+                          ) -> Dict[VarSet, Fraction]:
+    """Minimum-weight fractional edge cover of ``cover`` (LP, snapped to ℚ).
+
+    Returns edge -> weight; edges absent from the result have weight zero.
+    """
+    cover = varset(cover)
+    if not cover <= hypergraph.vertices:
+        raise ValueError("cover set must be query variables")
+    edges = sorted(hypergraph.edge_sets,
+                   key=lambda e: tuple(sorted(e)))
+    lp = LinearProgram()
+    for idx, edge in enumerate(edges):
+        lp.variable(("u", idx), lower=0.0)
+    for var in sorted(cover):
+        coeffs = {("u", i): 1.0 for i, e in enumerate(edges) if var in e}
+        if not coeffs:
+            raise ValueError(f"variable {var!r} is in no hyperedge")
+        lp.add_ge(coeffs, 1.0)
+    lp.set_objective({("u", i): 1.0 for i in range(len(edges))},
+                     maximize=False)
+    solution = lp.solve()
+    if not solution.is_optimal:
+        raise RuntimeError(f"edge cover LP ended {solution.status}")
+    out: Dict[VarSet, Fraction] = {}
+    for idx, edge in enumerate(edges):
+        weight = solution.values[("u", idx)]
+        if weight > 1e-9:
+            out[edge] = approx_fraction(weight, 64, tol=1e-6)
+    return out
+
+
+def slack(hypergraph: Hypergraph, u: Dict[VarSet, object],
+          access: Iterable[str]) -> Fraction:
+    """``α(u, A) = min_{i ∉ A} Σ_{F ∋ i} u_F`` (∞ when A covers everything).
+
+    The paper notes α ≥ 1 whenever u is a valid cover of all variables.
+    """
+    access = varset(access)
+    remaining = hypergraph.vertices - access
+    if not remaining:
+        return Fraction(10**9)  # effectively unbounded slack
+    best: Optional[Fraction] = None
+    for var in sorted(remaining):
+        total = Fraction(0)
+        for edge, weight in u.items():
+            if var in edge:
+                total += Fraction(weight)
+        if best is None or total < best:
+            best = total
+    assert best is not None
+    return best
+
+
+def theorem_6_1(cqap: CQAP, u: Optional[Dict[VarSet, object]] = None,
+                ) -> TradeoffFormula:
+    """The Theorem 6.1 tradeoff for ``φ(x_A | x_A)``.
+
+    With all atoms of equal size D this reads ``S · T^α ≍ Q^α · D^{Σ u_F}``.
+    ``u`` defaults to a minimum fractional edge cover of all variables.
+    Relation-size exponents are aggregated into the |D| exponent — matching
+    the paper's applications, where every atom is the same relation.
+    """
+    hypergraph = cqap.hypergraph()
+    if u is None:
+        u = fractional_edge_cover(hypergraph, hypergraph.vertices)
+    total_weight = sum(Fraction(w) for w in u.values())
+    alpha = slack(hypergraph, u, cqap.access_set)
+    # S^1 · T^alpha = Q^alpha · D^total
+    lcm = alpha.denominator * total_weight.denominator // math.gcd(
+        alpha.denominator, total_weight.denominator
+    )
+    return TradeoffFormula(
+        Fraction(lcm), alpha * lcm, total_weight * lcm, alpha * lcm
+    )
+
+
+def uniform_cover(hypergraph: Hypergraph, weight: object = 1,
+                  ) -> Dict[VarSet, Fraction]:
+    """Assign the same weight to every hyperedge (Example 6.2's cover)."""
+    return {edge: Fraction(weight) for edge in hypergraph.edge_sets}

@@ -1,0 +1,288 @@
+"""The joint Shannon-flow LP and the OBJ(S) maximin program (Appendix C/D).
+
+This module is the analytic engine of the reproduction.  Given a 2-phase
+disjunctive rule under degree constraints ``DC`` (guarded by the input) and
+``AC`` (guarded by the access request), Theorem C.3 characterizes the best
+online time attainable with space budget S as
+
+    OBJ(S) = max  min_{B ∈ BT} h_T(B)
+             s.t. h_S ∈ Γ_n ∩ H_DC,
+                  h_T ∈ Γ_n ∩ H_{DC∪AC},
+                  (h_S, h_T) ∈ H_SC          (split-constraint coupling)
+                  h_S(B) ≥ log S for B ∈ BS.
+
+Infeasibility of the constraint ``h_S(B) ≥ log S`` branch means the whole
+preprocessing output fits in the budget, i.e. T = O(1) (§C.3).  The program
+is a plain LP after introducing the epigraph variable ``w``.
+
+The same machinery answers three more questions:
+
+* ``log_size_bound`` — the polymatroid bound of a one-phase disjunctive rule
+  (Theorem C.1), used by the evaluator to pick per-subproblem targets;
+* ``verify_joint_inequality`` — checks a claimed joint Shannon-flow
+  inequality (Definition D.4) by maximizing RHS − LHS over the coupled cone;
+* dual values of the optimal LP expose the witness coefficients
+  (δ_S, δ_T, γ) of Theorem D.5, which drive the 2PP evaluator's split steps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.polymatroid.cone import add_polymatroid_constraints
+from repro.polymatroid.lattice import SubsetSpace
+from repro.polymatroid.lp import LinearProgram, LPSolution
+from repro.query.constraints import ConstraintSet, SplitConstraint
+from repro.query.hypergraph import VarSet, varset
+from repro.tradeoff.rules import TwoPhaseRule
+
+#: LP variable name tags for the two polymatroids.
+H_S = "hS"
+H_T = "hT"
+
+
+@dataclass
+class ObjResult:
+    """Outcome of one OBJ(S) solve."""
+
+    log_space: float
+    log_time: float                  # OBJ(S); 0.0 when everything fits
+    status: str                      # "optimal" | "materialize" | "unbounded"
+    h_s: Dict[VarSet, float] = field(default_factory=dict)
+    h_t: Dict[VarSet, float] = field(default_factory=dict)
+    duals: Dict = field(default_factory=dict)
+
+    @property
+    def fits_in_budget(self) -> bool:
+        """True when the S-targets can simply be materialized (T = O(1))."""
+        return self.status == "materialize"
+
+
+class JointFlowProgram:
+    """Builds and solves eq. (12)/(21) for one CQAP's constraint profile.
+
+    Args:
+        variables: the query variables (the ``[n]`` universe).
+        dc: degree constraints guarded by the database.
+        ac: degree constraints guarded by access requests.
+        sc: split constraints; defaults to the full span of ``dc``
+            (Definition C.2).
+    """
+
+    def __init__(self, variables: Iterable[str], dc: ConstraintSet,
+                 ac: ConstraintSet,
+                 sc: Optional[Sequence[SplitConstraint]] = None) -> None:
+        self.space = SubsetSpace(variables)
+        self.dc = dc
+        self.ac = ac
+        self.dc_ac = dc.union(ac)
+        self.sc: List[SplitConstraint] = (
+            list(sc) if sc is not None else dc.split_constraints()
+        )
+
+    # ------------------------------------------------------------------
+    # LP construction helpers
+    # ------------------------------------------------------------------
+    def _mask(self, subset: VarSet) -> int:
+        return self.space.mask(subset)
+
+    def _base_program(self) -> LinearProgram:
+        """Cones + DC on h_S + (DC ∪ AC) on h_T + split coupling."""
+        lp = LinearProgram()
+        add_polymatroid_constraints(
+            lp, self.space, lambda m: (H_S, m), tag=H_S
+        )
+        add_polymatroid_constraints(
+            lp, self.space, lambda m: (H_T, m), tag=H_T
+        )
+        for tag, constraints in ((H_S, self.dc), (H_T, self.dc_ac)):
+            for c in constraints:
+                if math.isinf(c.bound):
+                    continue
+                coeffs = {(tag, self._mask(c.y)): 1.0}
+                if c.x:
+                    coeffs[(tag, self._mask(c.x))] = -1.0
+                lp.add_le(coeffs, c.log_bound,
+                          name=("dc", tag, tuple(sorted(c.x)),
+                                tuple(sorted(c.y))))
+        for s in self.sc:
+            if math.isinf(s.cardinality_bound):
+                continue
+            x_mask, y_mask = self._mask(s.x), self._mask(s.y)
+            key = (tuple(sorted(s.x)), tuple(sorted(s.y)))
+            # h_S(X) + h_T(Y|X) <= log N_Z   (materialize heavy X-values)
+            lp.add_le(
+                {(H_S, x_mask): 1.0, (H_T, y_mask): 1.0,
+                 (H_T, x_mask): -1.0},
+                s.log_bound, name=("sc_s_heavy", key),
+            )
+            # h_S(Y|X) + h_T(X) <= log N_Z   (materialize light X-values)
+            lp.add_le(
+                {(H_S, y_mask): 1.0, (H_S, x_mask): -1.0,
+                 (H_T, x_mask): 1.0},
+                s.log_bound, name=("sc_t_heavy", key),
+            )
+        return lp
+
+    # ------------------------------------------------------------------
+    # OBJ(S)
+    # ------------------------------------------------------------------
+    def obj_for_budget(self, rule: TwoPhaseRule,
+                       log_space: float) -> ObjResult:
+        """Solve eq. (12) for one rule at one space budget.
+
+        Returns ``status="materialize"`` (T cost 0) when forcing every
+        S-target above the budget is infeasible — i.e. the preprocessing
+        output provably fits in Õ(S).
+        """
+        if not rule.t_targets:
+            # nothing ever needs the online phase
+            return ObjResult(log_space, 0.0, "materialize")
+        lp = self._base_program()
+        lp.variable("w", lower=0.0)
+        for b in rule.t_targets:
+            lp.add_ge({(H_T, self._mask(b)): 1.0, "w": -1.0}, 0.0,
+                      name=("target_t", tuple(sorted(b))))
+        for b in rule.s_targets:
+            lp.add_ge({(H_S, self._mask(b)): 1.0}, log_space,
+                      name=("budget", tuple(sorted(b))))
+        lp.set_objective({"w": 1.0}, maximize=True)
+        solution = lp.solve()
+        if solution.status == "infeasible":
+            return ObjResult(log_space, 0.0, "materialize")
+        if solution.status == "unbounded":
+            return ObjResult(log_space, math.inf, "unbounded")
+        return ObjResult(
+            log_space,
+            solution.objective,
+            "optimal",
+            h_s=self._extract(solution, H_S),
+            h_t=self._extract(solution, H_T),
+            duals=solution.duals,
+        )
+
+    def _extract(self, solution: LPSolution, tag: str) -> Dict[VarSet, float]:
+        out: Dict[VarSet, float] = {}
+        for name, value in solution.values.items():
+            if isinstance(name, tuple) and len(name) == 2 and name[0] == tag:
+                out[self.space.members(name[1])] = value
+        return out
+
+    # ------------------------------------------------------------------
+    # one-phase bounds (Theorem C.1)
+    # ------------------------------------------------------------------
+    def log_size_bound(self, targets: Iterable[VarSet],
+                       phase: str = "S",
+                       extra: Optional[ConstraintSet] = None) -> float:
+        """Polymatroid bound of a one-phase disjunctive rule.
+
+        ``phase="S"`` uses DC (preprocessing rule, eq. 6); ``phase="T"`` uses
+        DC ∪ AC (online rule, eq. 7).  ``extra`` adds per-subproblem refined
+        constraints (the DC(j) of split steps).  No split coupling applies —
+        this is the single-polymatroid bound.
+        """
+        constraints = self.dc if phase == "S" else self.dc_ac
+        if extra is not None:
+            constraints = constraints.union(extra)
+        lp = LinearProgram()
+        tag = "h"
+        add_polymatroid_constraints(lp, self.space, lambda m: (tag, m))
+        for c in constraints:
+            if math.isinf(c.bound):
+                continue
+            coeffs = {(tag, self._mask(c.y)): 1.0}
+            if c.x:
+                coeffs[(tag, self._mask(c.x))] = -1.0
+            lp.add_le(coeffs, c.log_bound)
+        lp.variable("w", lower=0.0)
+        for b in targets:
+            lp.add_ge({(tag, self._mask(b)): 1.0, "w": -1.0}, 0.0)
+        lp.set_objective({"w": 1.0}, maximize=True)
+        solution = lp.solve()
+        if solution.status == "unbounded":
+            return math.inf
+        if not solution.is_optimal:
+            raise RuntimeError(f"size-bound LP ended {solution.status}")
+        return solution.objective
+
+    # ------------------------------------------------------------------
+    # inequality verification (Definition D.4)
+    # ------------------------------------------------------------------
+    def verify_joint_inequality(
+        self,
+        lhs_s: Dict[Tuple[VarSet, VarSet], float],
+        lhs_t: Dict[Tuple[VarSet, VarSet], float],
+        rhs_s: Dict[VarSet, float],
+        rhs_t: Dict[VarSet, float],
+        tolerance: float = 1e-7,
+    ) -> bool:
+        """Check that Σ lhs ≥ Σ rhs holds for every polymatroid pair.
+
+        ``lhs_s``/``lhs_t`` map (X, Y) pairs to coefficients of
+        ``h_S(Y|X)`` / ``h_T(Y|X)``; the rhs maps target schemas to their λ/θ
+        coefficients.  Verification maximizes RHS − LHS over Γ_n × Γ_n
+        (*without* the DC/SC restrictions — a joint Shannon-flow inequality
+        must hold for all polymatroid pairs) and accepts iff the max is ≤ 0.
+        """
+        lp = LinearProgram()
+        add_polymatroid_constraints(lp, self.space, lambda m: (H_S, m),
+                                    tag=H_S)
+        add_polymatroid_constraints(lp, self.space, lambda m: (H_T, m),
+                                    tag=H_T)
+        objective: Dict = {}
+
+        def bump(name, delta: float) -> None:
+            objective[name] = objective.get(name, 0.0) + delta
+
+        for (x, y), coef in lhs_s.items():
+            bump((H_S, self._mask(y)), -coef)
+            if x:
+                bump((H_S, self._mask(x)), coef)
+        for (x, y), coef in lhs_t.items():
+            bump((H_T, self._mask(y)), -coef)
+            if x:
+                bump((H_T, self._mask(x)), coef)
+        for z, coef in rhs_s.items():
+            bump((H_S, self._mask(z)), coef)
+        for z, coef in rhs_t.items():
+            bump((H_T, self._mask(z)), coef)
+        # normalize scale: polymatroids are a cone, so RHS − LHS > 0 happens
+        # iff it is unbounded; cap h(full) to keep the LP bounded instead.
+        for tag in (H_S, H_T):
+            lp.add_le({(tag, self.space.full_mask): 1.0}, 1.0)
+        lp.set_objective(objective, maximize=True)
+        solution = lp.solve()
+        if not solution.is_optimal:
+            return False
+        return solution.objective <= tolerance
+
+
+def for_cqap(cqap, db=None, request_size: float = 1,
+             dc: Optional[ConstraintSet] = None,
+             ac: Optional[ConstraintSet] = None) -> JointFlowProgram:
+    """Convenience builder from a CQAP plus a database (or explicit DC/AC)."""
+    if dc is None:
+        if db is None:
+            raise ValueError("need either a database or explicit DC")
+        dc = cqap.default_constraints(db)
+    if ac is None:
+        ac = cqap.access_constraints(request_size)
+    return JointFlowProgram(cqap.variables, dc, ac)
+
+
+def symbolic_program(cqap, d_log: float = 1.0,
+                     q_log: float = 0.0) -> JointFlowProgram:
+    """A JointFlowProgram in log_D units: every atom gets cardinality 2^d_log.
+
+    With ``d_log = 1`` all LP quantities are directly the exponents of |D|
+    (the axes of Figures 4a/4b); ``q_log`` sets log_D |Q_A|.
+    """
+    dc = ConstraintSet()
+    for atom in cqap.atoms:
+        dc.add_cardinality(atom.variables, 2.0 ** d_log)
+    ac = ConstraintSet()
+    if cqap.access:
+        ac.add_cardinality(cqap.access, 2.0 ** q_log)
+    return JointFlowProgram(cqap.variables, dc, ac)

@@ -1,0 +1,190 @@
+"""Tradeoffs via tree decompositions — root-to-leaf paths (§6.3, §E.2).
+
+Fix a free-connex decomposition rooted at ``r`` with ``A ⊆ χ(r)`` and a
+fractional edge cover ``u_t`` per bag.  With ``A_t`` the bag's interface (the
+variables shared with the parent; ``A_r = A``) and ``α_t`` the slack of
+``u_t`` w.r.t. ``A_t``, every root-to-leaf path P yields the intrinsic
+tradeoff (eq. 35)
+
+    S^{Σ_{t∈P} 1/α_t} · T  ≍  |Q_A| · D^{Σ_{t∈P} u*_t / α_t},
+
+and the decomposition's tradeoff is the worst (most expensive) path.  The
+induced PMTD set of §6.3 realizes these bounds inside the framework;
+Example 6.3 instantiates the 4-reachability decomposition
+{x1,x2,x4,x5} → {x2,x3,x4} to get ``S^{3/2} · T ≍ Q · D³``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.decomposition.tree_decomposition import NodeId, TreeDecomposition
+from repro.query.cq import CQAP
+from repro.query.hypergraph import Hypergraph, VarSet, varset
+from repro.tradeoff.curves import TradeoffFormula
+from repro.tradeoff.edge_cover import fractional_edge_cover, slack
+from repro.util.rationals import approx_fraction
+
+
+@dataclass(frozen=True)
+class BagCover:
+    """Per-bag cover data: weights, total weight u*, interface, slack α."""
+
+    node: NodeId
+    cover: Tuple[Tuple[VarSet, Fraction], ...]
+    total_weight: Fraction
+    interface: VarSet
+    alpha: Fraction
+
+
+def bag_interfaces(td: TreeDecomposition, root: NodeId,
+                   access: VarSet) -> Dict[NodeId, VarSet]:
+    """``A_t``: common variables with the parent bag (root gets A)."""
+    parents = td.parent_map(root)
+    out: Dict[NodeId, VarSet] = {}
+    for node in td.nodes:
+        parent = parents[node]
+        if parent is None:
+            out[node] = access
+        else:
+            out[node] = td.bags[node] & td.bags[parent]
+    return out
+
+
+def cover_bag(cqap: CQAP, bag: VarSet,
+              explicit: Optional[Dict[VarSet, object]] = None,
+              interface: Optional[VarSet] = None) -> Dict[VarSet, Fraction]:
+    """A fractional edge cover of one bag's variables by query edges.
+
+    Defaults to a two-stage LP over the edges restricted to the bag:
+    (1) minimize the total weight; (2) among minimum-weight covers, maximize
+    the slack w.r.t. ``interface`` — minimum-weight covers are usually not
+    unique and only the slack-maximizing ones realize the paper's bounds
+    (Example 6.3 needs ``u23 = u34 = 1``, slack 2, for bag {x2,x3,x4}).
+    """
+    if explicit is not None:
+        return {varset(e): Fraction(w) for e, w in explicit.items()}
+    hypergraph = cqap.hypergraph()
+    restricted = sorted(
+        {e & bag for e in hypergraph.edge_sets if e & bag},
+        key=lambda e: tuple(sorted(e)),
+    )
+    # stage 1: minimum total weight
+    from repro.polymatroid.lp import LinearProgram
+
+    def coverage_constraints(lp: LinearProgram) -> None:
+        for var in sorted(bag):
+            coeffs = {("u", i): 1.0
+                      for i, e in enumerate(restricted) if var in e}
+            if not coeffs:
+                raise ValueError(f"bag variable {var!r} is in no hyperedge")
+            lp.add_ge(coeffs, 1.0)
+
+    lp1 = LinearProgram()
+    for i in range(len(restricted)):
+        lp1.variable(("u", i), lower=0.0)
+    coverage_constraints(lp1)
+    lp1.set_objective({("u", i): 1.0 for i in range(len(restricted))},
+                      maximize=False)
+    stage1 = lp1.solve()
+    if not stage1.is_optimal:
+        raise RuntimeError(f"edge cover LP ended {stage1.status}")
+    min_weight = stage1.objective
+    free = (bag - interface) if interface else frozenset()
+    if not free:
+        weights = {("u", i): stage1.values[("u", i)]
+                   for i in range(len(restricted))}
+    else:
+        # stage 2: maximize slack at the minimum weight
+        lp2 = LinearProgram()
+        for i in range(len(restricted)):
+            lp2.variable(("u", i), lower=0.0)
+        coverage_constraints(lp2)
+        lp2.add_le({("u", i): 1.0 for i in range(len(restricted))},
+                   min_weight + 1e-9)
+        lp2.variable("t", lower=0.0)
+        for var in sorted(free):
+            coeffs = {("u", i): 1.0
+                      for i, e in enumerate(restricted) if var in e}
+            coeffs["t"] = -1.0
+            lp2.add_ge(coeffs, 0.0)
+        lp2.set_objective({"t": 1.0}, maximize=True)
+        stage2 = lp2.solve()
+        if not stage2.is_optimal:
+            raise RuntimeError(f"slack LP ended {stage2.status}")
+        weights = {("u", i): stage2.values[("u", i)]
+                   for i in range(len(restricted))}
+    out: Dict[VarSet, Fraction] = {}
+    for i, edge in enumerate(restricted):
+        value = weights[("u", i)]
+        if value > 1e-9:
+            out[edge] = approx_fraction(value, 64, tol=1e-6)
+    return out
+
+
+def path_tradeoff(cqap: CQAP, td: TreeDecomposition, root: NodeId,
+                  covers: Optional[Dict[NodeId, Dict[VarSet, object]]] = None,
+                  ) -> List[Tuple[List[NodeId], TradeoffFormula]]:
+    """The eq.-(35) tradeoff of every root-to-leaf path.
+
+    Returns ``[(path_nodes, formula), ...]``; the decomposition's overall
+    tradeoff is the worst entry (the one with the largest D exponent after
+    normalizing, see :func:`worst_path_tradeoff`).
+    """
+    td.validate(cqap.access_hypergraph())
+    interfaces = bag_interfaces(td, root, cqap.access_set)
+    hypergraph = cqap.hypergraph()
+    bag_data: Dict[NodeId, BagCover] = {}
+    for node in td.nodes:
+        bag = td.bags[node]
+        explicit = covers.get(node) if covers else None
+        cover = cover_bag(cqap, bag, explicit, interface=interfaces[node] & bag)
+        total = sum(cover.values(), Fraction(0))
+        # restrict cover edges to the bag for the slack computation,
+        # merging weights of edges that coincide after restriction
+        slack_cover: Dict[VarSet, Fraction] = {}
+        for edge, weight in cover.items():
+            restricted = edge & bag
+            if restricted:
+                slack_cover[restricted] = (
+                    slack_cover.get(restricted, Fraction(0)) + Fraction(weight)
+                )
+        sub = Hypergraph(bag, list(slack_cover))
+        alpha = slack(sub, slack_cover, interfaces[node] & bag)
+        bag_data[node] = BagCover(
+            node, tuple(sorted(cover.items(),
+                               key=lambda kv: tuple(sorted(kv[0])))),
+            total, interfaces[node], alpha,
+        )
+    out: List[Tuple[List[NodeId], TradeoffFormula]] = []
+    for path in td.root_to_leaf_paths(root):
+        s_exp = sum((Fraction(1) / bag_data[t].alpha for t in path),
+                    Fraction(0))
+        d_exp = sum(
+            (bag_data[t].total_weight / bag_data[t].alpha for t in path),
+            Fraction(0),
+        )
+        # S^{s_exp} · T ≍ Q · D^{d_exp}
+        out.append((
+            path,
+            TradeoffFormula(s_exp, Fraction(1), d_exp, Fraction(1)),
+        ))
+    return out
+
+
+def worst_path_tradeoff(cqap: CQAP, td: TreeDecomposition, root: NodeId,
+                        covers: Optional[Dict] = None,
+                        log_space: float = 1.0) -> TradeoffFormula:
+    """The most expensive path at the given (log_D) space budget.
+
+    Paths are compared by the online time they imply at ``log_space``; the
+    maximum is the decomposition's binding tradeoff (§E.2 takes the worst
+    across root-to-leaf paths).
+    """
+    entries = path_tradeoff(cqap, td, root, covers)
+    def implied_log_time(formula: TradeoffFormula) -> float:
+        return formula.log_time(log_space, log_d=1.0, log_q=0.0)
+    return max((f for _, f in entries), key=implied_log_time)

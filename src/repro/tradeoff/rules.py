@@ -1,0 +1,122 @@
+"""2-phase disjunctive rules and their generation from PMTD sets (§4).
+
+A 2-phase disjunctive rule (Definition 4.1) has the body of the access CQ and
+a head split into *S-targets* (answerable during preprocessing) and
+*T-targets* (answerable online).  §4.2 builds one rule per element of the
+cartesian product of the PMTDs' node sets: the chosen node contributes its
+S-view or T-view schema as a target.
+
+Two reductions keep the rule set at the paper's size (Table 1 lists 4 rules
+for 3-reachability out of the raw 16):
+
+* within a rule, a target whose schema contains another same-kind target's
+  schema is redundant (§E.8 drops ``T2345`` in the presence of ``T234``);
+* across rules, a rule whose S-target and T-target sets both contain another
+  rule's is *no easier* (Observation E.1) and a model of the smaller rule is
+  a model of the larger one — so only subset-minimal rules are kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.decomposition.pmtd import PMTD, S_VIEW, view_label
+from repro.query.cq import CQAP
+from repro.query.hypergraph import VarSet, varset
+
+
+@dataclass(frozen=True)
+class TwoPhaseRule:
+    """An (S-targets, T-targets) head over a CQAP's access body."""
+
+    s_targets: FrozenSet[VarSet]
+    t_targets: FrozenSet[VarSet]
+
+    def __post_init__(self) -> None:
+        if not self.s_targets and not self.t_targets:
+            raise ValueError("a rule needs at least one target")
+
+    @property
+    def label(self) -> str:
+        """Paper-style head, e.g. ``T134 ∨ T124 ∨ S14``."""
+        t_part = sorted(view_label("T", t) for t in self.t_targets)
+        s_part = sorted(view_label("S", s) for s in self.s_targets)
+        return " ∨ ".join(t_part + s_part)
+
+    def __repr__(self) -> str:
+        return f"TwoPhaseRule({self.label})"
+
+    def no_easier_than(self, other: "TwoPhaseRule") -> bool:
+        """Observation E.1: other's targets ⊆ ours (componentwise)."""
+        return (other.s_targets <= self.s_targets
+                and other.t_targets <= self.t_targets)
+
+    @staticmethod
+    def reduced(s_targets: Iterable[VarSet],
+                t_targets: Iterable[VarSet]) -> "TwoPhaseRule":
+        """Build a rule, dropping same-kind superset targets."""
+
+        def minimal(targets: Iterable[VarSet]) -> FrozenSet[VarSet]:
+            targets = set(targets)
+            return frozenset(
+                t for t in targets
+                if not any(o < t for o in targets)
+            )
+
+        return TwoPhaseRule(minimal(s_targets), minimal(t_targets))
+
+
+def rules_from_pmtds(pmtds: Sequence[PMTD],
+                     reduce_rules: bool = True) -> List[TwoPhaseRule]:
+    """§4.2: one rule per choice of one view from every PMTD.
+
+    With ``reduce_rules`` (default), within-rule target reduction and the
+    across-rule subset-minimality filter are applied, reproducing Table 1.
+    """
+    if not pmtds:
+        raise ValueError("need at least one PMTD")
+    choices = [list(p.views.values()) for p in pmtds]
+    raw: List[TwoPhaseRule] = []
+    seen = set()
+    for combo in product(*choices):
+        s_targets = [v.variables for v in combo if v.kind == S_VIEW]
+        t_targets = [v.variables for v in combo if v.kind != S_VIEW]
+        if reduce_rules:
+            rule = TwoPhaseRule.reduced(s_targets, t_targets)
+        else:
+            rule = TwoPhaseRule(frozenset(s_targets), frozenset(t_targets))
+        key = (rule.s_targets, rule.t_targets)
+        if key not in seen:
+            seen.add(key)
+            raw.append(rule)
+    if not reduce_rules:
+        return raw
+    # keep subset-minimal rules only
+    kept: List[TwoPhaseRule] = []
+    for rule in raw:
+        if not any(other is not rule and rule.no_easier_than(other)
+                   and (other.s_targets, other.t_targets)
+                   != (rule.s_targets, rule.t_targets)
+                   for other in raw):
+            kept.append(rule)
+    return kept
+
+
+def paper_rules_3reach() -> List[TwoPhaseRule]:
+    """The four Table-1 rules, constructed explicitly for cross-checking."""
+
+    def v(*nums: int) -> VarSet:
+        return varset(f"x{n}" for n in nums)
+
+    return [
+        TwoPhaseRule(frozenset({v(1, 4)}),
+                     frozenset({v(1, 3, 4), v(1, 2, 4)})),
+        TwoPhaseRule(frozenset({v(1, 3), v(1, 4)}),
+                     frozenset({v(1, 2, 3), v(1, 2, 4)})),
+        TwoPhaseRule(frozenset({v(2, 4), v(1, 4)}),
+                     frozenset({v(1, 3, 4), v(2, 3, 4)})),
+        TwoPhaseRule(frozenset({v(1, 3), v(2, 4), v(1, 4)}),
+                     frozenset({v(1, 2, 3), v(2, 3, 4)})),
+    ]

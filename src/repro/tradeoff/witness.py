@@ -1,0 +1,169 @@
+"""Witness extraction — Theorem D.5 made executable.
+
+Theorem D.5 says the dual of the OBJ(S) LP *is* a joint Shannon-flow
+inequality: the dual values on the DC rows give the δ_S/δ_T coefficients,
+those on the split-constraint rows give the γ pairs, and (λ, θ) come from
+the target/budget rows.  This module reads those duals back out of a solved
+:class:`ObjResult`, reassembles the inequality
+
+    Σ δ_S·h_S(Y|X) + Σ δ_T·h_T(Y|X) + Σ γ·(split pairs)
+        ≥ Σ θ_B·h_S(B) + Σ λ_B·h_T(B),
+
+and re-verifies it *independently* over Γ_n × Γ_n.  The implied upper bound
+
+    Σ coefficients · log-bounds  −  (log S)·‖θ‖₁
+
+must then reproduce OBJ(S) by strong duality — closing the loop between the
+algorithmic LP and the paper's inequality-level story.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.query.hypergraph import VarSet, varset
+from repro.tradeoff.joint_flow import JointFlowProgram, ObjResult
+from repro.tradeoff.rules import TwoPhaseRule
+
+
+@dataclass
+class JointFlowWitness:
+    """The (δ_S, δ_T, γ, λ, θ) certificate of one OBJ(S) optimum."""
+
+    delta_s: Dict[Tuple[VarSet, VarSet], float] = field(default_factory=dict)
+    delta_t: Dict[Tuple[VarSet, VarSet], float] = field(default_factory=dict)
+    gamma_s_heavy: Dict[Tuple[VarSet, VarSet], float] = field(
+        default_factory=dict
+    )
+    gamma_t_heavy: Dict[Tuple[VarSet, VarSet], float] = field(
+        default_factory=dict
+    )
+    lambda_t: Dict[VarSet, float] = field(default_factory=dict)
+    theta_s: Dict[VarSet, float] = field(default_factory=dict)
+    log_bounds: Dict[Tuple[str, Tuple[VarSet, VarSet]], float] = field(
+        default_factory=dict
+    )
+
+    @property
+    def lambda_norm(self) -> float:
+        return sum(self.lambda_t.values())
+
+    @property
+    def theta_norm(self) -> float:
+        return sum(self.theta_s.values())
+
+    # ------------------------------------------------------------------
+    def lhs_terms(self) -> Tuple[Dict, Dict]:
+        """(lhs_s, lhs_t) in the verify_joint_inequality format."""
+        lhs_s: Dict[Tuple[VarSet, VarSet], float] = {}
+        lhs_t: Dict[Tuple[VarSet, VarSet], float] = {}
+
+        def bump(target, key, coef):
+            if coef > 1e-12:
+                target[key] = target.get(key, 0.0) + coef
+
+        empty = varset(())
+        for (x, y), coef in self.delta_s.items():
+            bump(lhs_s, (x, y), coef)
+        for (x, y), coef in self.delta_t.items():
+            bump(lhs_t, (x, y), coef)
+        # γ (X, Y|X): h_S(X) + h_T(Y|X)
+        for (x, y), coef in self.gamma_s_heavy.items():
+            bump(lhs_s, (empty, x), coef)
+            bump(lhs_t, (x, y), coef)
+        # γ (Y|X, X): h_S(Y|X) + h_T(X)
+        for (x, y), coef in self.gamma_t_heavy.items():
+            bump(lhs_s, (x, y), coef)
+            bump(lhs_t, (empty, x), coef)
+        return lhs_s, lhs_t
+
+    def implied_bound(self, log_space: float) -> float:
+        """``ℓ(λ, θ) − logS·‖θ‖₁`` — must equal OBJ(S) at the optimum."""
+        total = 0.0
+        for key, coef_map in (
+            (("dc", "s"), self.delta_s),
+            (("dc", "t"), self.delta_t),
+            (("sc_s",), self.gamma_s_heavy),
+            (("sc_t",), self.gamma_t_heavy),
+        ):
+            for pair, coef in coef_map.items():
+                bound = self.log_bounds.get((key[0] if len(key) == 1
+                                             else key[0] + key[1], pair))
+                if bound is None:
+                    continue
+                total += coef * bound
+        return total - log_space * self.theta_norm
+
+    def verify(self, program: JointFlowProgram,
+               tolerance: float = 1e-6) -> bool:
+        """Independent Definition-D.4 check of the extracted inequality."""
+        lhs_s, lhs_t = self.lhs_terms()
+        rhs_s = {b: c for b, c in self.theta_s.items() if c > 1e-12}
+        rhs_t = {b: c for b, c in self.lambda_t.items() if c > 1e-12}
+        if not rhs_s and not rhs_t:
+            return True  # trivial inequality
+        return program.verify_joint_inequality(
+            lhs_s, lhs_t, rhs_s, rhs_t, tolerance=tolerance
+        )
+
+
+def extract_witness(program: JointFlowProgram, rule: TwoPhaseRule,
+                    result: ObjResult) -> JointFlowWitness:
+    """Parse a solved OBJ(S) LP's duals into a :class:`JointFlowWitness`.
+
+    Relies on the constraint names assigned in
+    :meth:`JointFlowProgram._base_program` and
+    :meth:`JointFlowProgram.obj_for_budget`: ``("dc", tag, X, Y)``,
+    ``("sc_s_heavy"|"sc_t_heavy", (X, Y))``, ``("target_t", B)``,
+    ``("budget", B)``.
+    """
+    if result.status != "optimal":
+        raise ValueError(f"cannot extract a witness from a {result.status} "
+                         "result")
+    witness = JointFlowWitness()
+    from repro.tradeoff.joint_flow import H_S, H_T
+
+    for name, value in result.duals.items():
+        if value <= 1e-9 or not isinstance(name, tuple):
+            continue
+        kind = name[0]
+        if kind == "dc":
+            _, tag, x_sorted, y_sorted = name
+            pair = (varset(x_sorted), varset(y_sorted))
+            if tag == H_S:
+                witness.delta_s[pair] = value
+            else:
+                witness.delta_t[pair] = value
+            constraints = program.dc if tag == H_S else program.dc_ac
+            witness.log_bounds[("dc" + ("s" if tag == H_S else "t"),
+                                pair)] = math.log2(
+                constraints.bound(pair[0], pair[1])
+            )
+        elif kind in ("sc_s_heavy", "sc_t_heavy"):
+            x_sorted, y_sorted = name[1]
+            pair = (varset(x_sorted), varset(y_sorted))
+            target = (witness.gamma_s_heavy if kind == "sc_s_heavy"
+                      else witness.gamma_t_heavy)
+            target[pair] = target.get(pair, 0.0) + value
+            for split in program.sc:
+                if (split.x, split.y) == pair:
+                    witness.log_bounds[
+                        ("sc_s" if kind == "sc_s_heavy" else "sc_t", pair)
+                    ] = split.log_bound
+                    break
+        elif kind == "target_t":
+            witness.lambda_t[varset(name[1])] = value
+        elif kind == "budget":
+            witness.theta_s[varset(name[1])] = value
+    return witness
+
+
+def obj_with_witness(program: JointFlowProgram, rule: TwoPhaseRule,
+                     log_space: float) -> Tuple[ObjResult, JointFlowWitness]:
+    """Solve OBJ(S) and return the result plus its extracted witness."""
+    result = program.obj_for_budget(rule, log_space)
+    if result.status != "optimal":
+        return result, JointFlowWitness()
+    return result, extract_witness(program, rule, result)

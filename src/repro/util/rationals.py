@@ -1,0 +1,52 @@
+"""Rational-arithmetic helpers for recovering exact tradeoff exponents.
+
+The LP layer produces floating-point optima; the paper states tradeoffs with
+small rational exponents (e.g. ``S^{3/2} * T = Q * D^3``).  These helpers snap
+floats onto nearby small-denominator fractions and fit slopes of
+piecewise-linear curves.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Sequence
+
+
+def log2(value: float) -> float:
+    """Base-2 logarithm (the paper's convention for all logs)."""
+    return math.log2(value)
+
+
+def approx_fraction(value: float, max_denominator: int = 64,
+                    tol: float = 1e-6) -> Fraction:
+    """Snap ``value`` to the closest fraction with a small denominator.
+
+    Raises ``ValueError`` when no fraction with denominator at most
+    ``max_denominator`` is within ``tol`` of ``value`` — callers should treat
+    that as "the optimum is not the clean rational we expected".
+    """
+    frac = Fraction(value).limit_denominator(max_denominator)
+    if abs(float(frac) - value) > tol:
+        raise ValueError(
+            f"{value!r} is not within {tol} of a fraction with denominator "
+            f"<= {max_denominator} (closest was {frac})"
+        )
+    return frac
+
+
+def solve_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``ys`` against ``xs``.
+
+    Used to recover tradeoff exponents from log-log sweeps.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two same-length sequences of at least 2 points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    if den == 0:
+        raise ValueError("x values are constant; slope undefined")
+    return num / den

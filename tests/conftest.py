@@ -1,0 +1,10 @@
+"""Shared pytest configuration: the `slow` marker for long LP sweeps."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running LP sweeps (run by default; deselect "
+        "with -m 'not slow')"
+    )

@@ -1,0 +1,152 @@
+"""Tests for piecewise-linear curves, envelopes, and tradeoff formulas."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.tradeoff.curves import (
+    PiecewiseCurve,
+    Segment,
+    TradeoffFormula,
+    envelope_max,
+    envelope_min,
+    fit_segment_formulas,
+)
+
+
+def vee(x):
+    """A V-shaped test curve with a kink at 1."""
+    return abs(x - 1.0)
+
+
+class TestPiecewiseCurve:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            PiecewiseCurve([1.0], [2.0])
+
+    def test_sample_and_value(self):
+        curve = PiecewiseCurve.sample(lambda x: 2 * x, 0.0, 1.0, steps=10)
+        assert curve.value_at(0.55) == pytest.approx(1.1)
+
+    def test_value_clamps_outside_range(self):
+        curve = PiecewiseCurve([0.0, 1.0], [5.0, 7.0])
+        assert curve.value_at(-1.0) == 5.0
+        assert curve.value_at(2.0) == 7.0
+
+    def test_single_segment(self):
+        curve = PiecewiseCurve.sample(lambda x: 3 - x, 0.0, 2.0, steps=20)
+        segments = curve.segments()
+        assert len(segments) == 1
+        assert segments[0].slope == F(-1)
+        assert segments[0].intercept == F(3)
+
+    def test_kink_on_grid(self):
+        curve = PiecewiseCurve.sample(vee, 0.0, 2.0, steps=20)
+        points = curve.breakpoints()
+        assert (F(1), F(0)) in points
+
+    def test_kink_off_grid_recovered_exactly(self):
+        # kink at 1/3 while sampling on a 1/20 grid: the straddle interval
+        # must be dropped and the breakpoint recovered by intersection
+        curve = PiecewiseCurve.sample(lambda x: abs(x - 1 / 3), 0.0, 1.0,
+                                      steps=20)
+        points = curve.breakpoints()
+        assert (F(1, 3), F(0)) in points
+
+    def test_three_segments(self):
+        def fn(x):
+            return max(0.0, min(2 - x, 6 - 4 * x))
+
+        curve = PiecewiseCurve.sample(fn, 1.0, 2.0, steps=60)
+        segments = curve.segments()
+        slopes = [seg.slope for seg in segments]
+        assert slopes == [F(-1), F(-4), F(0)]
+        assert segments[0].x_end == F(4, 3)
+        assert segments[1].x_end == F(3, 2)
+
+
+class TestEnvelopes:
+    def test_max(self):
+        a = PiecewiseCurve([0.0, 1.0], [0.0, 1.0])
+        b = PiecewiseCurve([0.0, 1.0], [1.0, 0.0])
+        env = envelope_max([a, b])
+        assert env.value_at(0.0) == 1.0
+        assert env.value_at(1.0) == 1.0
+
+    def test_min(self):
+        a = PiecewiseCurve([0.0, 1.0], [0.0, 1.0])
+        b = PiecewiseCurve([0.0, 1.0], [1.0, 0.0])
+        env = envelope_min([a, b])
+        assert env.value_at(0.0) == 0.0
+        assert env.value_at(1.0) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            envelope_max([])
+
+    def test_union_grid(self):
+        a = PiecewiseCurve([0.0, 1.0], [0.0, 2.0])
+        b = PiecewiseCurve([0.0, 0.5, 1.0], [3.0, 0.0, 3.0])
+        env = envelope_max([a, b])
+        assert 0.5 in env.xs
+
+
+class TestTradeoffFormula:
+    def test_log_time(self):
+        f = TradeoffFormula(F(1), F(2), F(2), F(2))  # S·T² = D²Q²
+        assert f.log_time(1.0, log_d=1.0, log_q=0.0) == pytest.approx(0.5)
+        assert f.log_time(1.0, log_d=1.0, log_q=0.5) == pytest.approx(1.0)
+
+    def test_zero_t_exponent_raises(self):
+        f = TradeoffFormula(F(1), F(0), F(2))
+        with pytest.raises(ValueError):
+            f.log_time(1.0)
+
+    def test_normalized_identifies_scalings(self):
+        a = TradeoffFormula(F(3), F(2), F(6), F(2))
+        b = TradeoffFormula(F(3, 2), F(1), F(3), F(1))
+        assert a.normalized() == b.normalized()
+
+    def test_repr(self):
+        f = TradeoffFormula(F(3, 2), F(1), F(3), F(1))
+        assert "S^3/2" in repr(f)
+        assert "D^3" in repr(f)
+
+    def test_repr_trivial_rhs(self):
+        f = TradeoffFormula(F(1), F(1), F(0), F(0))
+        assert repr(f).endswith("1")
+
+    def test_curve_with_floor(self):
+        f = TradeoffFormula(F(1), F(1), F(2))  # T = D²/S
+        curve = f.curve(1.0, 3.0, floor=0.0, steps=20)
+        assert curve.value_at(2.5) == 0.0  # clamped
+        assert curve.value_at(1.5) == pytest.approx(0.5)
+
+
+class TestFitSegments:
+    def test_recovers_single_formula(self):
+        f = TradeoffFormula(F(1), F(2), F(2))
+        curve = f.curve(1.0, 1.8, steps=30)
+        fitted = fit_segment_formulas(curve)
+        assert len(fitted) == 1
+        assert fitted[0].normalized() == f.normalized()
+
+    def test_recovers_piecewise(self):
+        def fn(x):
+            return min(2 - x, (6 - 4 * x))
+
+        curve = PiecewiseCurve.sample(fn, 1.0, 1.45, steps=45)
+        fitted = fit_segment_formulas(curve)
+        norms = {f.normalized() for f in fitted}
+        assert TradeoffFormula(F(1), F(1), F(2)).normalized() in norms
+        assert TradeoffFormula(F(4), F(1), F(6)).normalized() in norms
+
+    def test_q_probe(self):
+        f = TradeoffFormula(F(1), F(2), F(2), F(2))
+
+        def q_probe(x_mid, dq):
+            return f.log_time(x_mid, 1.0, dq) - f.log_time(x_mid, 1.0, 0.0)
+
+        curve = f.curve(1.0, 1.8, steps=30)
+        fitted = fit_segment_formulas(curve, q_slope_probe=q_probe)
+        assert fitted[0].normalized() == f.normalized()

@@ -1,0 +1,131 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.data import (
+    Database,
+    access_requests_from_output,
+    hierarchical_binary_tree_database,
+    layered_path_database,
+    path_database,
+    random_edge_relation,
+    set_family,
+    square_database,
+    star_database,
+    triangle_database,
+)
+from repro.query.catalog import k_path_cqap
+
+
+class TestEdgeRelation:
+    def test_size_and_domain(self):
+        rel = random_edge_relation("E", ("a", "b"), 200, 50, seed=1)
+        assert len(rel) == 200
+        assert all(0 <= a < 50 and 0 <= b < 50 for a, b in rel.tuples)
+
+    def test_deterministic(self):
+        r1 = random_edge_relation("E", ("a", "b"), 100, 30, seed=9)
+        r2 = random_edge_relation("E", ("a", "b"), 100, 30, seed=9)
+        assert r1.tuples == r2.tuples
+
+    def test_skew_creates_hubs(self):
+        skewed = random_edge_relation("E", ("a", "b"), 600, 200, seed=2,
+                                      skew_hubs=3)
+        uniform = random_edge_relation("E", ("a", "b"), 600, 200, seed=2)
+        assert skewed.degree(("a",)) > 2 * uniform.degree(("a",))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            random_edge_relation("E", ("a", "b", "c"), 10, 5)
+
+
+class TestPathDatabases:
+    def test_shapes(self):
+        db = path_database(3, 150, 40, seed=1)
+        assert db.names == ["R1", "R2", "R3"]
+        assert db["R1"].schema == ("x1", "x2")
+        assert db["R3"].schema == ("x3", "x4")
+
+    def test_shared_relation(self):
+        db = path_database(3, 150, 40, seed=1, shared_relation=True)
+        assert db["R1"].tuples == db["R2"].tuples == db["R3"].tuples
+
+    def test_layered_guarantees_paths(self):
+        db = layered_path_database(3, layer_size=20, out_degree=3, seed=4)
+        q = k_path_cqap(3)
+        assert len(q.evaluate(db)) > 0
+
+    def test_layered_layer_ranges(self):
+        db = layered_path_database(2, layer_size=10, out_degree=2, seed=1)
+        for a, b in db["R1"].tuples:
+            assert 0 <= a < 10 and 10 <= b < 20
+
+
+class TestFamiliesAndShapes:
+    def test_set_family_heavy_sets(self):
+        rel = set_family(20, 50, 400, seed=3, heavy_sets=2, heavy_size=40)
+        by_set = {}
+        for y, x in rel.tuples:
+            by_set.setdefault(x, set()).add(y)
+        sizes = sorted((len(v) for v in by_set.values()), reverse=True)
+        assert sizes[1] >= 35  # two planted heavy sets
+
+    def test_star_database_shares_membership(self):
+        db = star_database(3, 200, 40, seed=5)
+        assert db["R1"].tuples == db["R2"].tuples == db["R3"].tuples
+        assert db["R1"].schema == ("y", "x1")
+        assert db["R3"].schema == ("y", "x3")
+
+    def test_square_database(self):
+        db = square_database(100, 30, seed=6)
+        assert db.names == ["R1", "R2", "R3", "R4"]
+        assert db["R4"].schema == ("x4", "x1")
+
+    def test_triangle_database(self):
+        db = triangle_database(100, 30, seed=7)
+        assert db["R3"].schema == ("x3", "x1")
+
+    def test_hierarchical_database(self):
+        db = hierarchical_binary_tree_database(120, 15, seed=8, heavy_x=2)
+        assert set(db.names) == {"R", "S", "T", "U"}
+        assert db["R"].schema == ("x", "y1", "z1")
+        assert len(db["R"]) == 120
+
+
+class TestAccessRequests:
+    def test_hits_come_from_output(self):
+        db = path_database(2, 150, 40, seed=9)
+        q = k_path_cqap(2)
+        full = q.evaluate(db)
+        requests = access_requests_from_output(full, ("x1", "x3"), 30,
+                                               seed=1, hit_fraction=1.0)
+        assert all(r in full.tuples for r in requests)
+
+    def test_misses_possible(self):
+        db = path_database(2, 150, 40, seed=9)
+        q = k_path_cqap(2)
+        full = q.evaluate(db)
+        requests = access_requests_from_output(full, ("x1", "x3"), 30,
+                                               seed=1, hit_fraction=0.0)
+        assert all(r not in full.tuples for r in requests)
+
+
+class TestDatabase:
+    def test_size_is_max_relation(self):
+        db = Database()
+        db.add(random_edge_relation("A", ("a", "b"), 50, 20, seed=1))
+        db.add(random_edge_relation("B", ("c", "d"), 80, 20, seed=2))
+        assert db.size == 80
+        assert db.total_tuples == 130
+
+    def test_duplicate_name_rejected(self):
+        db = Database()
+        db.add(random_edge_relation("A", ("a", "b"), 10, 5, seed=1))
+        with pytest.raises(KeyError):
+            db.add(random_edge_relation("A", ("a", "b"), 10, 5, seed=2))
+
+    def test_copy_independent(self):
+        db = Database([random_edge_relation("A", ("a", "b"), 10, 5, seed=1)])
+        clone = db.copy()
+        clone["A"].add((99, 99))
+        assert (99, 99) not in db["A"]

@@ -1,0 +1,112 @@
+"""Tests for the general §F hierarchical analysis.
+
+The generalized Figure-6b construction and the end-of-§F inequality must
+reproduce the paper's three instances: the binary-tree query (w = 4), the
+k-set disjointness star (w = k, matching Example 6.2), and the 2-path query
+(w = 2, matching the §5 tradeoff).
+"""
+
+import pytest
+
+from repro.decomposition import PMTD
+from repro.problems import HierarchicalAnalysis, figure6_decomposition
+from repro.query import Atom, CQAP
+from repro.query.catalog import (
+    hierarchical_binary_tree_cqap,
+    k_path_cqap,
+    k_set_disjointness_cqap,
+)
+from repro.tradeoff import catalog
+
+
+class TestRequirements:
+    def test_rejects_non_hierarchical(self):
+        with pytest.raises(ValueError):
+            HierarchicalAnalysis(k_path_cqap(3))
+
+    def test_rejects_empty_access(self):
+        from repro.query.catalog import triangle_cqap
+
+        with pytest.raises(ValueError):
+            HierarchicalAnalysis(triangle_cqap())
+
+    def test_rejects_disconnected(self):
+        # two independent atoms share no root variable
+        cqap = CQAP(("a", "c"), ("a", "c"),
+                    [Atom("R", ("a", "b")), Atom("S", ("c", "d"))])
+        with pytest.raises(ValueError):
+            HierarchicalAnalysis(cqap)
+
+    def test_rejects_two_access_vars_in_one_atom(self):
+        cqap = CQAP(("z1", "z2"), ("z1", "z2"),
+                    [Atom("R", ("x", "z1", "z2"))])
+        with pytest.raises(ValueError):
+            HierarchicalAnalysis(cqap)
+
+
+class TestFigure6a:
+    def setup_method(self):
+        self.analysis = HierarchicalAnalysis(hierarchical_binary_tree_cqap())
+
+    def test_root_and_width(self):
+        assert self.analysis.root_var == "x"
+        assert self.analysis.width == 4
+
+    def test_decomposition_matches_fig6b(self):
+        td, root = self.analysis.decomposition()
+        assert td.signature() == figure6_decomposition().signature()
+        assert root == 0
+
+    def test_decomposition_is_valid_pmtd_base(self):
+        cqap = hierarchical_binary_tree_cqap()
+        td, root = self.analysis.decomposition()
+        td.validate(cqap.access_hypergraph())
+        pmtd = PMTD(td, root, (), cqap.head, cqap.access)
+        assert not pmtd.is_redundant()
+
+    def test_improved_inequality(self):
+        assert self.analysis.verify_improved()
+        assert self.analysis.improved_tradeoff().normalized() == (
+            catalog.hierarchical_fig6_improved().normalized()
+        )
+
+    def test_first_tradeoff_shape(self):
+        assert self.analysis.first_tradeoff().normalized() == (
+            catalog.hierarchical_fig6_derived().normalized()
+        )
+
+
+class TestCrossChecks:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_kset_recovers_example_6_2(self, k):
+        analysis = HierarchicalAnalysis(k_set_disjointness_cqap(k))
+        assert analysis.width == k
+        assert analysis.verify_improved()
+        assert analysis.improved_tradeoff().normalized() == (
+            catalog.set_disjointness_boolean(k).normalized()
+        )
+
+    def test_two_path_recovers_sec5(self):
+        analysis = HierarchicalAnalysis(k_path_cqap(2))
+        assert analysis.width == 2
+        assert analysis.root_var == "x2"
+        assert analysis.verify_improved()
+        assert analysis.improved_tradeoff().normalized() == (
+            catalog.square_query().normalized()  # also S·T² ≍ D²·Q²
+        )
+
+    def test_deeper_hierarchy(self):
+        # a 3-level chain: R(x,y,z1), S(x,y,z2), T(x,z3)
+        cqap = CQAP(
+            ("z1", "z2", "z3"), ("z1", "z2", "z3"),
+            [
+                Atom("R", ("x", "y", "z1")),
+                Atom("S", ("x", "y", "z2")),
+                Atom("T", ("x", "z3")),
+            ],
+        )
+        analysis = HierarchicalAnalysis(cqap)
+        assert analysis.width == 3
+        td, root = analysis.decomposition()
+        td.validate(cqap.access_hypergraph())
+        assert analysis.verify_improved()

@@ -1,0 +1,203 @@
+"""Tests for Online Yannakakis (Theorem 3.7 / Appendix A / Figure 5)."""
+
+import random
+
+import pytest
+
+from repro.core.joins import project_join
+from repro.core.online_yannakakis import OnlineYannakakis
+from repro.data import Database, Relation
+from repro.decomposition import PMTD, TreeDecomposition
+from repro.query import Atom, CQAP, ConjunctiveQuery
+from repro.query.catalog import k_path_cqap
+from repro.util.counters import Counters
+
+
+def three_reach_setup(seed=0, domain=10, edges=35):
+    rng = random.Random(seed)
+    cqap = k_path_cqap(3)
+    db = Database()
+    for name, schema in (("R1", ("x1", "x2")), ("R2", ("x2", "x3")),
+                         ("R3", ("x3", "x4"))):
+        rows = {(rng.randrange(domain), rng.randrange(domain))
+                for _ in range(edges)}
+        db.add(Relation(name, schema, rows))
+    rels = [Relation(a.relation, a.variables, db[a.relation].tuples)
+            for a in cqap.atoms]
+    return cqap, db, rels
+
+
+class TestValidation:
+    def test_missing_s_view_rejected(self):
+        cqap, db, rels = three_reach_setup()
+        td = TreeDecomposition(
+            {0: {"x1", "x3", "x4"}, 1: {"x1", "x2", "x3"}}, [(0, 1)]
+        )
+        pmtd = PMTD(td, 0, (1,), cqap.head, cqap.access)
+        with pytest.raises(ValueError):
+            OnlineYannakakis(pmtd, {})
+
+    def test_wrong_schema_rejected(self):
+        cqap, db, rels = three_reach_setup()
+        td = TreeDecomposition(
+            {0: {"x1", "x3", "x4"}, 1: {"x1", "x2", "x3"}}, [(0, 1)]
+        )
+        pmtd = PMTD(td, 0, (1,), cqap.head, cqap.access)
+        wrong = Relation("S", ("x1", "x2"), [])
+        with pytest.raises(ValueError):
+            OnlineYannakakis(pmtd, {1: wrong})
+
+    def test_missing_t_view_rejected(self):
+        cqap, db, rels = three_reach_setup()
+        td = TreeDecomposition(
+            {0: {"x1", "x3", "x4"}, 1: {"x1", "x2", "x3"}}, [(0, 1)]
+        )
+        pmtd = PMTD(td, 0, (1,), cqap.head, cqap.access)
+        s13 = project_join(rels, ("x1", "x3"))
+        oy = OnlineYannakakis(pmtd, {1: s13})
+        req = Relation("Q", ("x1", "x4"), [(0, 0)])
+        with pytest.raises(ValueError):
+            oy.answer(req, {})
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mixed_pmtd_matches_from_scratch(self, seed):
+        cqap, db, rels = three_reach_setup(seed)
+        td = TreeDecomposition(
+            {0: {"x1", "x3", "x4"}, 1: {"x1", "x2", "x3"}}, [(0, 1)]
+        )
+        pmtd = PMTD(td, 0, (1,), cqap.head, cqap.access)
+        s13 = project_join(rels, ("x1", "x3"))
+        oy = OnlineYannakakis(pmtd, {1: s13})
+        rng = random.Random(seed)
+        for _ in range(40):
+            u, v = rng.randrange(10), rng.randrange(10)
+            req = Relation("Q", ("x1", "x4"), [(u, v)])
+            t134 = project_join(rels + [req], ("x1", "x3", "x4"))
+            psi = oy.answer(req, {0: t134})
+            expected = cqap.answer_from_scratch(db, req)
+            assert psi.project(("x1", "x4")).tuples == expected.tuples
+
+    def test_batch_request(self):
+        cqap, db, rels = three_reach_setup(3)
+        full = cqap.evaluate(db)
+        td = TreeDecomposition(
+            {0: {"x1", "x3", "x4"}, 1: {"x1", "x2", "x3"}}, [(0, 1)]
+        )
+        pmtd = PMTD(td, 0, (1,), cqap.head, cqap.access)
+        s13 = project_join(rels, ("x1", "x3"))
+        oy = OnlineYannakakis(pmtd, {1: s13})
+        req = Relation("Q", ("x1", "x4"),
+                       list(full.tuples)[:5] + [(99, 99)])
+        t134 = project_join(rels + [req], ("x1", "x3", "x4"))
+        psi = oy.answer(req, {0: t134})
+        assert psi.project(("x1", "x4")).tuples == set(
+            list(full.tuples)[:5]
+        )
+
+    def test_s_views_never_scanned_online(self):
+        """Theorem 3.7's hallmark: time independent of S-view size."""
+        cqap, db, rels = three_reach_setup(7, domain=12, edges=60)
+        td = TreeDecomposition(
+            {0: {"x1", "x3", "x4"}, 1: {"x1", "x2", "x3"}}, [(0, 1)]
+        )
+        pmtd = PMTD(td, 0, (1,), cqap.head, cqap.access)
+        s13 = project_join(rels, ("x1", "x3"))
+        # inflate the S-view with junk that the semijoin will ignore
+        inflated = Relation("S13", s13.schema,
+                            set(s13.tuples)
+                            | {(1000 + i, 2000 + i) for i in range(500)})
+        oy = OnlineYannakakis(pmtd, {1: inflated})
+        req = Relation("Q", ("x1", "x4"), [(0, 0)])
+        t134 = project_join(rels + [req], ("x1", "x3", "x4"))
+        ctr = Counters()
+        oy.answer(req, {0: t134}, counters=ctr)
+        # online scans touch T-views and the request only; the 500 junk
+        # tuples must not be scanned
+        assert ctr.scans < 200
+
+    def test_stored_tuples_accounting(self):
+        cqap, db, rels = three_reach_setup(1)
+        td = TreeDecomposition({0: {"x1", "x2", "x3", "x4"}}, [])
+        pmtd = PMTD(td, 0, (0,), cqap.head, cqap.access)
+        s14 = project_join(rels, ("x1", "x4"))
+        oy = OnlineYannakakis(pmtd, {0: s14})
+        assert oy.stored_tuples == len(s14)
+
+
+class TestExampleA1:
+    """The Figure 5 walkthrough: 9 variables, mixed S/T tree."""
+
+    def build(self, seed=0, domain=6, rows=30):
+        rng = random.Random(seed)
+
+        def rand_rel(name, schema):
+            data = {tuple(rng.randrange(domain) for _ in schema)
+                    for _ in range(rows)}
+            return Relation(name, schema, data)
+
+        # view relations named as in Example A.1
+        relations = {
+            "T12": rand_rel("T12", ("x1", "x2")),
+            "T13": rand_rel("T13", ("x1", "x3")),
+            "T345": rand_rel("T345", ("x3", "x4", "x5")),
+            "S45": rand_rel("S45", ("x4", "x5", "x6")),
+            "S37": rand_rel("S37", ("x3", "x7")),
+            "S78": rand_rel("S78", ("x7", "x8", "x9")),
+        }
+        td = TreeDecomposition(
+            {
+                0: {"x1", "x2"},
+                1: {"x1", "x3"},
+                2: {"x3", "x4", "x5"},
+                3: {"x3", "x7"},
+                4: {"x4", "x5", "x6"},
+                5: {"x7", "x8", "x9"},
+            },
+            [(0, 1), (1, 2), (1, 3), (2, 4), (3, 5)],
+        )
+        head = ("x1", "x2", "x3", "x4", "x7", "x8")
+        pmtd = PMTD(td, 0, (3, 4, 5), head, ("x1", "x2"))
+        return relations, td, pmtd, head
+
+    def test_views_match_paper_labels(self):
+        # ν(4) = {x4,x5,x6} ∩ (H ∪ χ(2)) = {x4,x5}; ν(5) = χ(5) ∩ H = {x7,x8}
+        _, _, pmtd, _ = self.build()
+        assert sorted(pmtd.labels) == sorted(
+            ["T12", "T13", "T345", "S45", "S37", "S78"]
+        )
+
+    def test_matches_brute_force(self):
+        relations, td, pmtd, head = self.build(seed=2)
+        # S-views are the ν-projections of the generator relations — exactly
+        # the atoms of the paper's ψ: S45(x4,x5), S37(x3,x7), S78(x7,x8)
+        s_views = {}
+        for node, view in pmtd.s_views.items():
+            base = {4: "S45", 3: "S37", 5: "S78"}[node]
+            rel = relations[base]
+            s_views[node] = rel.project(tuple(sorted(view.variables)),
+                                        name=view.label)
+        oy = OnlineYannakakis(pmtd, s_views)
+
+        rng = random.Random(9)
+        for trial in range(25):
+            u, v = rng.randrange(6), rng.randrange(6)
+            req = Relation("Q12", ("x1", "x2"), [(u, v)])
+            t_views = {
+                node: relations[{0: "T12", 1: "T13", 2: "T345"}[node]].copy(
+                    name=view.label
+                )
+                for node, view in pmtd.t_views.items()
+            }
+            psi = oy.answer(req, t_views)
+            # brute force over ψ's own atoms (projected S-views included)
+            ext = Database()
+            ext.add(Relation("__QA__", ("x1", "x2"), req.tuples))
+            atoms = [Atom("__QA__", ("x1", "x2"))]
+            for node, rel in {**t_views, **s_views}.items():
+                name = f"view{node}"
+                ext.add(Relation(name, rel.schema, rel.tuples))
+                atoms.append(Atom(name, rel.schema))
+            expected = ConjunctiveQuery(head, atoms).evaluate(ext)
+            assert psi.project(head).tuples == expected.tuples

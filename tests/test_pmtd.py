@@ -1,0 +1,217 @@
+"""Unit tests for PMTDs: nu-views, redundancy, domination, enumeration."""
+
+import pytest
+
+from repro.decomposition import (
+    PMTD,
+    TreeDecomposition,
+    enumerate_pmtds,
+    enumerate_tree_decompositions,
+    induced_pmtds,
+    minimal_under_domination,
+    paper_pmtds_3reach,
+    paper_pmtds_4reach,
+    paper_pmtds_square,
+    trivial_pmtds,
+    view_label,
+)
+from repro.query.catalog import (
+    hierarchical_binary_tree_cqap,
+    k_path_cqap,
+    k_set_disjointness_cqap,
+    square_cqap,
+)
+from repro.query.hypergraph import varset
+
+
+def two_bag_td():
+    return TreeDecomposition(
+        {0: {"x1", "x3", "x4"}, 1: {"x1", "x2", "x3"}}, [(0, 1)]
+    )
+
+
+class TestViewLabels:
+    def test_numeric_suffixes(self):
+        assert view_label("T", {"x1", "x3", "x4"}) == "T134"
+
+    def test_fallback(self):
+        assert view_label("S", {"a", "b"}) == "S{a,b}"
+
+
+class TestNuViews:
+    def test_all_t_views(self):
+        q = k_path_cqap(3)
+        p = PMTD(two_bag_td(), 0, (), q.head, q.access)
+        assert [v.label for v in p.views.values()] == ["T134", "T123"]
+
+    def test_materialized_child_projects_onto_head_union_parent(self):
+        # Figure 1 middle: S13 = chi(child) ∩ (H ∪ chi(parent))
+        q = k_path_cqap(3)
+        p = PMTD(two_bag_td(), 0, (1,), q.head, q.access)
+        assert p.view(1).label == "S13"
+        assert p.view(0).label == "T134"
+
+    def test_materialized_root_projects_onto_head(self):
+        # Figure 1 right: single bag materialized keeps only x1, x4
+        q = k_path_cqap(3)
+        td = TreeDecomposition({0: {"x1", "x2", "x3", "x4"}}, [])
+        p = PMTD(td, 0, (0,), q.head, q.access)
+        assert p.view(0).label == "S14"
+
+    def test_child_of_materialized_parent_empty_view(self):
+        # Example 3.6: both bags materialized -> child view becomes empty
+        q = k_path_cqap(3)
+        p = PMTD(two_bag_td(), 0, (0, 1), q.head, q.access)
+        assert p.view(0).variables == {"x1", "x4"}
+        assert p.view(1).variables == frozenset()
+        assert p.is_redundant()
+
+    def test_child_of_materialized_parent_with_new_head_var(self):
+        # if the child carries a head variable the parent lacks, it keeps
+        # chi(t) ∩ H
+        q = k_set_disjointness_cqap(2)  # head/access {x1,x2}, y joins
+        td = TreeDecomposition(
+            {0: {"y", "x1", "x2"}, 1: {"y", "x1", "x2"}}, [(0, 1)]
+        )
+        # artificial but exercises case 2 of the nu definition
+        head = ("x1", "x2")
+        p = PMTD(td, 0, (0, 1), head, head)
+        assert p.view(0).variables == {"x1", "x2"}
+        assert p.view(1).variables == frozenset()
+
+
+class TestValidation:
+    def test_access_outside_root_raises(self):
+        q = k_path_cqap(3)
+        with pytest.raises(ValueError):
+            PMTD(two_bag_td(), 1, (), q.head, q.access)
+
+    def test_mat_set_must_be_descendant_closed(self):
+        q = k_path_cqap(3)
+        with pytest.raises(ValueError):
+            PMTD(two_bag_td(), 0, (0,), q.head, q.access)
+
+    def test_access_must_be_in_head(self):
+        td = TreeDecomposition({0: {"x1", "x2"}}, [])
+        with pytest.raises(ValueError):
+            PMTD(td, 0, (), head={"x1"}, access={"x1", "x2"})
+
+
+class TestRedundancyDomination:
+    def test_figure1_pmtds_non_redundant(self):
+        for p in paper_pmtds_3reach():
+            assert not p.is_redundant()
+
+    def test_figure1_pmtds_pairwise_non_dominating(self):
+        paper = paper_pmtds_3reach()
+        assert len(minimal_under_domination(paper)) == len(paper)
+
+    def test_single_bag_t_dominates_two_bag(self):
+        # Example 3.6: (T1234) dominates (T134, T123)
+        q = k_path_cqap(3)
+        one = PMTD(
+            TreeDecomposition({0: {"x1", "x2", "x3", "x4"}}, []),
+            0, (), q.head, q.access,
+        )
+        two = PMTD(two_bag_td(), 0, (), q.head, q.access)
+        assert two.dominated_by(one)
+        assert not one.dominated_by(two)
+        kept = minimal_under_domination([one, two])
+        assert len(kept) == 1
+        assert kept[0] is two
+
+    def test_s_and_t_views_not_interchangeable(self):
+        q = k_path_cqap(3)
+        paper = paper_pmtds_3reach()
+        t_based = paper[0]   # (T134, T123)
+        s_based = paper[1]   # (T134, S13)
+        assert not t_based.dominated_by(s_based)
+        assert not s_based.dominated_by(t_based)
+
+
+class TestEnumeration:
+    def test_three_reach_matches_figure3(self):
+        enumerated = enumerate_pmtds(k_path_cqap(3))
+        paper = paper_pmtds_3reach()
+        assert {p.signature() for p in enumerated} == {
+            p.signature() for p in paper
+        }
+
+    def test_square_matches_figure2(self):
+        # The enumeration may root the two-bag decomposition at either bag
+        # (the orientations mutually dominate); compare view multisets.
+        enumerated = enumerate_pmtds(square_cqap())
+        paper = paper_pmtds_square()
+
+        def views(p):
+            return tuple(sorted((v.kind, tuple(sorted(v.variables)))
+                                for v in p.views.values()))
+
+        assert {views(p) for p in enumerated} == {views(p) for p in paper}
+
+    def test_two_reach_pmtds(self):
+        # §E.6: only (T123) and (S13)
+        enumerated = enumerate_pmtds(k_path_cqap(2))
+        labels = sorted(tuple(p.labels) for p in enumerated)
+        assert labels == [("S13",), ("T123",)]
+
+    def test_set_disjointness_pmtds(self):
+        # §6.1: single node decomposition, M empty or full
+        enumerated = enumerate_pmtds(k_set_disjointness_cqap(2))
+        kinds = sorted(tuple(p.labels) for p in enumerated)
+        assert len(enumerated) == 2
+        assert any(lbl[0].startswith("S") for lbl in kinds)
+        assert any(lbl[0].startswith("T") for lbl in kinds)
+
+    def test_four_reach_contains_paper_eleven(self):
+        enumerated = enumerate_pmtds(k_path_cqap(4), max_bags=2,
+                                     filter_dominating=False)
+        enum_sigs = {p.signature() for p in enumerated}
+        for p in paper_pmtds_4reach():
+            assert p.signature() in enum_sigs, f"missing {p}"
+
+    def test_decomposition_enumeration_nonredundant(self):
+        q = k_path_cqap(3)
+        tds = enumerate_tree_decompositions(q.access_hypergraph(), max_bags=3)
+        assert all(td.is_non_redundant() for td in tds)
+        assert all(td.covers(q.access_hypergraph()) for td in tds)
+
+
+class TestTrivialAndInduced:
+    def test_trivial_pmtds(self):
+        q = square_cqap()
+        trivials = trivial_pmtds(q)
+        assert len(trivials) == 2
+        kinds = sorted(p.labels[0][0] for p in trivials)
+        assert kinds == ["S", "T"]
+        # S-view projects onto the head
+        s_pmtd = [p for p in trivials if p.labels[0].startswith("S")][0]
+        assert s_pmtd.view(0).variables == q.head_set
+
+    def test_induced_from_path_decomposition(self):
+        # Example 6.3's decomposition for 4-reach
+        q = k_path_cqap(4)
+        td = TreeDecomposition(
+            {0: {"x1", "x2", "x4", "x5"}, 1: {"x2", "x3", "x4"}}, [(0, 1)]
+        )
+        induced = induced_pmtds(q, td, 0)
+        labels = sorted(tuple(p.labels) for p in induced)
+        # M=∅ -> (T1245, T234); M={1} -> (T1245, S24); M={0,1} -> merged S15
+        assert ("T1245", "T234") in labels
+        assert ("T1245", "S24") in labels
+        assert ("S15",) in labels
+
+    def test_induced_respects_antichains(self):
+        q = hierarchical_binary_tree_cqap()
+        # Figure 6b decomposition
+        td = TreeDecomposition(
+            {
+                0: {"x", "z1", "z2", "z3", "z4"},
+                1: {"x", "y1", "z1", "z2"},
+                2: {"x", "y2", "z3", "z4"},
+            },
+            [(0, 1), (0, 2)],
+        )
+        induced = induced_pmtds(q, td, 0)
+        # antichains: {}, {1}, {2}, {1,2}, {0} -> five PMTDs
+        assert len(induced) == 5

@@ -1,0 +1,255 @@
+"""Unit tests for the subset lattice, polymatroid cone, LP layer, and the
+Shannon-flow proof calculus."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.polymatroid import (
+    LinearProgram,
+    ProofSequence,
+    SubsetSpace,
+    add_polymatroid_constraints,
+    compose,
+    decompose,
+    make_vector,
+    mono,
+    submod,
+    vector_ge,
+)
+
+
+class TestSubsetSpace:
+    def setup_method(self):
+        self.space = SubsetSpace(["x1", "x2", "x3"])
+
+    def test_mask_roundtrip(self):
+        mask = self.space.mask({"x1", "x3"})
+        assert self.space.members(mask) == {"x1", "x3"}
+
+    def test_unknown_variable(self):
+        with pytest.raises(KeyError):
+            self.space.mask({"zz"})
+
+    def test_full_mask(self):
+        assert self.space.full_mask == 0b111
+
+    def test_nonempty_masks(self):
+        assert list(self.space.nonempty_masks()) == list(range(1, 8))
+
+    def test_strict_pairs_count(self):
+        # pairs (X,Y), ∅ ⊆ X ⊂ Y: sum over Y of 2^|Y| - 1 ... = 19 for n=3
+        pairs = list(self.space.strict_pairs())
+        assert len(pairs) == 19
+        assert all(x & ~y == 0 and x != y for x, y in pairs)
+
+    def test_subsets_of(self):
+        subs = set(self.space.subsets_of(0b101))
+        assert subs == {0b000, 0b001, 0b100, 0b101}
+        assert 0b101 not in set(self.space.subsets_of(0b101, proper=True))
+
+    def test_label(self):
+        assert self.space.label(0b101) == "{x1,x3}"
+
+
+class TestLinearProgram:
+    def test_simple_max(self):
+        lp = LinearProgram()
+        lp.variable("x", lower=0)
+        lp.add_le({"x": 1.0}, 5.0)
+        lp.set_objective({"x": 1.0}, maximize=True)
+        sol = lp.solve()
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(5.0)
+
+    def test_infeasible(self):
+        lp = LinearProgram()
+        lp.variable("x", lower=0)
+        lp.add_le({"x": 1.0}, -1.0)
+        lp.set_objective({"x": 1.0})
+        assert lp.solve().status == "infeasible"
+
+    def test_unbounded(self):
+        lp = LinearProgram()
+        lp.variable("x", lower=0)
+        lp.set_objective({"x": 1.0}, maximize=True)
+        assert lp.solve().status == "unbounded"
+
+    def test_duals_sign(self):
+        # max x s.t. x <= 3 — dual of the binding constraint is 1
+        lp = LinearProgram()
+        lp.variable("x", lower=0)
+        lp.add_le({"x": 1.0}, 3.0, name="cap")
+        lp.set_objective({"x": 1.0}, maximize=True)
+        sol = lp.solve()
+        assert sol.duals["cap"] == pytest.approx(1.0)
+
+    def test_minimize(self):
+        lp = LinearProgram()
+        lp.variable("x", lower=1.0)
+        lp.set_objective({"x": 1.0}, maximize=False)
+        sol = lp.solve()
+        assert sol.objective == pytest.approx(1.0)
+
+    def test_equality_constraint(self):
+        lp = LinearProgram()
+        lp.variable("x", lower=0)
+        lp.variable("y", lower=0)
+        lp.add_eq({"x": 1.0, "y": 1.0}, 4.0)
+        lp.set_objective({"x": 1.0}, maximize=True)
+        sol = lp.solve()
+        assert sol.objective == pytest.approx(4.0)
+
+
+class TestConeCorrectness:
+    """The elemental inequalities must carve out exactly Γ_n."""
+
+    def _max_over_cone(self, n, objective):
+        space = SubsetSpace([f"x{i}" for i in range(1, n + 1)])
+        lp = LinearProgram()
+        add_polymatroid_constraints(lp, space, lambda m: ("h", m))
+        # normalize: h(full) <= 1 so the cone section is compact
+        lp.add_le({("h", space.full_mask): 1.0}, 1.0)
+        lp.set_objective(
+            {("h", space.mask(s)): c for s, c in objective.items()},
+            maximize=True,
+        )
+        sol = lp.solve()
+        assert sol.is_optimal
+        return sol.objective
+
+    def test_general_monotonicity_implied(self):
+        # h({x1}) - h({x1,x2,x3}) <= 0 must follow from the elementals
+        value = self._max_over_cone(
+            3, {frozenset({"x1"}): 1.0, frozenset({"x1", "x2", "x3"}): -1.0}
+        )
+        assert value <= 1e-9
+
+    def test_general_submodularity_implied(self):
+        # h(12) + h(23) - h(123) - h(2) >= 0 i.e. reverse maximization <= 0
+        value = self._max_over_cone(
+            3,
+            {
+                frozenset({"x1", "x2", "x3"}): 1.0,
+                frozenset({"x2"}): 1.0,
+                frozenset({"x1", "x2"}): -1.0,
+                frozenset({"x2", "x3"}): -1.0,
+            },
+        )
+        assert value <= 1e-9
+
+    def test_subadditivity_implied(self):
+        # h(123) <= h(1) + h(2) + h(3)
+        value = self._max_over_cone(
+            3,
+            {
+                frozenset({"x1", "x2", "x3"}): 1.0,
+                frozenset({"x1"}): -1.0,
+                frozenset({"x2"}): -1.0,
+                frozenset({"x3"}): -1.0,
+            },
+        )
+        assert value <= 1e-9
+
+    def test_non_inequality_not_implied(self):
+        # h(1) + h(2) <= h(12) is NOT valid for polymatroids
+        value = self._max_over_cone(
+            3,
+            {
+                frozenset({"x1"}): 1.0,
+                frozenset({"x2"}): 1.0,
+                frozenset({"x1", "x2"}): -1.0,
+            },
+        )
+        assert value > 0.1
+
+
+class TestProofSteps:
+    def setup_method(self):
+        # masks over x1, x2, x3: x1=1, x2=2, x3=4
+        self.space = SubsetSpace(["x1", "x2", "x3"])
+
+    def test_submod_requires_incomparable(self):
+        with pytest.raises(ValueError):
+            submod(0b001, 0b011)  # I ⊆ J
+
+    def test_step_weight_positive(self):
+        with pytest.raises(ValueError):
+            mono(0b001, 0b011, weight=0)
+
+    def test_submod_consume_produce(self):
+        step = submod(0b011, 0b101)  # I = {1,2}, J = {1,3}
+        assert step.consumed() == [((0b001, 0b011), Fraction(1))]
+        assert step.produced() == [((0b101, 0b111), Fraction(1))]
+
+    def test_apply_fails_without_budget(self):
+        step = compose(0b001, 0b011)
+        with pytest.raises(ValueError):
+            step.apply(make_vector({(0b001, 0b011): 1}))  # missing h(X|∅)
+
+    def test_decompose_then_compose_roundtrip(self):
+        delta = make_vector({(0, 0b011): 1})
+        seq = ProofSequence([decompose(0b001, 0b011),
+                             compose(0b001, 0b011)])
+        final = seq.run(delta)
+        assert final == make_vector({(0, 0b011): 1})
+
+    def test_monotonicity_projects(self):
+        delta = make_vector({(0, 0b111): 1})
+        final = ProofSequence([mono(0b101, 0b111)]).run(delta)
+        assert final == make_vector({(0, 0b101): 1})
+
+
+class TestPaperProofSequences:
+    """Machine-check the §5 running-example proof sequences."""
+
+    def setup_method(self):
+        self.space = SubsetSpace(["x1", "x2", "x3"])
+        self.m = self.space.mask
+
+    def test_preprocessing_sequence_2reach(self):
+        # h_S(1) + h_S(3) >= h_S(13): submodularity then composition
+        x1 = self.m({"x1"})
+        x3 = self.m({"x3"})
+        x13 = self.m({"x1", "x3"})
+        delta = make_vector({(0, x1): 1, (0, x3): 1})
+        seq = ProofSequence([
+            submod(x1, x3),          # h(1|∅) -> h(13|3)
+            compose(x3, x13),        # h(13|3) + h(3|∅) -> h(13)
+        ])
+        assert seq.verifies(delta, make_vector({(0, x13): 1}))
+
+    def test_online_sequence_2reach(self):
+        # h_T(2|1) + h_T(2|3) + 2 h_T(13) >= 2 h_T(123)
+        x1, x3 = self.m({"x1"}), self.m({"x3"})
+        x12 = self.m({"x1", "x2"})
+        x23 = self.m({"x2", "x3"})
+        x13 = self.m({"x1", "x3"})
+        full = self.space.full_mask
+        delta = make_vector({(x1, x12): 1, (x3, x23): 1, (0, x13): 2})
+        seq = ProofSequence([
+            submod(x12, x13),        # h(12|1) -> h(123|13)
+            submod(x23, x13),        # h(23|3) -> h(123|13)
+            compose(x13, full, weight=2),
+        ])
+        assert seq.verifies(delta, make_vector({(0, full): 2}))
+
+    def test_wrong_target_rejected(self):
+        x1, x3 = self.m({"x1"}), self.m({"x3"})
+        x13 = self.m({"x1", "x3"})
+        delta = make_vector({(0, x1): 1, (0, x3): 1})
+        seq = ProofSequence([submod(x1, x3), compose(x3, x13)])
+        # claiming 2 units of h(13) must fail
+        assert not seq.verifies(delta, make_vector({(0, x13): 2}))
+
+    def test_overconsuming_sequence_rejected(self):
+        x1, x3 = self.m({"x1"}), self.m({"x3"})
+        delta = make_vector({(0, x1): 1})
+        seq = ProofSequence([submod(x1, x3), submod(x1, x3)])
+        assert not seq.verifies(delta, make_vector({}))
+
+    def test_vector_ge(self):
+        a = make_vector({(0, 1): 2})
+        b = make_vector({(0, 1): 1})
+        assert vector_ge(a, b)
+        assert not vector_ge(b, a)

@@ -1,0 +1,326 @@
+"""Tests for the problem-specific structures (the paper's applications)."""
+
+import math
+import random
+
+import pytest
+
+from repro.data import (
+    Database,
+    Relation,
+    hierarchical_binary_tree_database,
+    random_edge_relation,
+    set_family,
+)
+from repro.problems import (
+    AdaptedKaraBaseline,
+    EdgeTriangleIndex,
+    KReachOracle,
+    KSetDisjointnessIndex,
+    KSetIntersectionIndex,
+    SetFamily,
+    SquareOracle,
+    TrianglePairIndex,
+    is_hierarchical,
+    canonical_order,
+    static_width,
+)
+from repro.query.catalog import (
+    hierarchical_binary_tree_cqap,
+    k_path_cqap,
+    k_set_disjointness_cqap,
+)
+from repro.util.counters import Counters
+
+
+class TestSetDisjointness:
+    def family(self, seed=0):
+        membership = set_family(40, 60, 500, seed=seed, heavy_sets=3)
+        return SetFamily(membership)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_boolean_matches_brute_force(self, k):
+        fam = self.family(k)
+        index = KSetDisjointnessIndex(fam, k, space_budget=400)
+        rng = random.Random(k)
+        ids = list(fam.sets)
+        for _ in range(80):
+            combo = [rng.choice(ids) for _ in range(k)]
+            assert index.query(combo) == index.brute_force(combo)
+
+    def test_heavy_combo_single_probe(self):
+        fam = SetFamily.from_dict({
+            "a": set(range(50)), "b": set(range(25, 75)),
+            "c": {100}, "d": {101},
+        })
+        index = KSetDisjointnessIndex(fam, 2, space_budget=100)
+        assert set(index.heavy) == {"a", "b"}
+        ctr = Counters()
+        assert index.query(("a", "b"), counters=ctr)
+        assert ctr.probes == 1 and ctr.scans == 0
+
+    def test_light_query_scans_lightest(self):
+        fam = SetFamily.from_dict({
+            "a": set(range(50)), "c": {1, 2, 60},
+        })
+        index = KSetDisjointnessIndex(fam, 2, space_budget=4)
+        ctr = Counters()
+        assert index.query(("a", "c"), counters=ctr)
+        assert ctr.scans <= 3  # scans the 3-element set, not the 50
+
+    def test_threshold_formula(self):
+        fam = self.family(5)
+        n = fam.total_elements
+        s = 100.0
+        index = KSetDisjointnessIndex(fam, 2, space_budget=s)
+        assert index.threshold == pytest.approx(n / math.sqrt(s))
+
+    def test_space_shrinks_with_budget(self):
+        fam = self.family(7)
+        big = KSetDisjointnessIndex(fam, 2, space_budget=2000)
+        small = KSetDisjointnessIndex(fam, 2, space_budget=10)
+        assert small.stored_tuples <= big.stored_tuples
+
+    def test_intersection_enumeration(self):
+        fam = self.family(9)
+        index = KSetIntersectionIndex(fam, 2, space_budget=3000)
+        rng = random.Random(1)
+        ids = list(fam.sets)
+        for _ in range(50):
+            a, b = rng.choice(ids), rng.choice(ids)
+            expected = fam.members(a) & fam.members(b)
+            assert index.intersect((a, b)) == expected
+            assert index.query((a, b)) == bool(expected)
+
+    def test_bad_arity(self):
+        fam = self.family(2)
+        index = KSetDisjointnessIndex(fam, 2, space_budget=50)
+        with pytest.raises(ValueError):
+            index.query(("a", "b", "c"))
+
+
+class TestTriangles:
+    def edges(self, seed=0):
+        rel = random_edge_relation("E", ("a", "b"), 120, 25, seed=seed)
+        return set(rel.tuples)
+
+    def test_pair_index_matches_brute_force(self):
+        edges = self.edges(1)
+        index = TrianglePairIndex(edges)
+        expected = {
+            (u, w)
+            for (u, x2) in edges for (a, w) in edges
+            if a == x2 and (w, u) in edges
+        }
+        assert index.all_pairs() == expected
+
+    def test_linear_space(self):
+        edges = self.edges(2)
+        index = TrianglePairIndex(edges)
+        assert index.is_linear
+
+    def test_edge_triangle_detection(self):
+        edges = self.edges(3)
+        index = EdgeTriangleIndex(edges)
+        for edge in list(edges)[:40]:
+            assert index.query(edge) == index.brute_force(edge, edges)
+
+    def test_edge_triangle_probe_cost(self):
+        edges = self.edges(4)
+        index = EdgeTriangleIndex(edges)
+        ctr = Counters()
+        index.query(next(iter(edges)), counters=ctr)
+        assert ctr.probes == 1 and ctr.scans == 0
+
+
+class TestReachabilityOracle:
+    def edges(self, seed=0, n=160, domain=40):
+        rel = random_edge_relation("E", ("a", "b"), n, domain, seed=seed,
+                                   skew_hubs=3)
+        return set(rel.tuples)
+
+    @pytest.mark.parametrize("strategy", ["framework", "chain", "full",
+                                          "bfs"])
+    def test_strategies_agree_k2(self, strategy):
+        edges = self.edges(5)
+        oracle = KReachOracle(edges, 2, space_budget=200, strategy=strategy)
+        rng = random.Random(3)
+        for _ in range(30):
+            u, v = rng.randrange(40), rng.randrange(40)
+            assert oracle.query(u, v) == oracle.brute_force(u, v), (
+                f"{strategy} differs at {(u, v)}"
+            )
+
+    @pytest.mark.parametrize("strategy", ["framework", "chain"])
+    def test_strategies_agree_k3(self, strategy):
+        edges = self.edges(7, n=120, domain=30)
+        oracle = KReachOracle(edges, 3, space_budget=400, strategy=strategy)
+        rng = random.Random(4)
+        for _ in range(20):
+            u, v = rng.randrange(30), rng.randrange(30)
+            assert oracle.query(u, v) == oracle.brute_force(u, v)
+
+    def test_batching(self):
+        edges = self.edges(8, n=120, domain=30)
+        oracle = KReachOracle(edges, 3, space_budget=300)
+        rng = random.Random(5)
+        pairs = [(rng.randrange(30), rng.randrange(30)) for _ in range(25)]
+        got = oracle.answer_batch(pairs)
+        expected = {p for p in pairs if oracle.brute_force(*p)}
+        assert got == expected
+
+    def test_full_strategy_space(self):
+        edges = self.edges(9, n=100, domain=25)
+        oracle = KReachOracle(edges, 2, space_budget=0, strategy="full")
+        assert oracle.stored_tuples == len(
+            k_path_cqap(2).evaluate(oracle.db)
+        )
+
+    def test_bfs_strategy_no_space(self):
+        edges = self.edges(10)
+        oracle = KReachOracle(edges, 2, space_budget=0, strategy="bfs")
+        assert oracle.stored_tuples == 0
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            KReachOracle([(0, 1)], 2, 10, strategy="nope")
+
+
+class TestSquareOracle:
+    def test_matches_brute_force(self):
+        rel = random_edge_relation("E", ("a", "b"), 150, 30, seed=2,
+                                   skew_hubs=2)
+        oracle = SquareOracle(rel.tuples, space_budget=150)
+        rng = random.Random(6)
+        for _ in range(25):
+            u, w = rng.randrange(30), rng.randrange(30)
+            assert oracle.query(u, w) == oracle.brute_force(u, w)
+
+
+class TestHierarchical:
+    def test_is_hierarchical(self):
+        assert is_hierarchical(hierarchical_binary_tree_cqap())
+        assert is_hierarchical(k_path_cqap(2))  # x2 dominates x1 and x3
+        # 3-path: atoms(x2) = {R1,R2} and atoms(x3) = {R2,R3} overlap
+        # without nesting
+        assert not is_hierarchical(k_path_cqap(3))
+        assert is_hierarchical(k_set_disjointness_cqap(3))
+
+    def test_canonical_order(self):
+        parents = canonical_order(hierarchical_binary_tree_cqap())
+        assert parents["x"] is None
+        assert parents["y1"] == "x"
+        assert parents["y2"] == "x"
+        assert parents["z1"] == "y1"
+        assert parents["z4"] == "y2"
+
+    def test_static_width_fig6(self):
+        assert static_width(hierarchical_binary_tree_cqap()) == 4.0
+
+    @pytest.mark.parametrize("epsilon", [0.0, 0.3, 0.6, 1.0])
+    def test_kara_baseline_matches_brute_force(self, epsilon):
+        db = hierarchical_binary_tree_database(120, 12, seed=3, heavy_x=2)
+        baseline = AdaptedKaraBaseline(db, epsilon)
+        cqap = hierarchical_binary_tree_cqap()
+        full = cqap.evaluate(db)
+        rng = random.Random(int(epsilon * 10))
+        hits = list(full.tuples)
+        for _ in range(25):
+            if hits and rng.random() < 0.6:
+                z = rng.choice(hits)
+            else:
+                z = tuple(rng.randrange(12) for _ in range(4))
+            assert baseline.query(z) == baseline.brute_force(db, z), (
+                f"eps={epsilon} mismatch at {z}"
+            )
+
+    def test_kara_space_grows_with_epsilon(self):
+        db = hierarchical_binary_tree_database(150, 10, seed=5, heavy_x=2)
+        lo = AdaptedKaraBaseline(db, 0.1)
+        hi = AdaptedKaraBaseline(db, 0.9)
+        # more epsilon -> fewer heavy x -> more direct materialization
+        assert len(hi.heavy_x) <= len(lo.heavy_x)
+
+    def test_framework_route_matches_brute_force(self):
+        from repro.problems import HierarchicalIndex
+
+        db = hierarchical_binary_tree_database(80, 8, seed=7, heavy_x=1)
+        index = HierarchicalIndex(db, space_budget=db.size * 4)
+        cqap = hierarchical_binary_tree_cqap()
+        full = cqap.evaluate(db)
+        rng = random.Random(11)
+        hits = list(full.tuples)
+        for _ in range(15):
+            if hits and rng.random() < 0.6:
+                z = rng.choice(hits)
+            else:
+                z = tuple(rng.randrange(8) for _ in range(4))
+            expected = AdaptedKaraBaseline(db, 0.5).brute_force(db, z)
+            assert index.query(z) == expected, f"mismatch at {z}"
+
+
+class TestAtMostKReach:
+    def test_matches_brute_force(self):
+        from repro.problems import AtMostKReachOracle
+
+        rel = random_edge_relation("E", ("a", "b"), 140, 35, seed=12,
+                                   skew_hubs=2)
+        oracle = AtMostKReachOracle(rel.tuples, 3, space_budget=200)
+        rng = random.Random(7)
+        for _ in range(30):
+            u, v = rng.randrange(35), rng.randrange(35)
+            assert oracle.query(u, v) == oracle.brute_force(u, v), (u, v)
+
+    def test_direct_edge_is_one_probe(self):
+        from repro.problems import AtMostKReachOracle
+
+        oracle = AtMostKReachOracle([(1, 2)], 3, space_budget=10)
+        ctr = Counters()
+        assert oracle.query(1, 2, counters=ctr)
+        assert ctr.probes == 1
+
+    def test_space_is_sum_of_suboracles(self):
+        from repro.problems import AtMostKReachOracle
+
+        rel = random_edge_relation("E", ("a", "b"), 100, 25, seed=13)
+        oracle = AtMostKReachOracle(rel.tuples, 3, space_budget=500,
+                                    strategy="full")
+        assert oracle.stored_tuples == sum(
+            o.stored_tuples for o in oracle.oracles
+        )
+
+
+class TestEmptyAccessThroughIndex:
+    def test_triangle_cqap(self):
+        from repro.core import CQAPIndex
+        from repro.data import triangle_database
+        from repro.query.catalog import triangle_cqap
+
+        cqap = triangle_cqap()
+        db = triangle_database(150, 30, seed=3)
+        index = CQAPIndex(cqap, db, space_budget=db.size * 2).preprocess()
+        got = index.answer(())
+        assert got.tuples == cqap.evaluate(db).tuples
+
+
+class TestFourReach:
+    def test_chain_strategy_k4(self):
+        rel = random_edge_relation("E", ("a", "b"), 90, 22, seed=14,
+                                   skew_hubs=2)
+        oracle = KReachOracle(rel.tuples, 4, space_budget=200,
+                              strategy="chain")
+        rng = random.Random(9)
+        for _ in range(12):
+            u, v = rng.randrange(22), rng.randrange(22)
+            assert oracle.query(u, v) == oracle.brute_force(u, v), (u, v)
+
+    @pytest.mark.slow
+    def test_framework_strategy_k4(self):
+        # the full §E.8 11-PMTD set: 32 rules, heavier planning
+        rel = random_edge_relation("E", ("a", "b"), 60, 15, seed=15)
+        oracle = KReachOracle(rel.tuples, 4, space_budget=120,
+                              strategy="framework")
+        rng = random.Random(10)
+        for _ in range(6):
+            u, v = rng.randrange(15), rng.randrange(15)
+            assert oracle.query(u, v) == oracle.brute_force(u, v), (u, v)

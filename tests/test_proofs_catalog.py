@@ -1,0 +1,142 @@
+"""Machine-verification of every catalogued paper inequality (Appendix E/F).
+
+Each inequality must (a) hold over Γ_n × Γ_n — the Definition D.4 LP check —
+and (b) reproduce the paper's claimed tradeoff when its LHS cost classes are
+charged per Theorem 5.1.  A few adversarial variants confirm the verifier
+actually rejects false inequalities and inflated claims.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.tradeoff.curves import TradeoffFormula
+from repro.tradeoff.proofs_catalog import (
+    PaperInequality,
+    Term,
+    all_inequalities,
+    e7_bfs,
+    e7_rho1,
+    e7_rho2,
+    e7_rho4_first,
+    e7_rho4_second,
+    e8_rho1,
+    e8_rho2,
+    e8_rho4_first,
+    e8_rho4_second,
+    e5_square_first,
+    f_first_derivation,
+    f_improved,
+    sec5_2reach,
+    sec61_kset,
+)
+
+ALL = all_inequalities()
+
+
+@pytest.mark.parametrize("ineq", ALL, ids=[i.name for i in ALL])
+def test_lp_valid(ineq):
+    assert ineq.verify_lp(), f"{ineq.name}: not a joint Shannon-flow ineq."
+
+
+@pytest.mark.parametrize("ineq", ALL, ids=[i.name for i in ALL])
+def test_claimed_tradeoff(ineq):
+    assert ineq.matches_claim(), (
+        f"{ineq.name}: coefficients read {ineq.tradeoff()}, "
+        f"paper claims {ineq.claimed}"
+    )
+
+
+class TestSpecificValues:
+    def test_sec5_cost(self):
+        d, q = sec5_2reach().cost()
+        assert (d, q) == (2, 2)
+
+    def test_e7_rho4_second_cost(self):
+        d, q = e7_rho4_second().cost()
+        assert (d, q) == (6, 1)
+
+    def test_e8_rho4_first_cost(self):
+        d, q = e8_rho4_first().cost()
+        assert (d, q) == (12, 5)
+
+    def test_e8_rho4_second_cost(self):
+        d, q = e8_rho4_second().cost()
+        assert (d, q) == (13, 3)
+
+    def test_bfs_has_no_storage(self):
+        assert not e7_bfs().rhs_s
+
+    def test_kset_generalizes(self):
+        for k in (2, 3):
+            ineq = sec61_kset(k)
+            assert ineq.tradeoff().normalized() == TradeoffFormula(
+                F(1), F(k - 1), F(k), F(k - 1)
+            ).normalized()
+
+
+class TestVerifierRejectsFalseClaims:
+    def test_overclaimed_rhs_rejected(self):
+        base = sec5_2reach()
+        greedy = PaperInequality(
+            name="greedy",
+            cqap_factory=base.cqap_factory,
+            lhs=base.lhs,
+            rhs_s={(1, 3): F(2)},        # double the storage claim
+            rhs_t=base.rhs_t,
+            claimed=base.claimed,
+        )
+        assert not greedy.verify_lp()
+
+    def test_missing_lhs_rejected(self):
+        base = sec5_2reach()
+        starved = PaperInequality(
+            name="starved",
+            cqap_factory=base.cqap_factory,
+            lhs=base.lhs[:-1],           # drop the 2 h_T(13) access terms
+            rhs_s=base.rhs_s,
+            rhs_t=base.rhs_t,
+            claimed=base.claimed,
+        )
+        assert not starved.verify_lp()
+
+    def test_wrong_claim_detected(self):
+        base = e7_rho1()
+        wrong = PaperInequality(
+            name="wrong",
+            cqap_factory=base.cqap_factory,
+            lhs=base.lhs,
+            rhs_s=base.rhs_s,
+            rhs_t=base.rhs_t,
+            claimed=TradeoffFormula(F(1), F(1), F(2), F(1)),  # S·T not S·T²
+        )
+        assert not wrong.matches_claim()
+
+
+class TestConsistencyWithObjLP:
+    """Each inequality upper-bounds OBJ(S): the LP optimum is never above
+    the line the inequality implies (Lemma D.2)."""
+
+    @pytest.mark.parametrize(
+        "ineq_fn, rule_targets",
+        [
+            (e7_rho1, ({(1, 4)}, {(1, 2, 4), (1, 3, 4)})),
+            (e7_rho2, ({(1, 3), (1, 4)}, {(1, 2, 3), (1, 2, 4)})),
+        ],
+    )
+    def test_obj_below_inequality_line(self, ineq_fn, rule_targets):
+        from repro.query.hypergraph import varset
+        from repro.tradeoff.rules import TwoPhaseRule
+
+        ineq = ineq_fn()
+        prog = ineq.program()
+        s_targets, t_targets = rule_targets
+        rule = TwoPhaseRule(
+            frozenset(varset(f"x{i}" for i in t) for t in s_targets),
+            frozenset(varset(f"x{i}" for i in t) for t in t_targets),
+        )
+        formula = ineq.tradeoff()
+        for log_s in (1.0, 1.25, 1.5):
+            obj = prog.obj_for_budget(rule, log_s).log_time
+            implied = formula.log_time(log_s, log_d=1.0, log_q=0.0)
+            assert obj <= implied + 1e-6

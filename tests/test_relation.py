@@ -1,0 +1,201 @@
+"""Unit tests for the Relation substrate."""
+
+import pytest
+
+from repro.data.relation import Relation, SchemaError, singleton_request
+from repro.util.counters import Counters
+
+
+def rel(name, schema, rows):
+    return Relation(name, schema, rows)
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = rel("R", ("a", "b"), [(1, 2), (3, 4)])
+        assert len(r) == 2
+        assert (1, 2) in r
+        assert (2, 1) not in r
+
+    def test_deduplicates(self):
+        r = rel("R", ("a", "b"), [(1, 2), (1, 2)])
+        assert len(r) == 1
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            rel("R", ("a", "b"), [(1, 2, 3)])
+
+    def test_duplicate_schema_vars_raise(self):
+        with pytest.raises(SchemaError):
+            rel("R", ("a", "a"), [])
+
+    def test_variables(self):
+        r = rel("R", ("a", "b"), [])
+        assert r.variables == frozenset({"a", "b"})
+
+    def test_repr(self):
+        r = rel("R", ("a",), [(1,)])
+        assert "R" in repr(r)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(rel("R", ("a",), []))
+
+
+class TestEquality:
+    def test_equal_up_to_column_order(self):
+        r1 = rel("R", ("a", "b"), [(1, 2)])
+        r2 = rel("S", ("b", "a"), [(2, 1)])
+        assert r1 == r2
+
+    def test_unequal_content(self):
+        r1 = rel("R", ("a", "b"), [(1, 2)])
+        r2 = rel("R", ("a", "b"), [(1, 3)])
+        assert r1 != r2
+
+    def test_unequal_schema(self):
+        r1 = rel("R", ("a", "b"), [])
+        r2 = rel("R", ("a", "c"), [])
+        assert r1 != r2
+
+
+class TestProjection:
+    def test_project_reorders(self):
+        r = rel("R", ("a", "b"), [(1, 2), (3, 4)])
+        p = r.project(("b", "a"))
+        assert p.schema == ("b", "a")
+        assert (2, 1) in p
+
+    def test_project_deduplicates(self):
+        r = rel("R", ("a", "b"), [(1, 2), (1, 3)])
+        assert len(r.project(("a",))) == 1
+
+    def test_project_missing_var_raises(self):
+        with pytest.raises(SchemaError):
+            rel("R", ("a",), []).project(("z",))
+
+    def test_project_counts_scans(self):
+        ctr = Counters()
+        r = rel("R", ("a", "b"), [(1, 2), (3, 4)])
+        r.project(("a",), counters=ctr)
+        assert ctr.scans == 2
+
+
+class TestSelection:
+    def test_select_equals_uses_index(self):
+        ctr = Counters()
+        r = rel("R", ("a", "b"), [(1, 2), (1, 3), (2, 4)])
+        out = r.select_equals({"a": 1}, counters=ctr)
+        assert len(out) == 2
+        assert ctr.probes == 1
+        # only matching rows are scanned, not the whole relation
+        assert ctr.scans == 2
+
+    def test_select_equals_multiple_vars(self):
+        r = rel("R", ("a", "b"), [(1, 2), (1, 3)])
+        out = r.select_equals({"a": 1, "b": 3})
+        assert out.tuples == {(1, 3)}
+
+    def test_select_predicate(self):
+        r = rel("R", ("a", "b"), [(1, 2), (3, 4)])
+        out = r.select(lambda t: t["a"] > 1)
+        assert out.tuples == {(3, 4)}
+
+    def test_select_equals_no_bindings_copies(self):
+        r = rel("R", ("a",), [(1,)])
+        assert r.select_equals({}).tuples == r.tuples
+
+
+class TestIndexes:
+    def test_index_on(self):
+        r = rel("R", ("a", "b"), [(1, 2), (1, 3), (2, 4)])
+        idx = r.index_on(("a",))
+        assert sorted(idx[(1,)]) == [(1, 2), (1, 3)]
+
+    def test_degree(self):
+        r = rel("R", ("a", "b"), [(1, 2), (1, 3), (2, 4)])
+        assert r.degree(("a",)) == 2
+        assert r.degree_of(("a",), (2,)) == 1
+        assert r.degree_of(("a",), (99,)) == 0
+
+    def test_degree_empty(self):
+        assert rel("R", ("a",), []).degree(("a",)) == 0
+
+    def test_index_invalidated_by_add(self):
+        r = rel("R", ("a", "b"), [(1, 2)])
+        assert r.degree(("a",)) == 1
+        r.add((1, 3))
+        assert r.degree(("a",)) == 2
+
+    def test_key_values(self):
+        r = rel("R", ("a", "b"), [(1, 2), (1, 3)])
+        assert r.key_values(("a",)) == {(1,)}
+
+
+class TestJoinSemijoin:
+    def test_natural_join(self):
+        r = rel("R", ("a", "b"), [(1, 2), (2, 3)])
+        s = rel("S", ("b", "c"), [(2, 10), (2, 20), (9, 9)])
+        out = r.join(s)
+        assert set(out.schema) == {"a", "b", "c"}
+        assert out.project(("a", "b", "c")).tuples == {(1, 2, 10), (1, 2, 20)}
+
+    def test_join_no_shared_is_cross_product(self):
+        r = rel("R", ("a",), [(1,), (2,)])
+        s = rel("S", ("b",), [(10,)])
+        assert len(r.join(s)) == 2
+
+    def test_semijoin(self):
+        r = rel("R", ("a", "b"), [(1, 2), (2, 3)])
+        s = rel("S", ("b", "c"), [(2, 10)])
+        out = r.semijoin(s)
+        assert out.tuples == {(1, 2)}
+        assert out.schema == r.schema
+
+    def test_semijoin_disjoint_nonempty_other(self):
+        r = rel("R", ("a",), [(1,)])
+        s = rel("S", ("b",), [(5,)])
+        assert r.semijoin(s).tuples == {(1,)}
+
+    def test_semijoin_disjoint_empty_other(self):
+        r = rel("R", ("a",), [(1,)])
+        s = rel("S", ("b",), [])
+        assert r.semijoin(s).is_empty()
+
+    def test_join_counts(self):
+        ctr = Counters()
+        r = rel("R", ("a", "b"), [(1, 2)])
+        s = rel("S", ("b", "c"), [(2, 10), (2, 20)])
+        r.join(s, counters=ctr)
+        assert ctr.probes == 1
+        assert ctr.joins_emitted == 2
+
+
+class TestUnionRename:
+    def test_union_reorders(self):
+        r = rel("R", ("a", "b"), [(1, 2)])
+        s = rel("S", ("b", "a"), [(3, 4)])
+        out = r.union(s)
+        assert out.tuples == {(1, 2), (4, 3)}
+
+    def test_union_schema_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            rel("R", ("a",), []).union(rel("S", ("b",), []))
+
+    def test_rename(self):
+        r = rel("R", ("a", "b"), [(1, 2)])
+        out = r.rename({"a": "x"})
+        assert out.schema == ("x", "b")
+        assert (1, 2) in out
+
+
+class TestBindings:
+    def test_roundtrip(self):
+        r = rel("R", ("a", "b"), [(1, 2), (3, 4)])
+        back = Relation.from_bindings("R2", ("a", "b"), r.to_bindings())
+        assert back == r
+
+    def test_singleton_request(self):
+        q = singleton_request(("x", "y"), (1, 2))
+        assert q.tuples == {(1, 2)}
+        assert q.schema == ("x", "y")

@@ -1,0 +1,119 @@
+"""Tests for heavy/light split steps and subproblem spawning."""
+
+import pytest
+
+from repro.core.split import HEAVY, LIGHT, SplitStep, apply_splits
+from repro.data import Database, Relation
+from repro.query import Atom, CQAP
+from repro.query.catalog import k_path_cqap
+
+
+def skewed_relation():
+    # key 0 has degree 5, keys 1..4 have degree 1
+    rows = [(0, i) for i in range(5)] + [(i, 100 + i) for i in range(1, 5)]
+    return Relation("R1", ("x1", "x2"), rows)
+
+
+class TestSplitStep:
+    def test_partition_degrees(self):
+        rel = skewed_relation()
+        step = SplitStep(Atom("R1", ("x1", "x2")), ("x1",), threshold=2)
+        heavy, light = step.partition(rel)
+        assert len(heavy) == 5      # the degree-5 key
+        assert len(light) == 4
+        assert heavy.degree(("x1",)) == 5
+        assert light.degree(("x1",)) <= 2
+
+    def test_partition_covers_everything(self):
+        rel = skewed_relation()
+        step = SplitStep(Atom("R1", ("x1", "x2")), ("x1",), threshold=3)
+        heavy, light = step.partition(rel)
+        assert heavy.tuples | light.tuples == rel.tuples
+        assert not heavy.tuples & light.tuples
+
+    def test_heavy_key_count_bound(self):
+        rel = skewed_relation()
+        step = SplitStep(Atom("R1", ("x1", "x2")), ("x1",), threshold=2)
+        heavy, _ = step.partition(rel)
+        assert len(heavy.key_values(("x1",))) <= len(rel) / 2
+
+    def test_invalid_key(self):
+        with pytest.raises(ValueError):
+            SplitStep(Atom("R", ("a", "b")), ("a", "b"), 2)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SplitStep(Atom("R", ("a", "b")), ("a",), 0.5)
+
+
+class TestApplySplits:
+    def setup_method(self):
+        self.cqap = k_path_cqap(2)
+        self.db = Database()
+        rows1 = [(0, i) for i in range(6)] + [(1, 10), (2, 11)]
+        rows2 = [(i, 0) for i in range(6)] + [(20, 1), (21, 2)]
+        self.db.add(Relation("R1", ("a", "b"), rows1))
+        self.db.add(Relation("R2", ("a", "b"), rows2))
+        self.dc = self.cqap.default_constraints(self.db)
+
+    def test_no_splits_single_subproblem(self):
+        subs = apply_splits(self.cqap, self.db, [], self.dc)
+        assert len(subs) == 1
+        assert subs[0].signature == ()
+        assert len(subs[0].relations["R1"]) == 8
+
+    def test_two_splits_four_subproblems(self):
+        splits = [
+            SplitStep(Atom("R1", ("x1", "x2")), ("x1",), 3),
+            SplitStep(Atom("R2", ("x2", "x3")), ("x3",), 3),
+        ]
+        subs = apply_splits(self.cqap, self.db, splits, self.dc)
+        assert [s.signature for s in subs] == [
+            (HEAVY, HEAVY), (HEAVY, LIGHT), (LIGHT, HEAVY), (LIGHT, LIGHT)
+        ]
+        # pieces partition both relations
+        hh, hl, lh, ll = subs
+        assert hh.relations["R1"].tuples == hl.relations["R1"].tuples
+        assert (hh.relations["R1"].tuples | lh.relations["R1"].tuples
+                == set(self.db["R1"].tuples))
+
+    def test_refined_constraints(self):
+        splits = [SplitStep(Atom("R1", ("x1", "x2")), ("x1",), 3)]
+        heavy_sub, light_sub = apply_splits(
+            self.cqap, self.db, splits, self.dc
+        )
+        # heavy piece: few distinct x1 keys (8 tuples / threshold 3)
+        bound = heavy_sub.constraints.bound((), ("x1",))
+        assert bound == pytest.approx(8 / 3)
+        # light piece: degree constraint
+        light_bound = light_sub.constraints.bound(("x1",), ("x1", "x2"))
+        assert light_bound == 3
+
+    def test_piece_cardinalities_recorded(self):
+        splits = [SplitStep(Atom("R1", ("x1", "x2")), ("x1",), 3)]
+        heavy_sub, light_sub = apply_splits(
+            self.cqap, self.db, splits, self.dc
+        )
+        assert heavy_sub.constraints.bound((), ("x1", "x2")) == 6
+        assert light_sub.constraints.bound((), ("x1", "x2")) == 2
+
+    def test_sequential_splits_same_relation(self):
+        splits = [
+            SplitStep(Atom("R1", ("x1", "x2")), ("x1",), 3),
+            SplitStep(Atom("R1", ("x1", "x2")), ("x2",), 1),
+        ]
+        subs = apply_splits(self.cqap, self.db, splits, self.dc)
+        assert len(subs) == 4
+        union = set()
+        for sub in subs:
+            if sub.signature[0] == HEAVY:
+                union |= sub.relations["R1"].tuples
+        assert union == {
+            row for row in self.db["R1"].tuples
+            if row[0] == 0
+        }
+
+    def test_atom_relation_rebinds_schema(self):
+        subs = apply_splits(self.cqap, self.db, [], self.dc)
+        rel = subs[0].atom_relation(Atom("R1", ("x1", "x2")))
+        assert rel.schema == ("x1", "x2")

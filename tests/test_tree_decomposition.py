@@ -1,0 +1,158 @@
+"""Unit tests for tree decompositions: validity, rooted helpers, free-connex."""
+
+import pytest
+
+from repro.decomposition.tree_decomposition import (
+    DecompositionError,
+    TreeDecomposition,
+    path_decomposition,
+)
+from repro.query.catalog import k_path_cqap
+from repro.query.hypergraph import Hypergraph, varset
+
+
+def three_reach_td():
+    """The Figure 1 left decomposition: {x1,x3,x4} - {x1,x2,x3}."""
+    return TreeDecomposition(
+        {0: {"x1", "x3", "x4"}, 1: {"x1", "x2", "x3"}}, [(0, 1)]
+    )
+
+
+class TestStructure:
+    def test_single_bag(self):
+        td = TreeDecomposition({0: {"a", "b"}}, [])
+        assert len(td) == 1
+        assert td.all_variables == {"a", "b"}
+
+    def test_empty_raises(self):
+        with pytest.raises(DecompositionError):
+            TreeDecomposition({}, [])
+
+    def test_wrong_edge_count_raises(self):
+        with pytest.raises(DecompositionError):
+            TreeDecomposition({0: {"a"}, 1: {"a"}}, [])
+
+    def test_disconnected_raises(self):
+        with pytest.raises(DecompositionError):
+            TreeDecomposition(
+                {0: {"a"}, 1: {"a"}, 2: {"a"}}, [(0, 1), (0, 1)]
+            )
+
+    def test_unknown_node_in_edge_raises(self):
+        with pytest.raises(DecompositionError):
+            TreeDecomposition({0: {"a"}}, [(0, 5)])
+
+    def test_running_intersection_violation(self):
+        # variable a appears in bags 0 and 2 but not the middle bag
+        with pytest.raises(DecompositionError):
+            TreeDecomposition(
+                {0: {"a"}, 1: {"b"}, 2: {"a"}}, [(0, 1), (1, 2)]
+            )
+
+    def test_path_decomposition_builder(self):
+        td = path_decomposition([{"a", "b"}, {"b", "c"}, {"c", "d"}])
+        assert len(td) == 3
+        assert td.neighbors(1) == {0, 2}
+
+
+class TestValidity:
+    def test_covers(self):
+        td = three_reach_td()
+        h = Hypergraph(
+            {"x1", "x2", "x3", "x4"},
+            [{"x1", "x2"}, {"x2", "x3"}, {"x3", "x4"}, {"x1", "x4"}],
+        )
+        td.validate(h)  # no raise
+
+    def test_missing_edge_coverage(self):
+        td = TreeDecomposition({0: {"x1", "x2"}}, [])
+        h = Hypergraph({"x1", "x2", "x3"}, [{"x1", "x2"}, {"x2", "x3"}])
+        with pytest.raises(DecompositionError):
+            td.validate(h)
+
+    def test_non_redundant(self):
+        assert three_reach_td().is_non_redundant()
+        redundant = TreeDecomposition(
+            {0: {"a", "b"}, 1: {"a"}}, [(0, 1)]
+        )
+        assert not redundant.is_non_redundant()
+
+
+class TestRooted:
+    def test_parent_and_children(self):
+        td = path_decomposition([{"a", "b"}, {"b", "c"}, {"c", "d"}])
+        parents = td.parent_map(0)
+        assert parents == {0: None, 1: 0, 2: 1}
+        assert td.children_map(0) == {0: [1], 1: [2], 2: []}
+
+    def test_subtree(self):
+        td = path_decomposition([{"a", "b"}, {"b", "c"}, {"c", "d"}])
+        assert td.subtree(1, 0) == {1, 2}
+        assert td.subtree(1, 2) == {1, 0}
+
+    def test_ancestors(self):
+        td = path_decomposition([{"a", "b"}, {"b", "c"}, {"c", "d"}])
+        assert td.ancestors(2, 0) == [1, 0]
+        assert td.ancestors(0, 0) == []
+
+    def test_top(self):
+        td = three_reach_td()
+        assert td.top("x1", 0) == 0  # x1 in both bags; root is higher
+        assert td.top("x2", 0) == 1
+
+    def test_depths(self):
+        td = path_decomposition([{"a", "b"}, {"b", "c"}, {"c", "d"}])
+        assert td.depths(0) == {0: 0, 1: 1, 2: 2}
+
+    def test_root_to_leaf_paths(self):
+        td = TreeDecomposition(
+            {0: {"a"}, 1: {"a", "b"}, 2: {"a", "c"}}, [(0, 1), (0, 2)]
+        )
+        paths = td.root_to_leaf_paths(0)
+        assert sorted(paths) == [[0, 1], [0, 2]]
+
+
+class TestFreeConnex:
+    def test_head_in_root_always_free_connex(self):
+        td = three_reach_td()
+        assert td.is_free_connex_wrt(0, {"x1", "x4"})
+
+    def test_violation(self):
+        # head variable x4 only occurs below the non-head variable x2's top
+        td = TreeDecomposition(
+            {0: {"x1", "x2"}, 1: {"x2", "x4"}}, [(0, 1)]
+        )
+        assert not td.is_free_connex_wrt(0, {"x1", "x4"})
+
+    def test_full_head_always_free_connex(self):
+        td = three_reach_td()
+        assert td.is_free_connex_wrt(0, {"x1", "x2", "x3", "x4"})
+
+    def test_empty_head_always_free_connex(self):
+        td = three_reach_td()
+        assert td.is_free_connex_wrt(0, set())
+
+    def test_example_a1_decomposition_is_free_connex(self):
+        # Figure 5: head {x1,x2,x3,x4,x7,x8}; non-head x5,x6,x9 at the bottom
+        td = TreeDecomposition(
+            {
+                0: {"x1", "x2"},
+                1: {"x1", "x3"},
+                2: {"x3", "x4", "x5"},
+                3: {"x3", "x7"},
+                4: {"x4", "x5", "x6"},
+                5: {"x7", "x8", "x9"},
+            },
+            [(0, 1), (1, 2), (1, 3), (2, 4), (3, 5)],
+        )
+        head = {"x1", "x2", "x3", "x4", "x7", "x8"}
+        assert td.is_free_connex_wrt(0, head)
+        # rooted at the bottom it is not: x9's top (node 5) sits above x1/x2
+        assert not td.is_free_connex_wrt(5, head)
+
+    def test_signature_identifies_same_shape(self):
+        td1 = three_reach_td()
+        td2 = TreeDecomposition(
+            {7: {"x1", "x2", "x3"}, 9: {"x1", "x3", "x4"}}, [(7, 9)]
+        )
+        assert td1.signature() == td2.signature()

@@ -1,0 +1,156 @@
+"""Tests for the 2PP planner and executor (split selection, phase decisions,
+budget fallback)."""
+
+import math
+
+import pytest
+
+from repro.core.two_phase import (
+    PlanningError,
+    TwoPhaseExecutor,
+    TwoPhasePlanner,
+    S_PHASE,
+    T_PHASE,
+)
+from repro.data import Database, Relation, path_database
+from repro.query.catalog import k_path_cqap
+from repro.query.hypergraph import varset
+from repro.tradeoff.rules import TwoPhaseRule
+from repro.util.counters import Counters
+
+
+def v(*nums):
+    return varset(f"x{n}" for n in nums)
+
+
+def two_reach_setup(n_edges=400, domain=80, seed=2, skew=3):
+    cqap = k_path_cqap(2)
+    db = path_database(2, n_edges, domain, seed=seed, skew_hubs=skew)
+    return cqap, db
+
+
+class TestPlanner:
+    def test_plan_produces_decisions_for_all_subproblems(self):
+        cqap, db = two_reach_setup()
+        planner = TwoPhasePlanner(cqap, db, space_budget=db.size)
+        rule = TwoPhaseRule(frozenset({v(1, 3)}), frozenset({v(1, 2, 3)}))
+        plan = planner.plan_rule(rule)
+        assert len(plan.decisions) == 2 ** len(plan.splits)
+        assert plan.predicted_log_time > 0
+
+    def test_split_thresholds_track_d_over_sqrt_s(self):
+        cqap, db = two_reach_setup()
+        n = db.size
+        planner = TwoPhasePlanner(cqap, db, space_budget=n)
+        rule = TwoPhaseRule(frozenset({v(1, 3)}), frozenset({v(1, 2, 3)}))
+        plan = planner.plan_rule(rule)
+        assert plan.splits, "expected heavy/light splits at budget D"
+        for split in plan.splits:
+            assert split.threshold == pytest.approx(n / math.sqrt(n),
+                                                    rel=0.25)
+
+    def test_huge_budget_materializes_all(self):
+        cqap, db = two_reach_setup(n_edges=150, domain=40)
+        planner = TwoPhasePlanner(cqap, db,
+                                  space_budget=db.size ** 2 + 1)
+        rule = TwoPhaseRule(frozenset({v(1, 3)}), frozenset({v(1, 2, 3)}))
+        plan = planner.plan_rule(rule)
+        assert plan.materialize_all
+        assert plan.predicted_log_time == 0.0
+        assert [d.phase for d in plan.decisions] == [S_PHASE]
+
+    def test_s_only_rule_over_budget_raises(self):
+        cqap, db = two_reach_setup(n_edges=150, domain=40)
+        planner = TwoPhasePlanner(cqap, db, space_budget=2)
+        rule = TwoPhaseRule(frozenset({v(1, 3)}), frozenset())
+        with pytest.raises(PlanningError):
+            planner.plan_rule(rule)
+
+    def test_threshold_scale_applies(self):
+        cqap, db = two_reach_setup()
+        rule = TwoPhaseRule(frozenset({v(1, 3)}), frozenset({v(1, 2, 3)}))
+        base = TwoPhasePlanner(cqap, db, db.size).plan_rule(rule)
+        scaled = TwoPhasePlanner(cqap, db, db.size,
+                                 threshold_scale=2.0).plan_rule(rule)
+        assert scaled.splits
+        for s_base, s_scaled in zip(base.splits, scaled.splits):
+            assert s_scaled.threshold == pytest.approx(
+                2 * s_base.threshold
+            )
+
+    def test_describe_readable(self):
+        cqap, db = two_reach_setup()
+        planner = TwoPhasePlanner(cqap, db, db.size)
+        rule = TwoPhaseRule(frozenset({v(1, 3)}), frozenset({v(1, 2, 3)}))
+        text = planner.plan_rule(rule).describe()
+        assert "OBJ" in text
+        assert "->" in text
+
+    def test_measured_dc_changes_plan(self):
+        cqap, db = two_reach_setup()
+        from repro.query.constraints import measured_constraints
+
+        dc = measured_constraints(
+            db, [(a.relation, a.variables) for a in cqap.atoms]
+        )
+        rule = TwoPhaseRule(frozenset({v(1, 3)}), frozenset({v(1, 2, 3)}))
+        loose = TwoPhasePlanner(cqap, db, db.size).plan_rule(rule)
+        tight = TwoPhasePlanner(cqap, db, db.size, dc=dc).plan_rule(rule)
+        assert tight.predicted_log_time <= loose.predicted_log_time + 1e-9
+
+
+class TestExecutor:
+    def test_preprocess_respects_phase(self):
+        cqap, db = two_reach_setup()
+        planner = TwoPhasePlanner(cqap, db, db.size)
+        rule = TwoPhaseRule(frozenset({v(1, 3)}), frozenset({v(1, 2, 3)}))
+        plan = planner.plan_rule(rule)
+        executor = TwoPhaseExecutor(cqap)
+        targets = executor.preprocess([plan], db.size)
+        for schema, relation in targets.items():
+            assert set(relation.schema) == set(schema)
+
+    def test_budget_abort_falls_back_online(self):
+        cqap, db = two_reach_setup(n_edges=300, domain=20, skew=0)
+        planner = TwoPhasePlanner(cqap, db, space_budget=db.size ** 2)
+        rule = TwoPhaseRule(frozenset({v(1, 3)}), frozenset({v(1, 2, 3)}))
+        plan = planner.plan_rule(rule)
+        assert plan.preprocess_decisions
+        # force an absurdly tight executor budget: any S-piece with more
+        # than one tuple aborts and flips to the online phase
+        executor = TwoPhaseExecutor(cqap, budget_slack=1e-9)
+        targets = executor.preprocess([plan], space_budget=1)
+        assert any(d.phase == T_PHASE for d in plan.decisions)
+        assert sum(len(r) for r in targets.values()) <= 1
+
+    def test_online_targets_cover_answers(self):
+        cqap, db = two_reach_setup(n_edges=250, domain=50)
+        planner = TwoPhasePlanner(cqap, db, db.size)
+        rule = TwoPhaseRule(frozenset({v(1, 3)}), frozenset({v(1, 2, 3)}))
+        plan = planner.plan_rule(rule)
+        executor = TwoPhaseExecutor(cqap)
+        s_targets = executor.preprocess([plan], db.size)
+        full = cqap.evaluate(db)
+        hit = next(iter(full.tuples))
+        request = Relation("Q", ("x1", "x3"), [hit])
+        t_targets = executor.online([plan], request)
+        # the hit must appear in the union of S- and T-target projections
+        found = False
+        for schema, relation in {**s_targets, **t_targets}.items():
+            proj = {"x1", "x3"} & set(relation.schema)
+            if proj == {"x1", "x3"}:
+                if hit in relation.project(("x1", "x3")).tuples:
+                    found = True
+        assert found
+
+    def test_counters_track_stores(self):
+        cqap, db = two_reach_setup(n_edges=200, domain=30)
+        planner = TwoPhasePlanner(cqap, db, db.size ** 2 + 1)
+        rule = TwoPhaseRule(frozenset({v(1, 3)}), frozenset({v(1, 2, 3)}))
+        plan = planner.plan_rule(rule)
+        executor = TwoPhaseExecutor(cqap)
+        ctr = Counters()
+        targets = executor.preprocess([plan], db.size ** 2 + 1,
+                                      counters=ctr)
+        stored = sum(len(r) for r in targets.values())
+        assert ctr.stores >= stored

@@ -1,0 +1,83 @@
+"""Tests for Theorem D.5 witness extraction from OBJ(S) duals."""
+
+import pytest
+
+from repro.query.catalog import k_path_cqap, square_cqap
+from repro.query.hypergraph import varset
+from repro.tradeoff import TwoPhaseRule, paper_rules_3reach, symbolic_program
+from repro.tradeoff.witness import JointFlowWitness, extract_witness, obj_with_witness
+
+
+def two_reach_rule():
+    return TwoPhaseRule(
+        frozenset({varset({"x1", "x3"})}),
+        frozenset({varset({"x1", "x2", "x3"})}),
+    )
+
+
+class TestTwoReachWitness:
+    def setup_method(self):
+        self.prog = symbolic_program(k_path_cqap(2))
+        self.rule = two_reach_rule()
+
+    @pytest.mark.parametrize("log_space", [0.25, 0.75, 1.0, 1.5])
+    def test_implied_bound_equals_obj(self, log_space):
+        result, witness = obj_with_witness(self.prog, self.rule, log_space)
+        assert result.status == "optimal"
+        implied = witness.implied_bound(log_space)
+        assert implied / max(witness.lambda_norm, 1e-9) == pytest.approx(
+            result.log_time, abs=1e-5
+        )
+
+    @pytest.mark.parametrize("log_space", [0.5, 1.0, 1.5])
+    def test_extracted_inequality_is_valid(self, log_space):
+        _, witness = obj_with_witness(self.prog, self.rule, log_space)
+        assert witness.verify(self.prog)
+
+    def test_witness_uses_split_pairs(self):
+        # the §5 strategy correlates the phases through the two splits
+        _, witness = obj_with_witness(self.prog, self.rule, 1.0)
+        coupled = len(witness.gamma_s_heavy) + len(witness.gamma_t_heavy)
+        assert coupled >= 1
+
+    def test_lambda_normalized(self):
+        _, witness = obj_with_witness(self.prog, self.rule, 1.0)
+        assert witness.lambda_norm == pytest.approx(1.0, abs=1e-6)
+
+    def test_extract_requires_optimal(self):
+        result = self.prog.obj_for_budget(self.rule, 5.0)  # materialize
+        assert result.fits_in_budget
+        with pytest.raises(ValueError):
+            extract_witness(self.prog, self.rule, result)
+
+
+class TestTable1Witnesses:
+    @pytest.mark.parametrize("log_space", [1.1, 1.25, 1.45])
+    def test_all_rules_roundtrip(self, log_space):
+        prog = symbolic_program(k_path_cqap(3))
+        for rule in paper_rules_3reach():
+            result, witness = obj_with_witness(prog, rule, log_space)
+            assert result.status == "optimal"
+            assert witness.verify(prog), rule.label
+            implied = witness.implied_bound(log_space)
+            assert implied / max(witness.lambda_norm, 1e-9) == (
+                pytest.approx(result.log_time, abs=1e-5)
+            ), rule.label
+
+
+class TestSquareWitness:
+    def test_square_first_rule(self):
+        from repro.decomposition import paper_pmtds_square
+        from repro.tradeoff import rules_from_pmtds
+
+        prog = symbolic_program(square_cqap())
+        rule = rules_from_pmtds(paper_pmtds_square())[0]
+        result, witness = obj_with_witness(prog, rule, 1.0)
+        assert witness.verify(prog)
+        assert result.log_time == pytest.approx(0.5, abs=1e-6)
+
+
+class TestEmptyWitness:
+    def test_trivial_verifies(self):
+        prog = symbolic_program(k_path_cqap(2))
+        assert JointFlowWitness().verify(prog)
