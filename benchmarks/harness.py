@@ -14,8 +14,14 @@ from typing import Iterable, List, Sequence
 
 
 def print_table(title: str, headers: Sequence[str],
-                rows: Iterable[Sequence]) -> None:
-    """A fixed-width table with a title banner."""
+                rows: Iterable[Sequence]) -> List[List[str]]:
+    """A fixed-width table with a title banner.
+
+    Flushes after printing (so output interleaves correctly under pytest
+    capture and CI log streaming) and returns the stringified rows, letting
+    programmatic consumers (e.g. ``run_bench.py``) reuse the table data
+    instead of scraping stdout.
+    """
     rows = [[str(c) for c in row] for row in rows]
     headers = [str(h) for h in headers]
     widths = [len(h) for h in headers]
@@ -31,7 +37,8 @@ def print_table(title: str, headers: Sequence[str],
     print("-" * len(line))
     for row in rows:
         print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
-    print()
+    print(flush=True)
+    return rows
 
 
 def fmt_frac(value) -> str:

@@ -1,0 +1,70 @@
+"""Emit machine-readable serving-engine benchmark results.
+
+Runs the ``bench_engine_serving`` experiment and writes ``BENCH_engine.json``
+(probes/sec, cache hit rate, prepare time, counter totals) so successive PRs
+have a perf trajectory to compare against instead of scraping stdout.
+
+Run:  python benchmarks/run_bench.py [--out PATH] [--quiet]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+SCHEMA_VERSION = 1
+
+
+def collect(quiet: bool = False) -> dict:
+    """Run the serving experiment and shape its results for JSON."""
+    import bench_engine_serving as bench
+
+    results = bench.report() if not quiet else bench.experiment()
+    metrics = {k: v for k, v in results.items()
+               if not k.startswith("prepared")}
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "engine_serving",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "workload": {
+            "query": "path3",
+            "n_edges": bench.N_EDGES,
+            "domain": bench.DOMAIN,
+            "distinct_probes": bench.N_PAIRS,
+            "hot_pairs": bench.HOT_PAIRS,
+            "stream_length": bench.STREAM,
+        },
+        "metrics": metrics,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_engine.json",
+                        help="output path (default: repo-root "
+                             "BENCH_engine.json)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="skip the human-readable table")
+    args = parser.parse_args(argv)
+
+    payload = collect(quiet=args.quiet)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    m = payload["metrics"]
+    print(f"wrote {args.out}: prepare {m['prepare_seconds'] * 1e3:.0f} ms, "
+          f"{m['warm_probes_per_sec']:.0f} warm probes/s, "
+          f"{m['cached_probes_per_sec']:.0f} cached probes/s, "
+          f"cache hit rate {m['cache_hit_rate']:.0%}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

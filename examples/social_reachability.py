@@ -1,18 +1,21 @@
 """Scenario: friend-of-friend-of-friend lookups in a social graph.
 
 A service wants to answer "can u reach v in exactly 3 follows?" with a
-memory cap.  This example sweeps the cap across the space-time spectrum of
-Figure 4a and reports, for each budget, the stored tuples and the measured
-online work — plus the batched variant for feed-building workloads.
+memory cap.  This example prepares one serving-engine instance per budget
+across the space-time spectrum of Figure 4a and reports, for each budget,
+the stored tuples and the measured online work — plus the batched
+`probe_many` variant for feed-building workloads and the effect of the LRU
+answer cache on a skewed (hot-pair) probe stream.
 
 Run:  python examples/social_reachability.py
 """
 
-import math
 import random
 
 from repro.data import random_edge_relation
-from repro.problems import KReachOracle
+from repro.engine import prepare
+from repro.problems import KReachOracle, graph_database
+from repro.query.catalog import k_path_cqap
 from repro.util.counters import Counters
 
 
@@ -29,24 +32,24 @@ def main() -> None:
     n = len(edges)
     print(f"social graph: {n_users} users, {n} follows edges")
 
+    cqap = k_path_cqap(3)
+    db = graph_database(edges, 3)
     rng = random.Random(1)
     queries = [(rng.randrange(n_users), rng.randrange(n_users))
                for _ in range(50)]
 
-    print("\n-- budget sweep (framework strategy, Figure 4a regimes) --")
+    print("\n-- budget sweep (prepared engine, Figure 4a regimes) --")
     header = (f"{'budget':>10}  {'log_D S':>8}  {'stored':>7}  "
               f"{'avg ops':>8}  {'pred T':>8}")
     print(header)
-    oracles = {}
     for exponent in (1.0, 1.3, 1.6, 1.9):
         budget = int(n ** exponent)
-        oracle = KReachOracle(edges, k=3, space_budget=budget)
-        oracles[exponent] = oracle
+        pq = prepare(cqap, db, space_budget=budget)
         counters = Counters()
-        for u, v in queries:
-            oracle.query(u, v, counters=counters)
-        predicted = 2 ** oracle._index.predicted_log_time
-        print(f"{budget:>10}  {exponent:>8.2f}  {oracle.stored_tuples:>7}  "
+        for pair in queries:
+            pq.probe_boolean(pair, counters=counters)
+        predicted = 2 ** pq.predicted_log_time
+        print(f"{budget:>10}  {exponent:>8.2f}  {pq.stored_tuples:>7}  "
               f"{counters.online_work / len(queries):>8.1f}  "
               f"{predicted:>8.1f}")
 
@@ -62,17 +65,33 @@ def main() -> None:
               f"hits={hits}")
 
     print("\n-- batched feed-building (64 pairs at once) --")
-    oracle = oracles[1.3]
     pairs = [(rng.randrange(n_users), rng.randrange(n_users))
              for _ in range(64)]
+    # cache disabled on both sides so the comparison isolates the §6.4
+    # batching effect from answer-cache hits
     one_by_one = Counters()
-    for u, v in pairs:
-        oracle.query(u, v, counters=one_by_one)
+    fresh = prepare(cqap, db, space_budget=int(n ** 1.3), cache_size=0)
+    for pair in pairs:
+        fresh.probe_boolean(pair, counters=one_by_one)
     batched = Counters()
-    oracle.answer_batch(pairs, counters=batched)
+    batch_pq = prepare(cqap, db, space_budget=int(n ** 1.3), cache_size=0)
+    batch_pq.probe_many(pairs, counters=batched)
     print(f"one-by-one: {one_by_one.online_work} ops; "
           f"batched: {batched.online_work} ops "
           f"({one_by_one.online_work / max(1, batched.online_work):.2f}x)")
+
+    print("\n-- hot-pair probe stream through the LRU answer cache --")
+    hot = prepare(cqap, db, space_budget=int(n ** 1.3), cache_size=128)
+    hot_pairs = pairs[:8]
+    stream = [hot_pairs[rng.randrange(len(hot_pairs))] for _ in range(400)]
+    counters = Counters()
+    for pair in stream:
+        hot.probe_boolean(pair, counters=counters)
+    stats = hot.stats()
+    print(f"{len(stream)} probes over {len(hot_pairs)} hot pairs: "
+          f"{stats['cache']['hit_rate']:.0%} cache hits, "
+          f"{stats['online_phases']} online phases, "
+          f"{counters.online_work} total online ops")
 
 
 if __name__ == "__main__":

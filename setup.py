@@ -1,8 +1,10 @@
 """Legacy setup shim.
 
-The execution environment has no network access and no `wheel` package, so
-PEP 660 editable installs fail; `pip install -e . --no-build-isolation` falls
-back to `setup.py develop` through this shim.
+All project metadata lives in ``pyproject.toml``; this file exists only so
+that offline environments without the `wheel` package (where PEP 660
+editable installs fail) can still run
+``pip install -e . --no-build-isolation``, which falls back to
+``setup.py develop`` through this shim.
 """
 
 from setuptools import setup

@@ -45,9 +45,11 @@ __all__ = [
     "ConstraintSet",
     "Database",
     "DegreeConstraint",
+    "PreparedQuery",
     "Relation",
     "catalog",
     "path_database",
+    "prepare",
     "singleton_request",
     "square_database",
     "star_database",
@@ -56,10 +58,18 @@ __all__ = [
 
 
 def __getattr__(name):
-    # CQAPIndex pulls in the planner stack; import lazily to keep the base
-    # import light and cycle-free.
+    # The index and the serving engine pull in the planner stack; import
+    # lazily to keep the base import light and cycle-free.
     if name == "CQAPIndex":
         from repro.core.index import CQAPIndex
 
         return CQAPIndex
+    if name == "PreparedQuery":
+        from repro.engine.prepared import PreparedQuery
+
+        return PreparedQuery
+    if name == "prepare":
+        from repro.engine.prepared import prepare
+
+        return prepare
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

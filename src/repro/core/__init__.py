@@ -6,6 +6,7 @@ from repro.core.online_yannakakis import OnlineYannakakis
 from repro.core.panda import CondTable, InterpretationError, ProofSequenceInterpreter
 from repro.core.split import HEAVY, LIGHT, SplitStep, Subproblem, apply_splits, split_steps_from_duals
 from repro.core.two_phase import (
+    CompiledOnlineStep,
     PhaseDecision,
     PlanningError,
     RulePlan,
@@ -16,6 +17,7 @@ from repro.core.two_phase import (
 __all__ = [
     "BudgetExceeded",
     "CQAPIndex",
+    "CompiledOnlineStep",
     "CondTable",
     "HEAVY",
     "InterpretationError",

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.online_yannakakis import OnlineYannakakis
 from repro.core.two_phase import (
+    CompiledOnlineStep,
     PlanningError,
     RulePlan,
     TwoPhaseExecutor,
@@ -102,6 +103,7 @@ class CQAPIndex:
         self.plans: List[RulePlan] = []
         self._s_targets: Dict[VarSet, Relation] = {}
         self._yannakakis: List[OnlineYannakakis] = []
+        self._compiled_online: List[CompiledOnlineStep] = []
         self.stats = IndexStats()
         self._ready = False
 
@@ -109,24 +111,22 @@ class CQAPIndex:
     # preprocessing phase
     # ------------------------------------------------------------------
     def preprocess(self, counters: Optional[Counters] = None) -> "CQAPIndex":
-        """Plan every rule, materialize S-targets, build per-PMTD structures."""
+        """Plan every rule, materialize S-targets, build per-PMTD structures.
+
+        Ends by compiling the T-phase into per-probe steps (after the
+        executor's budget-abort pass, which may flip decisions online), so
+        every subsequent :meth:`answer` re-plans nothing.
+        """
         ctr = counters or Counters()
         self.plans = [self.planner.plan_rule(rule) for rule in self.rules]
         self._s_targets = self.executor.preprocess(
             self.plans, self.space_budget, counters=ctr
         )
+        self._compiled_online = self.executor.compile_online(self.plans)
         self._yannakakis = []
         self.stats = IndexStats()
         for pmtd in self.pmtds:
-            s_views: Dict = {}
-            for node, view in pmtd.s_views.items():
-                matching = self._s_targets.get(view.variables)
-                schema = tuple(sorted(view.variables))
-                if matching is None:
-                    s_views[node] = Relation(view.label, schema, ())
-                else:
-                    s_views[node] = Relation(view.label, matching.schema,
-                                             matching.tuples)
+            s_views = self._assemble_views(pmtd.s_views, self._s_targets)
             self._yannakakis.append(OnlineYannakakis(pmtd, s_views))
         self.stats.stored_tuples = sum(
             len(rel) for rel in self._s_targets.values()
@@ -139,6 +139,21 @@ class CQAPIndex:
         self.stats.plans = [plan.describe() for plan in self.plans]
         self._ready = True
         return self
+
+    @staticmethod
+    def _assemble_views(views: Dict, targets: Dict[VarSet, Relation],
+                        ) -> Dict:
+        """Match materialized targets to a PMTD's views by schema."""
+        out: Dict = {}
+        for node, view in views.items():
+            matching = targets.get(view.variables)
+            schema = tuple(sorted(view.variables))
+            if matching is None:
+                out[node] = Relation(view.label, schema, ())
+            else:
+                out[node] = Relation(view.label, matching.schema,
+                                     matching.tuples)
+        return out
 
     # ------------------------------------------------------------------
     # online phase
@@ -166,19 +181,13 @@ class CQAPIndex:
             raise RuntimeError("call preprocess() before answer()")
         ctr = counters or Counters()
         q_a = self._normalize_request(request)
-        t_targets = self.executor.online(self.plans, q_a, counters=ctr)
+        t_targets = self.executor.online_compiled(
+            self._compiled_online, q_a, counters=ctr
+        )
         out_rows: set = set()
         head = tuple(self.cqap.head)
         for oy in self._yannakakis:
-            t_views: Dict = {}
-            for node, view in oy.pmtd.t_views.items():
-                matching = t_targets.get(view.variables)
-                schema = tuple(sorted(view.variables))
-                if matching is None:
-                    t_views[node] = Relation(view.label, schema, ())
-                else:
-                    t_views[node] = Relation(view.label, matching.schema,
-                                             matching.tuples)
+            t_views = self._assemble_views(oy.pmtd.t_views, t_targets)
             psi = oy.answer(q_a, t_views, counters=ctr)
             if set(psi.schema) == set(head):
                 out_rows |= psi.project(head, counters=ctr).tuples

@@ -86,23 +86,18 @@ class OnlineYannakakis:
         return sum(len(rel) for rel in self.s_views.values())
 
     # ------------------------------------------------------------------
-    def answer(self, request: Relation,
-               t_views: Optional[Dict[NodeId, Relation]] = None,
-               counters: Optional[Counters] = None) -> Relation:
-        """Run both passes; returns ψ over the PMTD's head variables."""
-        ctr = counters or global_counters
-        pmtd, td, root = self.pmtd, self.pmtd.td, self.pmtd.root
+    # per-probe execution: validate T-views, bottom-up reduce, top-down join
+    # ------------------------------------------------------------------
+    def _working_views(self, t_views: Optional[Dict[NodeId, Relation]],
+                       ) -> Dict[NodeId, Tuple[str, Relation]]:
+        """Validated node -> (kind, relation) map for one probe."""
+        pmtd = self.pmtd
         t_views = dict(t_views or {})
         expected_t = set(pmtd.t_views)
         if set(t_views) != expected_t:
             raise ValueError(
                 f"T-views must be given for exactly the nodes {expected_t}"
             )
-        head = pmtd.head
-        parents = td.parent_map(root)
-        depths = td.depths(root)
-
-        # working copies: node -> (kind, relation); schemas shrink in pass 1
         working: Dict[NodeId, Tuple[str, Relation]] = {}
         for node, relation in self.s_views.items():
             working[node] = (S_VIEW, relation)
@@ -114,9 +109,37 @@ class OnlineYannakakis:
                     f"{set(relation.variables)}, expected {set(schema)}"
                 )
             working[node] = ("T", relation)
-        removed: set = set()
+        return working
 
-        # ---------------- bottom-up semijoin-reduce pass ----------------
+    def answer(self, request: Relation,
+               t_views: Optional[Dict[NodeId, Relation]] = None,
+               counters: Optional[Counters] = None) -> Relation:
+        """Run both passes; returns ψ over the PMTD's head variables."""
+        ctr = counters or global_counters
+        pmtd, td, root = self.pmtd, self.pmtd.td, self.pmtd.root
+        head = pmtd.head
+        parents = td.parent_map(root)
+        depths = td.depths(root)
+
+        # working copies: node -> (kind, relation); schemas shrink in pass 1
+        working = self._working_views(t_views)
+        removed = self._reduce_bottom_up(working, parents, depths, head, ctr)
+
+        root_kind, root_rel = working[root]
+        if root_kind != S_VIEW:
+            head_part = root_rel.variables & head
+            root_rel = root_rel.project(sorted(head_part), counters=ctr)
+            working[root] = (root_kind, root_rel)
+        reduced_request = request.semijoin(root_rel, counters=ctr)
+
+        return self._join_top_down(working, removed, reduced_request,
+                                   depths, head, ctr)
+
+    def _reduce_bottom_up(self, working: Dict[NodeId, Tuple[str, Relation]],
+                          parents: Dict, depths: Dict, head,
+                          ctr: Counters) -> set:
+        """Pass 1: semijoin-reduce child-before-parent; returns dropped nodes."""
+        removed: set = set()
         for node in sorted(working, key=lambda n: -depths[n]):
             parent = parents[node]
             if parent is None:
@@ -142,15 +165,12 @@ class OnlineYannakakis:
                 truncated = relation.project(sorted(head_part),
                                              counters=ctr)
                 working[node] = (kind, truncated)
+        return removed
 
-        root_kind, root_rel = working[root]
-        if root_kind != S_VIEW:
-            head_part = root_rel.variables & head
-            root_rel = root_rel.project(sorted(head_part), counters=ctr)
-            working[root] = (root_kind, root_rel)
-        reduced_request = request.semijoin(root_rel, counters=ctr)
-
-        # ---------------- top-down join pass ----------------
+    def _join_top_down(self, working: Dict[NodeId, Tuple[str, Relation]],
+                       removed: set, reduced_request: Relation,
+                       depths: Dict, head, ctr: Counters) -> Relation:
+        """Pass 2: join kept views parent-to-child; costs output time."""
         result = reduced_request
         order = sorted(
             (n for n in working if n not in removed),

@@ -113,6 +113,9 @@ class TwoPhasePlanner:
         # other values exist for the threshold-sensitivity ablation
         self.threshold_scale = threshold_scale
         self._bound_cache: Dict = {}
+        #: times plan_rule() ran — lets the serving engine assert that the
+        #: warm probe path never re-plans
+        self.plan_calls = 0
 
     # ------------------------------------------------------------------
     def _single_bound(self, target: VarSet, phase: str,
@@ -143,6 +146,7 @@ class TwoPhasePlanner:
     # ------------------------------------------------------------------
     def plan_rule(self, rule: TwoPhaseRule) -> RulePlan:
         """Schedule one rule at the planner's budget."""
+        self.plan_calls += 1
         obj = self.program.obj_for_budget(rule, self.log_budget)
         if obj.fits_in_budget and rule.s_targets:
             target, bound = self._best_target(rule.s_targets, S_PHASE)
@@ -192,12 +196,37 @@ class TwoPhasePlanner:
         return RulePlan(rule, splits, decisions, obj.log_time)
 
 
+@dataclass
+class CompiledOnlineStep:
+    """One T-phase unit of work, frozen after preprocessing.
+
+    Holds the subproblem's (possibly split) relation pieces so the per-probe
+    path never re-derives them — ``atom_relation`` selections, schema
+    re-orderings, and the hash indexes those relations build lazily are all
+    shared across every probe served from the same prepared plan.
+    """
+
+    decision: PhaseDecision
+    relations: List[Relation]
+    schema: Tuple[str, ...]
+    name: str
+
+
 class TwoPhaseExecutor:
-    """Runs the two phases of a set of rule plans."""
+    """Runs the two phases of a set of rule plans.
+
+    Lifecycle counters (``preprocess_runs`` / ``compile_runs`` /
+    ``online_runs``) let callers verify the plan-once/probe-many contract:
+    a prepared instance preprocesses and compiles exactly once, no matter
+    how many online phases it serves afterwards.
+    """
 
     def __init__(self, cqap: CQAP, budget_slack: float = 8.0) -> None:
         self.cqap = cqap
         self.budget_slack = budget_slack
+        self.preprocess_runs = 0
+        self.compile_runs = 0
+        self.online_runs = 0
 
     # ------------------------------------------------------------------
     def preprocess(self, plans: Sequence[RulePlan], space_budget: float,
@@ -210,6 +239,7 @@ class TwoPhaseExecutor:
         plan in place.
         """
         ctr = counters or global_counters
+        self.preprocess_runs += 1
         limit = int(self.budget_slack * max(1.0, space_budget)) + 1
         targets: Dict[VarSet, Relation] = {}
         for plan in plans:
@@ -252,29 +282,59 @@ class TwoPhaseExecutor:
         return targets
 
     # ------------------------------------------------------------------
-    def online(self, plans: Sequence[RulePlan], request: Relation,
-               counters: Optional[Counters] = None,
-               ) -> Dict[VarSet, Relation]:
-        """Compute every designated T-target against ``request``."""
-        ctr = counters or global_counters
-        targets: Dict[VarSet, Relation] = {}
-        request_bound = Relation("Q_A", self.cqap.access, request.tuples)
+    def compile_online(self, plans: Sequence[RulePlan],
+                       ) -> List[CompiledOnlineStep]:
+        """Freeze the T-phase of ``plans`` into per-probe execution steps.
+
+        Must run *after* :meth:`preprocess`, whose budget-abort path may flip
+        S-decisions to the online phase; the compiled steps then reflect the
+        post-abort schedule and stay valid for every subsequent probe.
+        """
+        self.compile_runs += 1
+        steps: List[CompiledOnlineStep] = []
         for plan in plans:
             for decision in plan.online_decisions:
                 relations = [
                     decision.subproblem.atom_relation(atom)
                     for atom in self.cqap.atoms
                 ]
-                if self.cqap.access:
-                    relations = [request_bound] + relations
                 schema = tuple(sorted(decision.target))
-                piece = project_join(
-                    relations, schema,
-                    name=f"T_{''.join(schema)}", counters=ctr,
-                )
-                key = decision.target
-                if key in targets:
-                    targets[key] = targets[key].union(piece, name=piece.name)
-                else:
-                    targets[key] = piece
+                steps.append(CompiledOnlineStep(
+                    decision, relations, schema, f"T_{''.join(schema)}"
+                ))
+        return steps
+
+    def online_compiled(self, steps: Sequence[CompiledOnlineStep],
+                        request: Relation,
+                        counters: Optional[Counters] = None,
+                        ) -> Dict[VarSet, Relation]:
+        """Run the compiled T-phase against one access request relation."""
+        ctr = counters or global_counters
+        self.online_runs += 1
+        targets: Dict[VarSet, Relation] = {}
+        request_bound = Relation("Q_A", self.cqap.access, request.tuples)
+        for step in steps:
+            relations = step.relations
+            if self.cqap.access:
+                relations = [request_bound] + relations
+            piece = project_join(
+                relations, step.schema, name=step.name, counters=ctr,
+            )
+            key = step.decision.target
+            if key in targets:
+                targets[key] = targets[key].union(piece, name=piece.name)
+            else:
+                targets[key] = piece
         return targets
+
+    def online(self, plans: Sequence[RulePlan], request: Relation,
+               counters: Optional[Counters] = None,
+               ) -> Dict[VarSet, Relation]:
+        """Compute every designated T-target against ``request``.
+
+        One-shot convenience: compiles and immediately executes.  Callers
+        serving many probes should compile once and use
+        :meth:`online_compiled` per request.
+        """
+        return self.online_compiled(self.compile_online(plans), request,
+                                    counters=counters)

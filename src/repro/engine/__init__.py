@@ -1,0 +1,24 @@
+"""Serving engine: prepare a CQAP instance once, probe it many times.
+
+The north-star serving surface of the repo::
+
+    from repro import catalog, path_database
+    from repro.engine import prepare
+
+    cqap = catalog.k_path_cqap(3)
+    db = path_database(k=3, n_edges=2000, domain=200, seed=7)
+    pq = prepare(cqap, db, space_budget=int(db.size ** 1.2))
+
+    pq.probe_boolean((4, 17))                 # one probe
+    pq.probe_many([(4, 17), (8, 2), (4, 17)]) # batched, deduplicated
+    pq.stats()                                # cache + lifecycle counters
+"""
+
+from repro.engine.cache import LRUCache
+from repro.engine.prepared import PreparedQuery, prepare
+
+__all__ = [
+    "LRUCache",
+    "PreparedQuery",
+    "prepare",
+]

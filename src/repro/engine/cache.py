@@ -1,0 +1,79 @@
+"""LRU answer cache for the serving engine.
+
+Probe workloads are heavily skewed in practice (hot users, hot pairs), so a
+small exact-answer cache in front of the online phase converts the common
+case into a dictionary move-to-front.  Values are stored as immutable
+``(schema, frozenset-of-tuples)`` payloads so cached answers can never alias
+a relation a caller later mutates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+
+class LRUCache:
+    """A bounded map with least-recently-used eviction and hit accounting.
+
+    ``capacity <= 0`` disables caching entirely (every ``get`` is a miss and
+    ``put`` is a no-op) while keeping the counters meaningful.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable):
+        """The cached value (refreshing recency) or ``None`` on a miss."""
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def peek(self, key: Hashable):
+        """Like :meth:`get` but touches neither recency nor counters."""
+        return self._entries.get(key)
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        if self.capacity <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry; counters are preserved."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-friendly counter dump."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

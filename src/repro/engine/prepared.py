@@ -1,0 +1,217 @@
+"""Plan-once / probe-many serving (§2.1 access requests, §6.4 batching).
+
+``prepare(cqap, db, budget)`` pays the expensive phase exactly once: PMTD
+enumeration, 2PP planning per disjunctive rule, S-target materialization
+under the space budget, hash-index warm-up, and T-phase compilation.  The
+returned :class:`PreparedQuery` then serves access-pattern probes against
+that frozen state:
+
+* :meth:`PreparedQuery.probe` — one binding through the compiled online
+  plan (or straight out of the LRU answer cache);
+* :meth:`PreparedQuery.probe_many` — a batch of bindings, deduplicated and
+  grouped into a *single* access relation so one online phase serves the
+  whole batch (the paper's §6.4 observation, turned into an API).
+
+The warm path never re-plans and never re-materializes S-targets; the
+planner/executor lifecycle counters (``plan_calls``, ``preprocess_runs``,
+``compile_runs``) make that verifiable from tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.index import CQAPIndex
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.engine.cache import LRUCache
+from repro.query.cq import CQAP
+from repro.util.counters import Counters
+
+Binding = Tuple[object, ...]
+
+
+def prepare(cqap: CQAP, db: Database, space_budget: float,
+            cache_size: int = 256,
+            counters: Optional[Counters] = None,
+            **index_kwargs) -> "PreparedQuery":
+    """Run the one-time preprocessing phase and return a serving handle.
+
+    ``index_kwargs`` are forwarded to :class:`~repro.core.index.CQAPIndex`
+    (``pmtds``, ``dc``, ``ac``, ``max_bags``, ``max_splits``,
+    ``budget_slack``, ``measure_degrees``, ``threshold_scale``, ...).
+    """
+    ctr = counters or Counters()
+    start = time.perf_counter()
+    index = CQAPIndex(cqap, db, space_budget, **index_kwargs)
+    index.preprocess(counters=ctr)
+    elapsed = time.perf_counter() - start
+    return PreparedQuery(index, cache_size=cache_size,
+                         prepare_seconds=elapsed,
+                         prepare_counters=ctr)
+
+
+class PreparedQuery:
+    """A preprocessed CQAP instance that answers probes without re-planning.
+
+    Construct via :func:`prepare`.  All mutable planning state is settled by
+    the time this object exists; probes only execute the compiled T-phase
+    and the per-PMTD Online Yannakakis passes.
+    """
+
+    def __init__(self, index: CQAPIndex, cache_size: int = 256,
+                 prepare_seconds: float = 0.0,
+                 prepare_counters: Optional[Counters] = None) -> None:
+        if not index._ready:
+            raise ValueError("PreparedQuery needs a preprocessed CQAPIndex; "
+                             "use repro.engine.prepare()")
+        self._index = index
+        self.cqap = index.cqap
+        self.cache = LRUCache(cache_size)
+        self.prepare_seconds = prepare_seconds
+        self.prepare_counters = (prepare_counters or Counters()).copy()
+        # lifecycle snapshot: probes must leave these untouched
+        self.plan_calls_at_prepare = index.planner.plan_calls
+        self.preprocess_runs_at_prepare = index.executor.preprocess_runs
+        self.probes_served = 0
+        self.batch_calls = 0
+        self.online_phases = 0
+
+    # ------------------------------------------------------------------
+    # binding plumbing
+    # ------------------------------------------------------------------
+    def _normalize_binding(self, binding) -> Binding:
+        """One probe binding as a tuple matching the access pattern arity."""
+        if not isinstance(binding, (tuple, list)):
+            binding = (binding,)
+        binding = tuple(binding)
+        if len(binding) != len(self.cqap.access):
+            raise ValueError(
+                f"binding {binding} has arity {len(binding)}; access "
+                f"pattern {self.cqap.access} expects {len(self.cqap.access)}"
+            )
+        return binding
+
+    def _from_cache_payload(self, payload) -> Relation:
+        schema, rows = payload
+        return Relation(f"{self.cqap.name}_answer", schema, rows)
+
+    # ------------------------------------------------------------------
+    # single-probe fast path
+    # ------------------------------------------------------------------
+    def probe(self, binding, counters: Optional[Counters] = None) -> Relation:
+        """Answer one access binding; cached answers cost one dict lookup."""
+        key = self._normalize_binding(binding)
+        self.probes_served += 1
+        cached = self.cache.get(key)
+        if cached is not None:
+            return self._from_cache_payload(cached)
+        ctr = counters or Counters()
+        answer = self._index.answer(key, counters=ctr)
+        self.online_phases += 1
+        if self.cache.capacity > 0:
+            self.cache.put(key, (answer.schema, frozenset(answer.tuples)))
+        return answer
+
+    def probe_boolean(self, binding,
+                      counters: Optional[Counters] = None) -> bool:
+        """True iff the probe has at least one answer."""
+        return len(self.probe(binding, counters=counters)) > 0
+
+    # ------------------------------------------------------------------
+    # batched path (§6.4)
+    # ------------------------------------------------------------------
+    def probe_many(self, bindings: Iterable,
+                   counters: Optional[Counters] = None,
+                   ) -> Dict[Binding, Relation]:
+        """Answer many bindings in one online phase.
+
+        Bindings are deduplicated (first occurrence wins the ordering),
+        cache hits are served immediately, and the remaining misses are
+        grouped into a single access relation ``Q_A`` so that split scans,
+        view assembly, and the Yannakakis passes are paid once for the whole
+        batch instead of once per binding.  Returns a dict keyed by the
+        normalized binding; results are identical to per-binding
+        :meth:`probe` calls.
+        """
+        keys: List[Binding] = [self._normalize_binding(b) for b in bindings]
+        unique = list(dict.fromkeys(keys))
+        self.batch_calls += 1
+        self.probes_served += len(unique)
+        results: Dict[Binding, Relation] = {}
+        missing: List[Binding] = []
+        for key in unique:
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[key] = self._from_cache_payload(cached)
+            else:
+                missing.append(key)
+        if missing:
+            ctr = counters or Counters()
+            batched = self._index.answer(missing, counters=ctr)
+            self.online_phases += 1
+            access_pos = tuple(batched.schema.index(v)
+                               for v in self.cqap.access)
+            by_key: Dict[Binding, set] = {}
+            for row in batched.tuples:
+                by_key.setdefault(
+                    tuple(row[p] for p in access_pos), set()
+                ).add(row)
+            for key in missing:
+                rows = frozenset(by_key.get(key, ()))
+                self.cache.put(key, (batched.schema, rows))
+                results[key] = Relation(f"{self.cqap.name}_answer",
+                                        batched.schema, rows)
+        return results
+
+    def probe_many_boolean(self, bindings: Iterable,
+                           counters: Optional[Counters] = None,
+                           ) -> Dict[Binding, bool]:
+        """Batched Boolean variant: binding -> has-answer."""
+        return {key: len(rel) > 0
+                for key, rel in self.probe_many(bindings,
+                                                counters=counters).items()}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def stored_tuples(self) -> int:
+        """Space held by the prepared S-targets."""
+        return self._index.stored_tuples
+
+    @property
+    def predicted_log_time(self) -> float:
+        """The planner's OBJ(S) — the T of the space-time tradeoff."""
+        return self._index.predicted_log_time
+
+    @property
+    def replanned(self) -> bool:
+        """True if any probe triggered planning work (must stay False)."""
+        return (self._index.planner.plan_calls != self.plan_calls_at_prepare
+                or self._index.executor.preprocess_runs
+                != self.preprocess_runs_at_prepare)
+
+    def describe(self) -> str:
+        """Human-readable dump of the frozen plans."""
+        return self._index.describe()
+
+    def stats(self) -> Dict:
+        """JSON-friendly serving statistics."""
+        return {
+            "query": self.cqap.name,
+            "prepare_seconds": self.prepare_seconds,
+            "prepare_counters": self.prepare_counters.snapshot(),
+            "stored_tuples": self.stored_tuples,
+            "predicted_log_time": self.predicted_log_time,
+            "plan_calls": self._index.planner.plan_calls,
+            "preprocess_runs": self._index.executor.preprocess_runs,
+            "compile_runs": self._index.executor.compile_runs,
+            "online_runs": self._index.executor.online_runs,
+            "probes_served": self.probes_served,
+            "batch_calls": self.batch_calls,
+            "online_phases": self.online_phases,
+            "replanned": self.replanned,
+            "cache": self.cache.snapshot(),
+        }
