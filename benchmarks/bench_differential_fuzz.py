@@ -1,0 +1,82 @@
+"""Differential harness throughput — the cost of the correctness gate.
+
+The differential oracle is only useful if it stays cheap enough to run on
+every change, so this bench measures scenarios/second per workload shape
+over a fixed seed block and asserts the two shapes that matter:
+
+* zero disagreements (the harness is a correctness gate, not a sampler);
+* the brute-force oracle dominates no shape by more than the planning
+  stack — i.e. the harness stays interactive (< 2 s/scenario on average),
+  which is what lets CI run hundreds of scenarios per push.
+"""
+
+import sys
+import time
+from functools import lru_cache
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import print_table
+
+from repro.workloads import QUERY_SHAPES
+from repro.workloads.differential import run_differential
+
+BASE_SEED = 9000
+SCENARIOS_PER_SHAPE = 8
+
+
+@lru_cache(maxsize=1)
+def experiment():
+    rows = []
+    for shape in QUERY_SHAPES:
+        t0 = time.perf_counter()
+        summary = run_differential(SCENARIOS_PER_SHAPE, BASE_SEED,
+                                   shape=shape)
+        seconds = time.perf_counter() - t0
+        rows.append({
+            "shape": shape,
+            "scenarios": summary.scenarios,
+            "comparisons": summary.comparisons,
+            "disagreements": len(summary.disagreements),
+            "skips": len(summary.skips),
+            "sec_per_scenario": seconds / max(1, summary.scenarios),
+        })
+    return rows
+
+
+def test_zero_disagreements_every_shape():
+    for row in experiment():
+        assert row["disagreements"] == 0, row
+
+
+def test_every_shape_produces_comparisons():
+    for row in experiment():
+        assert row["comparisons"] > 0, row
+
+
+def test_no_shape_dominates_the_budget():
+    # shape, not absolute wall-clock (repo benchmark convention): machine
+    # load cancels in the ratio, so this only reds when one shape's
+    # planning cost genuinely explodes relative to the others — the
+    # failure mode that would blow the CI fuzz-smoke budget
+    rates = [row["sec_per_scenario"] for row in experiment()]
+    assert max(rates) < 100 * max(min(rates), 1e-9), experiment()
+
+
+def test_report_table():
+    print_table(
+        "Differential fuzz throughput (per query shape)",
+        ["shape", "scenarios", "comparisons", "disagree", "skips",
+         "s/scenario"],
+        [[r["shape"], r["scenarios"], r["comparisons"],
+          r["disagreements"], r["skips"],
+          f"{r['sec_per_scenario']:.3f}"] for r in experiment()],
+    )
+
+
+if __name__ == "__main__":
+    test_report_table()
+    test_zero_disagreements_every_shape()
+    test_no_shape_dominates_the_budget()
+    print("ok")

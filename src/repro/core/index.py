@@ -71,6 +71,7 @@ class CQAPIndex:
         ac: Optional[ConstraintSet] = None,
         request_size: float = 1,
         max_bags: int = 3,
+        max_pmtds: Optional[int] = None,
         max_splits: int = 4,
         budget_slack: float = 8.0,
         measure_degrees: bool = False,
@@ -93,6 +94,12 @@ class CQAPIndex:
             if not pmtds:
                 pmtds = trivial_pmtds(cqap)
         self.pmtds: List[PMTD] = list(pmtds)
+        if max_pmtds is not None and len(self.pmtds) > max_pmtds:
+            # Any subset of PMTDs is sound (answering unions the per-PMTD
+            # ψ_i, each of which is complete); a cap only narrows the
+            # tradeoff search.  Rule generation is a cartesian product over
+            # PMTD views, so uncapped large sets blow up combinatorially.
+            self.pmtds = self.pmtds[:max_pmtds]
         self.rules: List[TwoPhaseRule] = rules_from_pmtds(self.pmtds)
         self.planner = TwoPhasePlanner(
             cqap, db, space_budget, dc=dc, ac=ac,

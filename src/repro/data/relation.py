@@ -28,6 +28,11 @@ class Relation:
 
     The tuple set is stored as a Python ``set`` for O(1) membership; auxiliary
     hash indexes are built lazily per key and cached.
+
+    Mutation contract: go through :meth:`add` / :meth:`discard`, which
+    invalidate the cached indexes.  Mutating ``.tuples`` directly is
+    unsupported — cached indexes would keep serving the stale tuple set
+    (``tests/test_relation.py::TestIndexInvalidation`` pins this down).
     """
 
     __slots__ = ("name", "schema", "tuples", "_indexes")

@@ -26,7 +26,7 @@ from repro.core.index import CQAPIndex
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.engine.cache import LRUCache
-from repro.query.cq import CQAP
+from repro.query.cq import CQAP, normalize_access_binding
 from repro.util.counters import Counters
 
 Binding = Tuple[object, ...]
@@ -83,15 +83,7 @@ class PreparedQuery:
     # ------------------------------------------------------------------
     def _normalize_binding(self, binding) -> Binding:
         """One probe binding as a tuple matching the access pattern arity."""
-        if not isinstance(binding, (tuple, list)):
-            binding = (binding,)
-        binding = tuple(binding)
-        if len(binding) != len(self.cqap.access):
-            raise ValueError(
-                f"binding {binding} has arity {len(binding)}; access "
-                f"pattern {self.cqap.access} expects {len(self.cqap.access)}"
-            )
-        return binding
+        return normalize_access_binding(self.cqap.access, binding)
 
     def _from_cache_payload(self, payload) -> Relation:
         schema, rows = payload
@@ -172,6 +164,35 @@ class PreparedQuery:
         return {key: len(rel) > 0
                 for key, rel in self.probe_many(bindings,
                                                 counters=counters).items()}
+
+    # ------------------------------------------------------------------
+    # differential self-check
+    # ------------------------------------------------------------------
+    def verify_against_oracle(self, bindings: Iterable):
+        """Check served answers against the brute-force oracle.
+
+        Probes every binding through :meth:`probe` (cache included — a
+        poisoned cache entry is exactly the kind of bug this catches) and
+        diffs the answers against ``repro.oracle``'s naive evaluation.
+        Returns the :class:`~repro.oracle.diff.EquivalenceReport` on
+        agreement and raises
+        :class:`~repro.oracle.diff.OracleMismatch` otherwise.
+        """
+        from repro.oracle import (
+            answer_rows,
+            assert_equivalent,
+            oracle_probe_many,
+        )
+
+        keys = [self._normalize_binding(b) for b in bindings]
+        expected = oracle_probe_many(self.cqap, self._index.db, keys)
+        head = tuple(self.cqap.head)
+        actual = {key: answer_rows(self.probe(key), head)
+                  for key in dict.fromkeys(keys)}
+        return assert_equivalent(
+            expected, actual, path="engine_probe",
+            context={"query": repr(self.cqap)},
+        )
 
     # ------------------------------------------------------------------
     # introspection

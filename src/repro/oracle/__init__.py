@@ -1,0 +1,44 @@
+"""Brute-force differential oracle (the repo's standing correctness gate).
+
+The paper's guarantees are *semantic*: every 2PP/PANDA-derived plan must
+return exactly the answers of the conjunctive query under the access
+pattern.  This package provides the reference implementation those
+guarantees are checked against:
+
+* :mod:`repro.oracle.brute_force` — naive backtracking evaluation over raw
+  tuple sets, sharing **no** code with the planner, the decompositions, or
+  the :class:`~repro.data.relation.Relation` operators;
+* :mod:`repro.oracle.diff` — per-binding answer diffing
+  (:func:`assert_equivalent`) that pinpoints missing/extra tuples and
+  renders a minimal reproduction.
+
+Every execution path in the repo (``answer_from_scratch``, ``CQAPIndex``,
+``PreparedQuery.probe``/``probe_many``) is compared against this oracle by
+``repro.workloads.differential`` in tier-1 tests and the CI fuzz-smoke job.
+"""
+
+from repro.oracle.brute_force import (
+    oracle_evaluate,
+    oracle_probe,
+    oracle_probe_many,
+)
+from repro.oracle.diff import (
+    BindingDiff,
+    EquivalenceReport,
+    OracleMismatch,
+    answer_rows,
+    assert_equivalent,
+    compare_answers,
+)
+
+__all__ = [
+    "BindingDiff",
+    "EquivalenceReport",
+    "OracleMismatch",
+    "answer_rows",
+    "assert_equivalent",
+    "compare_answers",
+    "oracle_evaluate",
+    "oracle_probe",
+    "oracle_probe_many",
+]

@@ -1,0 +1,90 @@
+"""Naive reference evaluation of CQs and CQAPs.
+
+This is the *oracle* side of the differential harness, so it deliberately
+avoids every piece of machinery it is supposed to check: no hypergraphs, no
+decompositions, no planner, and none of the :class:`Relation` operators
+(join/semijoin/project all route through hash indexes the oracle must stay
+independent of).  Evaluation is plain backtracking search over the raw
+tuple sets — exponential in query size, linear-ish in data size, and
+obviously correct by inspection.  Instances fed to it should therefore be
+small; the workload generators keep them that way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.data.database import Database
+from repro.query.cq import CQAP, ConjunctiveQuery, normalize_access_binding
+
+Row = Tuple[object, ...]
+AnswerSet = FrozenSet[Row]
+
+
+def _atom_rows(db: Database, atom) -> List[Row]:
+    """Raw stored tuples for one atom, with an arity check."""
+    base = db[atom.relation]
+    if len(base.schema) != len(atom.variables):
+        raise ValueError(
+            f"atom {atom} arity {len(atom.variables)} does not match stored "
+            f"schema {base.schema}"
+        )
+    return list(base.tuples)
+
+
+def oracle_evaluate(cq: ConjunctiveQuery, db: Database,
+                    binding: Optional[Mapping[str, object]] = None,
+                    ) -> AnswerSet:
+    """All head tuples of ``cq`` on ``db`` consistent with ``binding``.
+
+    ``binding`` pre-assigns values to some variables (unknown variables are
+    rejected).  A Boolean query (empty head) returns ``{()}`` when
+    satisfiable and ``frozenset()`` otherwise, matching the engine's
+    convention for nullary answer relations.
+    """
+    initial: Dict[str, object] = dict(binding or {})
+    unknown = set(initial) - set(cq.variables)
+    if unknown:
+        raise ValueError(
+            f"binding variables {sorted(unknown)} do not occur in {cq!r}"
+        )
+    atoms = list(cq.atoms)
+    rows_per_atom = [_atom_rows(db, atom) for atom in atoms]
+    head = tuple(cq.head)
+    answers: set = set()
+
+    def extend(i: int, assignment: Dict[str, object]) -> None:
+        if i == len(atoms):
+            answers.add(tuple(assignment[v] for v in head))
+            return
+        atom = atoms[i]
+        for row in rows_per_atom[i]:
+            candidate = dict(assignment)
+            consistent = True
+            for var, val in zip(atom.variables, row):
+                if var in candidate and candidate[var] != val:
+                    consistent = False
+                    break
+                candidate[var] = val
+            if consistent:
+                extend(i + 1, candidate)
+
+    extend(0, initial)
+    return frozenset(answers)
+
+
+def oracle_probe(cqap: CQAP, db: Database, binding) -> AnswerSet:
+    """The exact answer set of one access binding, as head-ordered tuples."""
+    binding = normalize_access_binding(cqap.access, binding)
+    return oracle_evaluate(cqap, db, dict(zip(cqap.access, binding)))
+
+
+def oracle_probe_many(cqap: CQAP, db: Database,
+                      bindings: Iterable) -> Dict[Row, AnswerSet]:
+    """Per-binding exact answers for a probe stream (duplicates collapse)."""
+    out: Dict[Row, AnswerSet] = {}
+    for binding in bindings:
+        key = normalize_access_binding(cqap.access, binding)
+        if key not in out:
+            out[key] = oracle_probe(cqap, db, key)
+    return out

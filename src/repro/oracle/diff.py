@@ -1,0 +1,119 @@
+"""Answer diffing for the differential oracle.
+
+Comparisons are per binding: for every probed binding we report the tuples
+the oracle expects but the candidate lacks (*missing*) and the tuples the
+candidate invents (*extra*).  :class:`EquivalenceReport.describe` renders a
+minimal reproduction — enough to rerun the failing scenario without the
+original process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.data.relation import Relation
+
+Row = Tuple[object, ...]
+AnswerSet = FrozenSet[Row]
+
+
+def answer_rows(relation: Relation, head: Sequence[str]) -> AnswerSet:
+    """A candidate answer relation as head-ordered raw tuples.
+
+    Reorders columns by hand (no :meth:`Relation.project`) so candidate
+    normalization cannot lean on the operators under test.
+    """
+    head = tuple(head)
+    if set(relation.schema) != set(head):
+        raise ValueError(
+            f"answer schema {relation.schema} does not match head {head}"
+        )
+    pos = tuple(relation.schema.index(v) for v in head)
+    return frozenset(tuple(row[p] for p in pos) for row in relation.tuples)
+
+
+@dataclass(frozen=True)
+class BindingDiff:
+    """One binding's disagreement: what is missing, what is extra."""
+
+    binding: Row
+    missing: AnswerSet
+    extra: AnswerSet
+
+    def describe(self) -> str:
+        parts = [f"binding {self.binding}:"]
+        if self.missing:
+            parts.append(f"missing {sorted(self.missing)}")
+        if self.extra:
+            parts.append(f"extra {sorted(self.extra)}")
+        return " ".join(parts)
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of checking one execution path against the oracle."""
+
+    path: str
+    bindings_checked: int = 0
+    diffs: List[BindingDiff] = field(default_factory=list)
+    #: free-form reproduction context (seed, query repr, budget, ...)
+    context: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diffs
+
+    def describe(self) -> str:
+        """Human-readable verdict, minimal reproduction included."""
+        ctx = " ".join(f"{k}={v}" for k, v in self.context.items())
+        header = (f"[{self.path}] {self.bindings_checked} bindings checked"
+                  + (f" ({ctx})" if ctx else ""))
+        if self.ok:
+            return header + ": OK"
+        lines = [header + f": {len(self.diffs)} disagreeing binding(s)"]
+        lines.extend("  " + diff.describe() for diff in self.diffs)
+        return "\n".join(lines)
+
+
+class OracleMismatch(AssertionError):
+    """An execution path disagreed with the brute-force oracle."""
+
+    def __init__(self, report: EquivalenceReport) -> None:
+        super().__init__(report.describe())
+        self.report = report
+
+
+def compare_answers(expected: Mapping[Row, AnswerSet],
+                    actual: Mapping[Row, AnswerSet],
+                    path: str = "candidate",
+                    context: Optional[Dict[str, object]] = None,
+                    ) -> EquivalenceReport:
+    """Diff candidate answers against the oracle's, binding by binding.
+
+    ``actual`` bindings absent from ``expected`` are treated as all-extra;
+    expected bindings the candidate never answered are all-missing.
+    """
+    report = EquivalenceReport(path=path, context=dict(context or {}))
+    empty: AnswerSet = frozenset()
+    for binding in sorted(set(expected) | set(actual), key=repr):
+        want = expected.get(binding, empty)
+        got = actual.get(binding, empty)
+        report.bindings_checked += 1
+        if want != got:
+            report.diffs.append(
+                BindingDiff(binding, missing=want - got, extra=got - want)
+            )
+    return report
+
+
+def assert_equivalent(expected: Mapping[Row, AnswerSet],
+                      actual: Mapping[Row, AnswerSet],
+                      path: str = "candidate",
+                      context: Optional[Dict[str, object]] = None,
+                      ) -> EquivalenceReport:
+    """Like :func:`compare_answers` but raises :class:`OracleMismatch`."""
+    report = compare_answers(expected, actual, path=path, context=context)
+    if not report.ok:
+        raise OracleMismatch(report)
+    return report

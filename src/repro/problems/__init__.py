@@ -2,6 +2,7 @@
 
 from repro.problems.hierarchical import (
     AdaptedKaraBaseline,
+    assert_hierarchical,
     HierarchicalAnalysis,
     HierarchicalIndex,
     canonical_order,
@@ -35,6 +36,7 @@ __all__ = [
     "SetFamily",
     "SquareOracle",
     "TrianglePairIndex",
+    "assert_hierarchical",
     "canonical_order",
     "chain_decomposition",
     "figure6_decomposition",

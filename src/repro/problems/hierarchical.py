@@ -44,12 +44,33 @@ def atom_sets(cq: ConjunctiveQuery) -> Dict[str, frozenset]:
 
 def is_hierarchical(cq: ConjunctiveQuery) -> bool:
     """§F: every variable pair has nested or disjoint atom sets."""
-    sets = list(atom_sets(cq).values())
-    for i, a in enumerate(sets):
-        for b in sets[i + 1:]:
-            if not (a <= b or b <= a or not (a & b)):
-                return False
+    try:
+        assert_hierarchical(cq)
+    except ValueError:
+        return False
     return True
+
+
+def assert_hierarchical(cq: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Raise ``ValueError`` naming a violating variable pair if not §F.
+
+    The single authoritative check (:func:`is_hierarchical` delegates
+    here).  The workload fuzzer uses it to certify that generated
+    "hierarchical" queries really are hierarchical; the error pinpoints
+    the first pair of variables whose atom sets properly overlap.
+    """
+    sets = atom_sets(cq)
+    variables = sorted(sets)
+    for i, u in enumerate(variables):
+        for v in variables[i + 1:]:
+            a, b = sets[u], sets[v]
+            if not (a <= b or b <= a or not (a & b)):
+                raise ValueError(
+                    f"query {cq.name!r} is not hierarchical: variables "
+                    f"{u!r} and {v!r} have properly overlapping atom sets "
+                    f"{sorted(a)} and {sorted(b)}"
+                )
+    return cq
 
 
 def canonical_order(cq: ConjunctiveQuery) -> Dict[str, Optional[str]]:

@@ -44,6 +44,24 @@ class Atom:
         return f"{self.relation}({', '.join(self.variables)})"
 
 
+def normalize_access_binding(access: Sequence[str], binding) -> Tuple:
+    """One access-pattern binding as a tuple of matching arity.
+
+    Scalars are wrapped; lists become tuples; arity mismatches raise
+    ``ValueError``.  Shared by the serving engine and the brute-force
+    oracle so the two sides can never drift on binding plumbing.
+    """
+    if not isinstance(binding, (tuple, list)):
+        binding = (binding,)
+    binding = tuple(binding)
+    if len(binding) != len(access):
+        raise ValueError(
+            f"binding {binding} has arity {len(binding)}; access "
+            f"pattern {tuple(access)} expects {len(access)}"
+        )
+    return binding
+
+
 def _atom_relation(db: Database, atom: Atom) -> Relation:
     """The stored relation re-schematized to the atom's query variables."""
     base = db[atom.relation]

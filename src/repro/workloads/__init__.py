@@ -1,0 +1,30 @@
+"""Randomized, reproducible CQAP workloads.
+
+A :class:`Workload` bundles a random CQAP (random hypergraph with a random
+bound/free split), a matched random database (uniform, Zipf-skewed hubs, or
+planted-heavy), and a probe stream (uniform, hot-key, adversarial
+cold-miss) — all derived deterministically from one integer seed, so any
+scenario that ever fails is reproducible from its seed alone.
+
+``repro.workloads.differential`` drives every execution path in the repo
+over such workloads and diffs the answers against ``repro.oracle``; it is
+both a tier-1 test (small fixed seeds) and the CI fuzz-smoke job (larger
+budget, rotating seed).
+"""
+
+from repro.workloads.databases import DB_PROFILES, random_database
+from repro.workloads.probes import PROBE_KINDS, probe_stream
+from repro.workloads.queries import QUERY_SHAPES, random_cqap
+from repro.workloads.workload import Workload, make_workload, workload_suite
+
+__all__ = [
+    "DB_PROFILES",
+    "PROBE_KINDS",
+    "QUERY_SHAPES",
+    "Workload",
+    "make_workload",
+    "probe_stream",
+    "random_cqap",
+    "random_database",
+    "workload_suite",
+]

@@ -1,0 +1,83 @@
+"""Random databases matched to a generated CQAP.
+
+One relation is drawn per distinct relation name in the query (atoms that
+share a name share the stored relation, as in the paper's graph-semantics
+examples).  Profiles shape the value distribution:
+
+* ``uniform`` — i.i.d. uniform values;
+* ``zipf`` — Zipf-skewed values (hot hubs on every column), the regime the
+  heavy/light split machinery exists for;
+* ``heavy`` — a planted heavy hub: half of all tuples share one value in
+  their first column;
+* ``sparse`` — few tuples over a large domain (joins mostly empty), and a
+  fair chance of a completely empty relation.
+
+Instances are deliberately tiny (tens of tuples) so the brute-force oracle
+stays affordable; sizes and domains are themselves randomized per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.cq import CQAP
+
+DB_PROFILES: Tuple[str, ...] = ("uniform", "zipf", "heavy", "sparse")
+
+
+def _zipf_value(rng: random.Random, domain: int, s: float = 1.3) -> int:
+    weights = [1.0 / (rank + 1) ** s for rank in range(domain)]
+    return rng.choices(range(domain), weights=weights, k=1)[0]
+
+
+def _draw_rows(rng: random.Random, arity: int, n_tuples: int, domain: int,
+               profile: str) -> set:
+    rows: set = set()
+    attempts = 0
+    # a set over a small domain can saturate before reaching n_tuples
+    while len(rows) < n_tuples and attempts < 20 * n_tuples + 20:
+        attempts += 1
+        if profile == "zipf":
+            row = tuple(_zipf_value(rng, domain) for _ in range(arity))
+        elif profile == "heavy" and rng.random() < 0.5:
+            row = (0,) + tuple(rng.randrange(domain)
+                               for _ in range(arity - 1))
+        else:
+            row = tuple(rng.randrange(domain) for _ in range(arity))
+        rows.add(row)
+    return rows
+
+
+def random_database(cqap: CQAP, rng: random.Random,
+                    profile: Optional[str] = None,
+                    max_tuples: int = 24) -> Database:
+    """A database instance for ``cqap`` under the given (or drawn) profile."""
+    profile = profile if profile is not None else rng.choice(DB_PROFILES)
+    if profile not in DB_PROFILES:
+        raise ValueError(
+            f"unknown database profile {profile!r}; known: {DB_PROFILES}"
+        )
+    arities: Dict[str, int] = {}
+    for atom in cqap.atoms:
+        existing = arities.setdefault(atom.relation, len(atom.variables))
+        if existing != len(atom.variables):
+            raise ValueError(
+                f"relation {atom.relation!r} used at arities "
+                f"{existing} and {len(atom.variables)}"
+            )
+    if profile == "sparse":
+        domain = rng.randint(12, 30)
+    else:
+        domain = rng.randint(2, 10)
+    db = Database()
+    for name, arity in arities.items():
+        if profile == "sparse":
+            n_tuples = rng.randint(0, 4)
+        else:
+            n_tuples = rng.randint(1, max_tuples)
+        rows = _draw_rows(rng, arity, n_tuples, domain, profile)
+        db.add(Relation(name, tuple(f"c{i}" for i in range(arity)), rows))
+    return db

@@ -1,0 +1,348 @@
+"""Differential harness: every execution path vs the brute-force oracle.
+
+For each workload (seeded random query + database + probe stream) the
+harness computes the exact per-binding answers with ``repro.oracle`` and
+then diffs five checks across the repo's four answer stacks against them:
+
+* ``from_scratch``   — ``CQAP.answer_from_scratch`` (textbook join path);
+* ``index_lean``     — ``CQAPIndex.answer`` at a tiny space budget, so the
+  plans lean on the online phase (TwoPhaseExecutor T-phase + Online
+  Yannakakis);
+* ``index_rich``     — ``CQAPIndex.answer`` at an ample budget, so
+  preprocessing materializes S-targets and the online phase serves off the
+  prepared views (plus an ``answer_batch`` union check);
+* ``engine_probe`` / ``engine_probe_many`` — the serving engine
+  (``PreparedQuery``) over both indexes, cache and batch dedupe included.
+
+A scenario that fails is reproducible from its seed alone: every recorded
+disagreement carries the seed, the binding, the tuple diff, and a ready-to-
+paste command line.  Run directly::
+
+    PYTHONPATH=src python -m repro.workloads.differential \
+        --scenarios 200 --seed 12345
+
+which is exactly what the CI fuzz-smoke job does — a fixed seed block
+as the merge gate plus a rotating exploration seed (echoed into the log
+so any red run can be replayed locally) — and what
+``tests/test_differential.py`` does with small fixed seeds in tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.index import CQAPIndex
+from repro.core.two_phase import PlanningError
+from repro.data.relation import Relation
+from repro.engine.prepared import PreparedQuery
+from repro.oracle import answer_rows, compare_answers, oracle_probe_many
+from repro.workloads.workload import Workload, make_workload, workload_suite
+
+Row = Tuple[object, ...]
+AnswerSet = FrozenSet[Row]
+
+PATHS: Tuple[str, ...] = (
+    "from_scratch",
+    "index_lean",
+    "index_rich",
+    "engine_probe",
+    "engine_probe_many",
+)
+
+LEAN_BUDGET = 2
+RICH_BUDGET = 10 ** 7
+#: cap the PMTD set per index — rule generation is a cartesian product
+#: over PMTD views, and fuzz queries can enumerate dozens of PMTDs
+MAX_PMTDS = 4
+
+
+@dataclass
+class Disagreement:
+    """One oracle mismatch (or crash), with a minimal reproduction."""
+
+    seed: int
+    path: str
+    detail: str
+    repro: str
+
+    def describe(self) -> str:
+        return (f"seed={self.seed} path={self.path}: {self.detail}\n"
+                f"    repro: {self.repro}")
+
+
+@dataclass
+class ScenarioOutcome:
+    """What happened on one workload."""
+
+    workload: Workload
+    comparisons: int = 0
+    disagreements: List[Disagreement] = field(default_factory=list)
+    skips: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+
+@dataclass
+class DifferentialSummary:
+    """Aggregate over a whole run of scenarios."""
+
+    base_seed: int
+    scenarios: int = 0
+    comparisons: int = 0
+    disagreements: List[Disagreement] = field(default_factory=list)
+    skips: List[Tuple[int, str, str]] = field(default_factory=list)
+    #: path -> number of scenarios in which it actually ran (not skipped)
+    path_runs: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def uncovered_paths(self) -> Tuple[str, ...]:
+        """Paths that ran in *no* scenario — a degraded gate, not a pass.
+
+        Only meaningful on multi-scenario runs: a single-scenario replay
+        may legitimately skip a path (e.g. a lean-budget PlanningError).
+        """
+        if self.scenarios <= 1:
+            return ()
+        return tuple(p for p in PATHS if not self.path_runs.get(p))
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements and not self.uncovered_paths
+
+    def describe(self) -> str:
+        runs = " ".join(f"{p}={self.path_runs.get(p, 0)}" for p in PATHS)
+        line = (f"DIFFERENTIAL base_seed={self.base_seed} "
+                f"scenarios={self.scenarios} paths={len(PATHS)} "
+                f"comparisons={self.comparisons} "
+                f"disagreements={len(self.disagreements)} "
+                f"skips={len(self.skips)}\n  path runs: {runs}")
+        if self.uncovered_paths:
+            line += ("\n  COVERAGE FAILURE: paths never ran: "
+                     + ", ".join(self.uncovered_paths))
+        if self.disagreements:
+            line += "\n" + "\n".join(d.describe()
+                                     for d in self.disagreements)
+        return line
+
+
+def _repro_command(seed: int,
+                   pins: Optional[Dict[str, str]] = None) -> str:
+    """The exact CLI replay for one scenario.
+
+    ``pins`` are the generator dimensions the original run fixed (shape /
+    profile / probe kind).  They must be replayed identically: pinning a
+    dimension skips its seeded draw, so an unpinned rerun of the same seed
+    would generate a *different* scenario.
+    """
+    flags = "".join(
+        f" --{flag} {value}" for flag, value in (pins or {}).items()
+        if value is not None
+    )
+    return ("PYTHONPATH=src python -m repro.workloads.differential "
+            f"--seed {seed} --scenarios 1{flags} --verbose")
+
+
+def _scratch_answers(workload: Workload,
+                     bindings: Sequence[Row]) -> Dict[Row, AnswerSet]:
+    """Batched ``answer_from_scratch`` output, regrouped per binding."""
+    cqap = workload.cqap
+    request = Relation("Q_A", cqap.access, bindings)
+    result = cqap.answer_from_scratch(workload.db, request)
+    head = tuple(cqap.head)
+    rows = answer_rows(result, head)
+    access_pos = tuple(head.index(v) for v in cqap.access)
+    grouped: Dict[Row, set] = {b: set() for b in bindings}
+    for row in rows:
+        key = tuple(row[p] for p in access_pos)
+        # rows for unrequested bindings are kept: compare_answers treats
+        # actual-only keys as all-extra, so over-answering is flagged
+        # instead of silently dropped
+        grouped.setdefault(key, set()).add(row)
+    return {b: frozenset(s) for b, s in grouped.items()}
+
+
+def run_scenario(workload: Workload,
+                 pins: Optional[Dict[str, str]] = None) -> ScenarioOutcome:
+    """Diff every execution path against the oracle on one workload.
+
+    ``pins`` names the generator dimensions that were pinned when
+    ``workload`` was made (see :func:`_repro_command`).
+    """
+    outcome = ScenarioOutcome(workload)
+    cqap, db = workload.cqap, workload.db
+    head = tuple(cqap.head)
+    seed = workload.seed
+    repro = _repro_command(seed, pins)
+
+    expected = oracle_probe_many(cqap, db, workload.probes)
+    unique: List[Row] = list(expected)
+
+    def check(path: str, actual: Dict[Row, AnswerSet]) -> None:
+        report = compare_answers(expected, actual, path=path,
+                                 context={"seed": seed})
+        outcome.comparisons += report.bindings_checked
+        for diff in report.diffs:
+            outcome.disagreements.append(
+                Disagreement(seed, path, diff.describe(), repro)
+            )
+
+    def run(path: str, thunk) -> None:
+        try:
+            check(path, thunk())
+        except Exception as exc:  # a crash is a failure, not a skip
+            outcome.disagreements.append(
+                Disagreement(seed, path, f"raised {exc!r}", repro)
+            )
+
+    # -- path 1: the textbook from-scratch evaluator --------------------
+    run("from_scratch", lambda: _scratch_answers(workload, unique))
+
+    # -- paths 2-3: CQAPIndex at both budget extremes -------------------
+    indexes: Dict[str, CQAPIndex] = {}
+    for path, budget in (("index_lean", LEAN_BUDGET),
+                         ("index_rich", RICH_BUDGET)):
+        try:
+            indexes[path] = CQAPIndex(cqap, db, budget,
+                                      max_pmtds=MAX_PMTDS).preprocess()
+        except PlanningError as exc:
+            # legitimately infeasible at this budget (S-only rules)
+            outcome.skips.append((path, f"PlanningError: {exc}"))
+            continue
+        except Exception as exc:
+            outcome.disagreements.append(
+                Disagreement(seed, path, f"preprocess raised {exc!r}", repro)
+            )
+            continue
+        index = indexes[path]
+        run(path, lambda index=index: {
+            b: answer_rows(index.answer(b), head) for b in unique
+        })
+        if path == "index_rich":
+            # batching must equal the union of the per-binding answers
+            try:
+                batch = answer_rows(index.answer_batch(unique), head)
+                union = frozenset().union(*expected.values()) \
+                    if expected else frozenset()
+                outcome.comparisons += 1
+                if batch != union:
+                    outcome.disagreements.append(Disagreement(
+                        seed, "index_rich.answer_batch",
+                        f"missing {sorted(union - batch)} "
+                        f"extra {sorted(batch - union)}", repro,
+                    ))
+            except Exception as exc:
+                outcome.disagreements.append(Disagreement(
+                    seed, "index_rich.answer_batch",
+                    f"raised {exc!r}", repro,
+                ))
+
+    # -- paths 4-5: the serving engine over the prepared indexes --------
+    probe_index = indexes.get("index_lean") or indexes.get("index_rich")
+    if probe_index is None:
+        outcome.skips.append(("engine_probe", "no preprocessed index"))
+    else:
+        def engine_probe() -> Dict[Row, AnswerSet]:
+            pq = PreparedQuery(probe_index,
+                               cache_size=workload.cache_size)
+            out: Dict[Row, AnswerSet] = {}
+            for binding in workload.probes:  # duplicates exercise the cache
+                out[binding] = answer_rows(pq.probe(binding), head)
+            if pq.replanned:
+                raise AssertionError("probe path re-planned")
+            return out
+
+        run("engine_probe", engine_probe)
+
+    batch_index = indexes.get("index_rich") or indexes.get("index_lean")
+    if batch_index is None:
+        outcome.skips.append(("engine_probe_many", "no preprocessed index"))
+    else:
+        def engine_probe_many() -> Dict[Row, AnswerSet]:
+            pq = PreparedQuery(batch_index,
+                               cache_size=workload.cache_size)
+            first = pq.probe_many(workload.probes)
+            again = pq.probe_many(workload.probes)  # cache-served replay
+            if set(first) != set(again):
+                raise AssertionError("probe_many replay changed keys")
+            for key, rel in again.items():
+                if answer_rows(rel, head) != answer_rows(first[key], head):
+                    raise AssertionError(
+                        f"probe_many replay changed answers at {key}"
+                    )
+            if pq.replanned:
+                raise AssertionError("probe_many path re-planned")
+            return {b: answer_rows(rel, head) for b, rel in first.items()}
+
+        run("engine_probe_many", engine_probe_many)
+
+    return outcome
+
+
+def run_differential(scenarios: int, base_seed: int,
+                     shape: Optional[str] = None,
+                     profile: Optional[str] = None,
+                     probe_kind: Optional[str] = None,
+                     verbose: bool = False,
+                     fail_fast: bool = False) -> DifferentialSummary:
+    """Run ``scenarios`` seeded workloads through every execution path."""
+    summary = DifferentialSummary(base_seed=base_seed)
+    pins = {"shape": shape, "profile": profile, "probes": probe_kind}
+    for workload in workload_suite(base_seed, scenarios, shape=shape,
+                                   profile=profile, probe_kind=probe_kind):
+        outcome = run_scenario(workload, pins=pins)
+        summary.scenarios += 1
+        summary.comparisons += outcome.comparisons
+        summary.disagreements.extend(outcome.disagreements)
+        skipped = {path for path, _ in outcome.skips}
+        for path in PATHS:
+            if path not in skipped:
+                summary.path_runs[path] = summary.path_runs.get(path, 0) + 1
+        summary.skips.extend(
+            (workload.seed, path, reason)
+            for path, reason in outcome.skips
+        )
+        if verbose:
+            status = "ok" if outcome.ok else "DISAGREE"
+            print(f"  [{status}] {workload.describe()} "
+                  f"({outcome.comparisons} comparisons)")
+        if fail_fast and not outcome.ok:
+            break
+    return summary
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Differential fuzzing: all execution paths vs the "
+                    "brute-force oracle."
+    )
+    parser.add_argument("--scenarios", type=int, default=50,
+                        help="number of (query, database, probes) scenarios")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; scenario i uses seed+i")
+    parser.add_argument("--shape", default=None,
+                        help="pin the query shape (default: rotate)")
+    parser.add_argument("--profile", default=None,
+                        help="pin the database profile (default: rotate)")
+    parser.add_argument("--probes", default=None, dest="probe_kind",
+                        help="pin the probe-stream kind (default: rotate)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print one line per scenario")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="stop at the first disagreeing scenario")
+    args = parser.parse_args(argv)
+    summary = run_differential(
+        args.scenarios, args.seed, shape=args.shape, profile=args.profile,
+        probe_kind=args.probe_kind, verbose=args.verbose,
+        fail_fast=args.fail_fast,
+    )
+    print(summary.describe())
+    return 0 if summary.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Probe streams for a prepared CQAP (the serving-side half of a workload).
+
+A probe stream is a list of access-pattern bindings, duplicates included —
+the engine's answer cache and batch dedupe are part of what the
+differential harness checks.  Kinds:
+
+* ``uniform`` — bindings drawn uniformly from the values actually occurring
+  in the database columns of each access variable (a healthy mix of hits
+  and misses);
+* ``hot`` — a Zipf-hot-key stream: a couple of hot bindings dominate,
+  exercising the LRU answer cache and batch dedupe;
+* ``cold`` — adversarial cold misses: every binding uses values outside
+  the data domain, so every answer is empty and the cache never helps;
+* ``mixed`` — interleaves the above.
+
+For an empty access pattern the only possible binding is ``()`` and the
+stream is just that binding repeated.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.data.database import Database
+from repro.query.cq import CQAP
+
+Row = Tuple[object, ...]
+
+PROBE_KINDS: Tuple[str, ...] = ("uniform", "hot", "cold", "mixed")
+
+#: cold-miss bindings start here — far outside any generated domain
+_COLD_BASE = 10 ** 6
+
+
+def _value_pools(cqap: CQAP, db: Database) -> Dict[str, List[object]]:
+    """Access variable -> values occurring in that variable's columns."""
+    pools: Dict[str, set] = {v: set() for v in cqap.access}
+    for atom in cqap.atoms:
+        rel = db[atom.relation]
+        for i, var in enumerate(atom.variables):
+            if var in pools:
+                for row in rel.tuples:
+                    pools[var].add(row[i])
+    return {v: sorted(vals) if vals else [0, 1]
+            for v, vals in pools.items()}
+
+
+def _uniform_binding(rng: random.Random, cqap: CQAP,
+                     pools: Dict[str, List[object]]) -> Row:
+    return tuple(rng.choice(pools[v]) for v in cqap.access)
+
+
+def _cold_binding(rng: random.Random, cqap: CQAP) -> Row:
+    return tuple(_COLD_BASE + rng.randrange(100)
+                 for _ in cqap.access)
+
+
+def probe_stream(cqap: CQAP, db: Database, rng: random.Random,
+                 kind: Optional[str] = None, count: int = 6) -> List[Row]:
+    """``count`` access bindings of the given (or drawn) kind."""
+    kind = kind if kind is not None else rng.choice(PROBE_KINDS)
+    if kind not in PROBE_KINDS:
+        raise ValueError(
+            f"unknown probe kind {kind!r}; known: {PROBE_KINDS}"
+        )
+    if not cqap.access:
+        return [()] * count
+    pools = _value_pools(cqap, db)
+    hot = [_uniform_binding(rng, cqap, pools)
+           for _ in range(rng.randint(1, 2))]
+    stream: List[Row] = []
+    for _ in range(count):
+        if kind == "mixed":
+            draw = rng.choice(("uniform", "hot", "cold"))
+        else:
+            draw = kind
+        if draw == "hot" and rng.random() < 0.7:
+            stream.append(rng.choice(hot))
+        elif draw == "cold":
+            stream.append(_cold_binding(rng, cqap))
+        else:
+            stream.append(_uniform_binding(rng, cqap, pools))
+    return stream

@@ -1,0 +1,108 @@
+"""Random CQAP generators (random hypergraphs + random bound/free splits).
+
+Shapes mirror the paper's application catalog (``repro.problems``):
+
+* ``path`` — acyclic chains (k-reachability, Example 2.3);
+* ``cycle`` — cyclic queries (square/triangle, Examples 5.2/E.4);
+* ``star`` — shared-variable stars (k-set disjointness, Example 2.2);
+* ``hierarchical`` — random variable trees whose atoms are root-to-leaf
+  paths (§F; validated with :func:`repro.problems.is_hierarchical`);
+* ``random`` — arbitrary small hypergraphs, connectivity not guaranteed.
+
+Every generated query gets a *random* head (free variables, in random
+order) and a random access pattern ``A ⊆ H`` — including the empty access
+pattern — so the bound/free split machinery is fuzzed alongside the joins.
+Heads are always nonempty: the planner stack supports Boolean heads only
+through nonempty projections today.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.problems import assert_hierarchical
+from repro.query.cq import Atom, CQAP
+
+QUERY_SHAPES: Tuple[str, ...] = (
+    "path", "cycle", "star", "hierarchical", "random",
+)
+
+
+def _path_atoms(rng: random.Random) -> List[Atom]:
+    k = rng.randint(1, 4)
+    return [Atom(f"R{i}", (f"x{i}", f"x{i + 1}")) for i in range(1, k + 1)]
+
+
+def _cycle_atoms(rng: random.Random) -> List[Atom]:
+    k = rng.randint(3, 4)
+    atoms = [Atom(f"R{i}", (f"x{i}", f"x{i + 1}")) for i in range(1, k)]
+    atoms.append(Atom(f"R{k}", (f"x{k}", "x1")))
+    return atoms
+
+
+def _star_atoms(rng: random.Random) -> List[Atom]:
+    k = rng.randint(2, 3)
+    return [Atom(f"R{i}", ("y", f"x{i}")) for i in range(1, k + 1)]
+
+
+def _hierarchical_atoms(rng: random.Random) -> List[Atom]:
+    """Atoms are root-to-leaf variable paths of a random tree (always §F).
+
+    Capped at 6 body variables: the planner's joint Shannon-flow LPs are
+    exponential in the variable count, and fuzz scenarios must stay cheap.
+    """
+    branches = rng.randint(1, 2)
+    if branches == 1:
+        leaf_counts = [rng.randint(1, 2)]
+    else:
+        leaf_counts = rng.choice([[1, 1], [1, 2], [2, 1]])
+    atoms: List[Atom] = []
+    i = 0
+    for b, leaves in enumerate(leaf_counts, start=1):
+        for leaf in range(1, leaves + 1):
+            i += 1
+            atoms.append(Atom(f"R{i}", ("x", f"y{b}", f"z{b}{leaf}")))
+    return atoms
+
+
+def _random_atoms(rng: random.Random) -> List[Atom]:
+    n_vars = rng.randint(2, 5)
+    variables = [f"x{i}" for i in range(1, n_vars + 1)]
+    atoms: List[Atom] = []
+    for i in range(1, rng.randint(2, 4) + 1):
+        width = rng.randint(1, min(3, n_vars))
+        atoms.append(Atom(f"R{i}", tuple(rng.sample(variables, width))))
+    return atoms
+
+
+_SHAPE_BUILDERS = {
+    "path": _path_atoms,
+    "cycle": _cycle_atoms,
+    "star": _star_atoms,
+    "hierarchical": _hierarchical_atoms,
+    "random": _random_atoms,
+}
+
+
+def random_cqap(rng: random.Random, shape: Optional[str] = None,
+                name: Optional[str] = None) -> CQAP:
+    """One random CQAP of the given (or randomly drawn) shape.
+
+    The head is a nonempty random-order subset of the body variables; the
+    access pattern is a (possibly empty) random-order subset of the head.
+    """
+    shape = shape if shape is not None else rng.choice(QUERY_SHAPES)
+    try:
+        atoms = _SHAPE_BUILDERS[shape](rng)
+    except KeyError:
+        raise ValueError(
+            f"unknown query shape {shape!r}; known: {sorted(_SHAPE_BUILDERS)}"
+        ) from None
+    body_vars = sorted({v for atom in atoms for v in atom.variables})
+    head = tuple(rng.sample(body_vars, rng.randint(1, len(body_vars))))
+    access = tuple(rng.sample(head, rng.randint(0, len(head))))
+    cqap = CQAP(head, access, atoms, name=name or f"fuzz_{shape}")
+    if shape == "hierarchical":
+        assert_hierarchical(cqap)
+    return cqap

@@ -1,0 +1,76 @@
+"""Reproducible workload objects: one seed -> (query, database, probes).
+
+``make_workload(seed)`` derives *everything* — query shape, bound/free
+split, database profile, probe kind, sizes, and the serving cache size —
+from a single integer, so a failing scenario is reproducible from its seed
+alone (the differential harness prints exactly that seed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.data.database import Database
+from repro.query.cq import CQAP
+from repro.workloads.databases import DB_PROFILES, random_database
+from repro.workloads.probes import PROBE_KINDS, probe_stream
+from repro.workloads.queries import QUERY_SHAPES, random_cqap
+
+Row = Tuple[object, ...]
+
+#: serving cache sizes the engine paths rotate through (0 disables caching)
+CACHE_SIZES: Tuple[int, ...] = (0, 2, 256)
+
+
+@dataclass
+class Workload:
+    """One reproducible scenario: a CQAP, its data, and a probe stream."""
+
+    seed: int
+    shape: str
+    profile: str
+    probe_kind: str
+    cache_size: int
+    cqap: CQAP = field(repr=False)
+    db: Database = field(repr=False)
+    probes: List[Row] = field(repr=False)
+
+    def describe(self) -> str:
+        return (f"workload(seed={self.seed}, shape={self.shape}, "
+                f"profile={self.profile}, probes={self.probe_kind}"
+                f"×{len(self.probes)}, cache={self.cache_size}, "
+                f"query={self.cqap!r}, |D|={self.db.size})")
+
+
+def make_workload(seed: int, shape: Optional[str] = None,
+                  profile: Optional[str] = None,
+                  probe_kind: Optional[str] = None,
+                  probe_count: Optional[int] = None,
+                  max_tuples: int = 24) -> Workload:
+    """Build the workload deterministically associated with ``seed``.
+
+    Explicit ``shape``/``profile``/``probe_kind`` pin that dimension; the
+    rest is still drawn from the seeded stream.
+    """
+    rng = random.Random(seed)
+    shape = shape if shape is not None else rng.choice(QUERY_SHAPES)
+    profile = profile if profile is not None else rng.choice(DB_PROFILES)
+    probe_kind = (probe_kind if probe_kind is not None
+                  else rng.choice(PROBE_KINDS))
+    count = probe_count if probe_count is not None else rng.randint(3, 8)
+    cqap = random_cqap(rng, shape=shape, name=f"fuzz_{shape}_{seed}")
+    db = random_database(cqap, rng, profile=profile, max_tuples=max_tuples)
+    probes = probe_stream(cqap, db, rng, kind=probe_kind, count=count)
+    cache_size = rng.choice(CACHE_SIZES)
+    return Workload(seed=seed, shape=shape, profile=profile,
+                    probe_kind=probe_kind, cache_size=cache_size,
+                    cqap=cqap, db=db, probes=probes)
+
+
+def workload_suite(base_seed: int, count: int,
+                   **kwargs) -> Iterator[Workload]:
+    """``count`` workloads with seeds ``base_seed .. base_seed+count-1``."""
+    for i in range(count):
+        yield make_workload(base_seed + i, **kwargs)

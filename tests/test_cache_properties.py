@@ -1,0 +1,134 @@
+"""Property tests for the engine's LRU answer cache.
+
+A tiny reference model (plain list of (key, value) pairs, most-recent last)
+is replayed against :class:`repro.engine.cache.LRUCache` on random
+operation sequences; eviction order, contents, and hit/miss/eviction
+accounting must match exactly.  Edge capacities (0 and 1) and overwrite
+accounting get dedicated tests.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.cache import LRUCache
+
+
+class ModelLRU:
+    """Executable specification: ordered pairs, most recently used last."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.pairs = []  # [(key, value)], LRU first
+        self.hits = self.misses = self.evictions = 0
+
+    def get(self, key):
+        for i, (k, v) in enumerate(self.pairs):
+            if k == key:
+                self.hits += 1
+                self.pairs.append(self.pairs.pop(i))
+                return v
+        self.misses += 1
+        return None
+
+    def put(self, key, value):
+        if self.capacity <= 0:
+            return
+        for i, (k, _) in enumerate(self.pairs):
+            if k == key:
+                self.pairs.pop(i)
+                break
+        self.pairs.append((key, value))
+        while len(self.pairs) > self.capacity:
+            self.pairs.pop(0)
+            self.evictions += 1
+
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["get", "put"]), st.integers(0, 5),
+              st.integers(0, 100)),
+    max_size=60,
+)
+
+
+class TestLRUCacheProperties:
+    @given(capacity=st.integers(0, 6), ops=ops_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_model(self, capacity, ops):
+        cache = LRUCache(capacity)
+        model = ModelLRU(capacity)
+        for op, key, value in ops:
+            if op == "get":
+                assert cache.get(key) == model.get(key)
+            else:
+                cache.put(key, value)
+                model.put(key, value)
+            assert len(cache) == len(model.pairs)
+        assert (cache.hits, cache.misses, cache.evictions) == \
+               (model.hits, model.misses, model.evictions)
+        # eviction order: peek must agree on every surviving key
+        for key, value in model.pairs:
+            assert cache.peek(key) == value
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_bound_never_violated(self, ops):
+        cache = LRUCache(3)
+        for op, key, value in ops:
+            cache.get(key) if op == "get" else cache.put(key, value)
+            assert len(cache) <= 3
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # refresh a; b is now LRU
+        cache.put("c", 3)               # evicts b
+        assert "b" not in cache
+        assert cache.peek("a") == 1 and cache.peek("c") == 3
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency_of_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)              # overwrite refreshes a; b is LRU
+        cache.put("c", 3)
+        assert "b" not in cache and cache.peek("a") == 10
+
+    def test_capacity_zero_disables_caching(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.get("a") is None   # still a miss: puts are no-ops
+        assert (cache.hits, cache.misses, cache.evictions) == (0, 2, 0)
+        assert cache.hit_rate == 0.0
+
+    def test_capacity_one_thrashes_correctly(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" not in cache and cache.get("b") == 2
+        assert cache.evictions == 1
+        cache.put("b", 20)              # overwrite must not evict
+        assert cache.evictions == 1 and cache.peek("b") == 20
+
+    def test_overwrite_accounting(self):
+        cache = LRUCache(4)
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        cache.put("k", 2)               # overwrite: no miss, no eviction
+        assert cache.get("k") == 2
+        assert (cache.hits, cache.misses, cache.evictions) == (2, 0, 0)
+        assert len(cache) == 1
+        assert cache.hit_rate == 1.0
+
+    def test_clear_preserves_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zz")
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (1, 1)
+        snapshot = cache.snapshot()
+        assert snapshot["entries"] == 0 and snapshot["hits"] == 1

@@ -1,0 +1,152 @@
+"""Tier-1 differential tests: every execution path vs the brute-force oracle.
+
+Small, deterministic seeds only — the CI fuzz-smoke job runs the same
+harness with a larger budget and a rotating seed.  Any failure here prints
+a seed-complete minimal reproduction (see ``Disagreement.describe``).
+"""
+
+import pytest
+
+from repro.engine import prepare
+from repro.oracle import OracleMismatch, answer_rows, assert_equivalent, oracle_probe
+from repro.workloads import make_workload
+from repro.workloads.differential import (
+    PATHS,
+    run_differential,
+    run_scenario,
+)
+
+#: fixed tier-1 seed block; the fuzz-smoke job explores far beyond it
+TIER1_SEED = 20260729
+TIER1_SCENARIOS = 30
+
+
+class TestDifferentialHarness:
+    def test_tier1_seed_block_has_zero_disagreements(self):
+        summary = run_differential(TIER1_SCENARIOS, TIER1_SEED)
+        assert summary.scenarios == TIER1_SCENARIOS
+        assert summary.comparisons > 0
+        assert summary.ok, summary.describe()
+        # coverage guard: every execution path ran in (nearly) every
+        # scenario — a gate that silently degrades to from_scratch-only
+        # must fail, not pass
+        for path in PATHS:
+            assert summary.path_runs.get(path, 0) >= TIER1_SCENARIOS - 1, \
+                summary.describe()
+
+    def test_uncovered_paths_fail_multi_scenario_runs(self):
+        from repro.workloads.differential import DifferentialSummary
+        degraded = DifferentialSummary(base_seed=0, scenarios=5,
+                                       path_runs={"from_scratch": 5})
+        assert degraded.uncovered_paths
+        assert not degraded.ok
+        assert "COVERAGE FAILURE" in degraded.describe()
+        # a single-scenario replay with a legitimate skip stays ok
+        replay = DifferentialSummary(base_seed=0, scenarios=1,
+                                     path_runs={"from_scratch": 1})
+        assert replay.ok
+
+    @pytest.mark.parametrize("shape", ["path", "cycle", "star",
+                                       "hierarchical", "random"])
+    def test_each_shape_clean(self, shape):
+        summary = run_differential(4, TIER1_SEED + 1000, shape=shape)
+        assert summary.ok, summary.describe()
+
+    @pytest.mark.parametrize("probe_kind", ["uniform", "hot", "cold"])
+    def test_each_probe_kind_clean(self, probe_kind):
+        summary = run_differential(4, TIER1_SEED + 2000,
+                                   probe_kind=probe_kind)
+        assert summary.ok, summary.describe()
+
+    def test_scenario_reports_per_path_comparisons(self):
+        outcome = run_scenario(make_workload(TIER1_SEED))
+        assert outcome.ok
+        # every non-skipped path checked every unique binding, plus the
+        # one answer_batch union check on the rich index
+        unique = len({tuple(b) for b in outcome.workload.probes})
+        skipped = {path for path, _ in outcome.skips}
+        ran = len(PATHS) - len(skipped)
+        batch_checks = 0 if "index_rich" in skipped else 1
+        assert outcome.comparisons == ran * unique + batch_checks
+
+    def test_harness_catches_injected_corruption(self):
+        """The tester is itself tested: a corrupted path must be flagged."""
+        workload = make_workload(TIER1_SEED + 3001, shape="path",
+                                 probe_kind="uniform")
+        cqap, db = workload.cqap, workload.db
+        binding = workload.probes[0]
+        expected = {tuple(binding): oracle_probe(cqap, db, binding)}
+        # fabricate a wrong answer: drop everything, invent one tuple
+        bogus = frozenset({tuple(-1 for _ in cqap.head)})
+        with pytest.raises(OracleMismatch) as err:
+            assert_equivalent(expected, {tuple(binding): bogus},
+                              path="corrupted")
+        report = err.value.report
+        (diff,) = report.diffs
+        assert diff.extra == bogus
+        assert diff.missing == expected[tuple(binding)]
+
+
+class TestProbeManyAgainstOracle:
+    """Satellite: batch dedupe must not drop or cross-wire answers."""
+
+    @pytest.fixture(scope="class")
+    def served(self):
+        workload = make_workload(TIER1_SEED + 4000, shape="path",
+                                 probe_kind="uniform", probe_count=5)
+        pq = prepare(workload.cqap, workload.db, space_budget=10 ** 6)
+        return workload, pq
+
+    def test_duplicates_and_misses_match_per_binding_probe(self, served):
+        workload, pq = served
+        cqap = workload.cqap
+        miss = tuple(10 ** 6 + i for i, _ in enumerate(cqap.access))
+        stream = (list(workload.probes) + [miss]
+                  + list(workload.probes))  # duplicates + out-of-domain
+        batched = pq.probe_many(stream)
+        head = tuple(cqap.head)
+        for binding in set(stream):
+            expected = oracle_probe(cqap, workload.db, binding)
+            assert answer_rows(batched[binding], head) == expected
+            assert answer_rows(pq.probe(binding), head) == expected
+
+    def test_out_of_domain_binding_is_empty_not_absent(self, served):
+        workload, pq = served
+        miss = tuple(10 ** 6 + i for i, _ in enumerate(workload.cqap.access))
+        batched = pq.probe_many([miss])
+        assert miss in batched
+        assert len(batched[miss]) == 0
+
+    def test_batch_replay_is_cache_stable(self, served):
+        workload, pq = served
+        head = tuple(workload.cqap.head)
+        first = pq.probe_many(workload.probes)
+        hits_before = pq.cache.hits
+        again = pq.probe_many(workload.probes)
+        assert pq.cache.hits > hits_before
+        assert {b: answer_rows(r, head) for b, r in first.items()} == \
+               {b: answer_rows(r, head) for b, r in again.items()}
+        assert not pq.replanned
+
+
+class TestEngineOracleSelfCheck:
+    def test_verify_against_oracle(self):
+        workload = make_workload(TIER1_SEED + 5003, shape="star",
+                                 probe_kind="mixed")
+        pq = prepare(workload.cqap, workload.db, space_budget=10 ** 6)
+        report = pq.verify_against_oracle(workload.probes)
+        assert report.ok, report.describe()
+        assert report.bindings_checked == \
+            len({tuple(b) for b in workload.probes})
+
+    def test_verify_against_oracle_flags_corruption(self):
+        workload = make_workload(TIER1_SEED + 5001, shape="path",
+                                 probe_kind="uniform")
+        pq = prepare(workload.cqap, workload.db, space_budget=10 ** 6)
+        binding = tuple(workload.probes[0])
+        # poison the answer cache with a fabricated tuple
+        bogus = tuple(-1 for _ in workload.cqap.head)
+        pq.cache.put(binding, (tuple(workload.cqap.head),
+                               frozenset({bogus})))
+        with pytest.raises(OracleMismatch):
+            pq.verify_against_oracle([binding])

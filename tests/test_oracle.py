@@ -1,0 +1,161 @@
+"""Unit tests for the brute-force oracle and the diff reporter.
+
+The oracle is the arbiter for every other execution path, so it gets its
+own tests against hand-computed answers and against the (independent)
+textbook evaluator in ``repro.query.cq``.
+"""
+
+import pytest
+
+from repro.data import Database, Relation
+from repro.oracle import (
+    BindingDiff,
+    OracleMismatch,
+    answer_rows,
+    assert_equivalent,
+    compare_answers,
+    oracle_evaluate,
+    oracle_probe,
+    oracle_probe_many,
+)
+from repro.query import Atom, CQAP, ConjunctiveQuery
+from repro.query.catalog import k_path_cqap, k_set_disjointness_cqap
+
+
+@pytest.fixture
+def path2_db():
+    return Database([
+        Relation("R1", ("a", "b"), [(1, 2), (1, 3), (4, 5)]),
+        Relation("R2", ("a", "b"), [(2, 9), (3, 9), (5, 9), (9, 1)]),
+    ])
+
+
+class TestOracleEvaluate:
+    def test_hand_computed_join(self, path2_db):
+        cq = ConjunctiveQuery(
+            ("x1", "x3"),
+            [Atom("R1", ("x1", "x2")), Atom("R2", ("x2", "x3"))],
+        )
+        assert oracle_evaluate(cq, path2_db) == frozenset(
+            {(1, 9), (4, 9)}
+        )
+
+    def test_head_order_respected(self, path2_db):
+        cq = ConjunctiveQuery(
+            ("x3", "x1"),
+            [Atom("R1", ("x1", "x2")), Atom("R2", ("x2", "x3"))],
+        )
+        assert oracle_evaluate(cq, path2_db) == frozenset(
+            {(9, 1), (9, 4)}
+        )
+
+    def test_boolean_head(self, path2_db):
+        sat = ConjunctiveQuery(
+            (), [Atom("R1", ("x1", "x2")), Atom("R2", ("x2", "x3"))],
+        )
+        assert oracle_evaluate(sat, path2_db) == frozenset({()})
+        empty_db = Database([
+            Relation("R1", ("a", "b"), []),
+            Relation("R2", ("a", "b"), [(1, 2)]),
+        ])
+        assert oracle_evaluate(sat, empty_db) == frozenset()
+
+    def test_binding_restricts(self, path2_db):
+        cq = ConjunctiveQuery(
+            ("x1", "x3"),
+            [Atom("R1", ("x1", "x2")), Atom("R2", ("x2", "x3"))],
+        )
+        assert oracle_evaluate(cq, path2_db, {"x1": 4}) == frozenset(
+            {(4, 9)}
+        )
+        assert oracle_evaluate(cq, path2_db, {"x1": 2}) == frozenset()
+
+    def test_unknown_binding_variable_rejected(self, path2_db):
+        cq = ConjunctiveQuery(("x1",), [Atom("R1", ("x1", "x2"))])
+        with pytest.raises(ValueError, match="do not occur"):
+            oracle_evaluate(cq, path2_db, {"zz": 1})
+
+    def test_matches_textbook_evaluator_on_catalog_queries(self):
+        from repro.data.generators import path_database, star_database
+
+        for cqap, db in [
+            (k_path_cqap(3), path_database(k=3, n_edges=40, domain=8,
+                                           seed=3)),
+            (k_set_disjointness_cqap(2),
+             star_database(k=2, n_edges=30, domain=10, seed=5)),
+        ]:
+            expected = frozenset(cqap.evaluate(db).tuples)
+            assert oracle_evaluate(cqap, db) == expected
+
+    def test_arity_mismatch_rejected(self):
+        db = Database([Relation("R1", ("a", "b", "c"), [(1, 2, 3)])])
+        cq = ConjunctiveQuery(("x1",), [Atom("R1", ("x1", "x2"))])
+        with pytest.raises(ValueError, match="arity"):
+            oracle_evaluate(cq, db)
+
+
+class TestOracleProbe:
+    def test_probe_binds_access_pattern(self, path2_db):
+        cqap = CQAP(("x1", "x3"), ("x1",),
+                    [Atom("R1", ("x1", "x2")), Atom("R2", ("x2", "x3"))])
+        assert oracle_probe(cqap, path2_db, (1,)) == frozenset({(1, 9)})
+        assert oracle_probe(cqap, path2_db, (7,)) == frozenset()
+
+    def test_probe_scalar_and_arity_check(self, path2_db):
+        cqap = CQAP(("x1", "x3"), ("x1",),
+                    [Atom("R1", ("x1", "x2")), Atom("R2", ("x2", "x3"))])
+        assert oracle_probe(cqap, path2_db, 4) == frozenset({(4, 9)})
+        with pytest.raises(ValueError, match="arity"):
+            oracle_probe(cqap, path2_db, (1, 2))
+
+    def test_probe_many_collapses_duplicates(self, path2_db):
+        cqap = CQAP(("x1", "x3"), ("x1",),
+                    [Atom("R1", ("x1", "x2")), Atom("R2", ("x2", "x3"))])
+        answers = oracle_probe_many(cqap, path2_db, [(1,), (4,), (1,)])
+        assert set(answers) == {(1,), (4,)}
+        assert answers[(1,)] == frozenset({(1, 9)})
+
+    def test_empty_access_pattern(self, path2_db):
+        cqap = CQAP(("x1",), (),
+                    [Atom("R1", ("x1", "x2")), Atom("R2", ("x2", "x3"))])
+        assert oracle_probe(cqap, path2_db, ()) == frozenset({(1,), (4,)})
+
+
+class TestDiffReporter:
+    def test_answer_rows_reorders_columns(self):
+        rel = Relation("ans", ("b", "a"), [(1, 2), (3, 4)])
+        assert answer_rows(rel, ("a", "b")) == frozenset({(2, 1), (4, 3)})
+        with pytest.raises(ValueError, match="does not match head"):
+            answer_rows(rel, ("a", "c"))
+
+    def test_equivalent_answers_pass(self):
+        expected = {(1,): frozenset({(1, 2)}), (3,): frozenset()}
+        report = assert_equivalent(expected, dict(expected), path="p")
+        assert report.ok and report.bindings_checked == 2
+        assert "OK" in report.describe()
+
+    def test_missing_and_extra_pinpointed(self):
+        expected = {(1,): frozenset({(1, 2), (1, 3)})}
+        actual = {(1,): frozenset({(1, 3), (1, 4)})}
+        report = compare_answers(expected, actual, path="p",
+                                 context={"seed": 7})
+        assert not report.ok
+        (diff,) = report.diffs
+        assert diff.binding == (1,)
+        assert diff.missing == frozenset({(1, 2)})
+        assert diff.extra == frozenset({(1, 4)})
+        text = report.describe()
+        assert "seed=7" in text and "(1, 2)" in text and "(1, 4)" in text
+
+    def test_unanswered_binding_is_all_missing(self):
+        expected = {(1,): frozenset({(1, 2)})}
+        report = compare_answers(expected, {}, path="p")
+        (diff,) = report.diffs
+        assert diff.missing == frozenset({(1, 2)})
+        assert diff.extra == frozenset()
+
+    def test_assert_equivalent_raises_with_report(self):
+        expected = {(1,): frozenset({(1, 2)})}
+        with pytest.raises(OracleMismatch) as err:
+            assert_equivalent(expected, {(1,): frozenset()}, path="p")
+        assert isinstance(err.value.report.diffs[0], BindingDiff)

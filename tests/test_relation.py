@@ -199,3 +199,61 @@ class TestBindings:
         q = singleton_request(("x", "y"), (1, 2))
         assert q.tuples == {(1, 2)}
         assert q.schema == ("x", "y")
+
+
+class TestIndexInvalidation:
+    """Lazy hash indexes must never serve entries for stale tuple sets.
+
+    The supported mutation surface is ``add``/``discard`` (both clear the
+    index cache); mutating ``.tuples`` directly bypasses invalidation and
+    is documented as unsupported — see the ``Relation`` class docstring.
+    """
+
+    def test_add_invalidates_cached_index(self):
+        r = rel("R", ("a", "b"), [(1, 2)])
+        index = r.index_on(("a",))
+        assert index == {(1,): [(1, 2)]}
+        r.add((1, 3))
+        rebuilt = r.index_on(("a",))
+        assert sorted(rebuilt[(1,)]) == [(1, 2), (1, 3)]
+
+    def test_add_invalidates_every_cached_key(self):
+        r = rel("R", ("a", "b"), [(1, 2)])
+        r.index_on(("a",))
+        r.index_on(("b",))
+        r.add((5, 6))
+        assert (5,) in r.index_on(("a",))
+        assert (6,) in r.index_on(("b",))
+
+    def test_discard_invalidates_cached_index(self):
+        r = rel("R", ("a", "b"), [(1, 2), (1, 3)])
+        r.index_on(("a",))
+        r.discard((1, 2))
+        assert r.index_on(("a",)) == {(1,): [(1, 3)]}
+
+    def test_duplicate_add_keeps_cache_and_counters(self):
+        counters = Counters()
+        r = rel("R", ("a", "b"), [(1, 2)])
+        before = r.index_on(("a",))
+        r.add((1, 2), counters=counters)  # no-op: tuple already present
+        assert counters.stores == 0
+        assert r.index_on(("a",)) is before  # cache survives a no-op add
+
+    def test_selection_after_add_sees_new_tuples(self):
+        # select_equals routes through the lazy index; a stale index here
+        # would silently drop answers (the bug class this guards against)
+        r = rel("R", ("a", "b"), [(1, 2)])
+        assert len(r.select_equals({"a": 1})) == 1
+        r.add((1, 7))
+        assert r.select_equals({"a": 1}).tuples == {(1, 2), (1, 7)}
+
+    def test_direct_tuples_mutation_is_documented_unsupported(self):
+        # The regression this documents: raw .tuples mutation bypasses
+        # invalidation, so the cached index keeps serving the old set.
+        # If invalidation-on-direct-mutation is ever added, flip these
+        # asserts — until then the class docstring forbids it.
+        r = rel("R", ("a", "b"), [(1, 2)])
+        stale = r.index_on(("a",))
+        r.tuples.add((9, 9))
+        assert r.index_on(("a",)) is stale
+        assert (9,) not in r.index_on(("a",))

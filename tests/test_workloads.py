@@ -1,0 +1,142 @@
+"""Tests for the randomized workload subsystem (queries/databases/probes).
+
+The contract under test is *reproducibility* (one seed determines the whole
+scenario) and *validity* (generated queries satisfy their advertised shape,
+databases match the query's relation names and arities, probe streams match
+the access pattern).
+"""
+
+import random
+
+import pytest
+
+from repro.problems import assert_hierarchical, is_hierarchical
+from repro.workloads import (
+    DB_PROFILES,
+    QUERY_SHAPES,
+    make_workload,
+    probe_stream,
+    random_cqap,
+    random_database,
+    workload_suite,
+)
+from repro.workloads.probes import _COLD_BASE
+
+SEEDS = range(40)
+
+
+class TestRandomCqap:
+    @pytest.mark.parametrize("shape", QUERY_SHAPES)
+    def test_shapes_generate_valid_cqaps(self, shape):
+        for seed in SEEDS:
+            cqap = random_cqap(random.Random(seed), shape=shape)
+            assert cqap.atoms
+            assert cqap.head  # Boolean heads are excluded by design
+            assert set(cqap.access) <= set(cqap.head)
+            assert set(cqap.head) <= set(cqap.variables)
+
+    def test_hierarchical_shape_is_hierarchical(self):
+        for seed in SEEDS:
+            cqap = random_cqap(random.Random(seed), shape="hierarchical")
+            assert is_hierarchical(cqap)
+            assert_hierarchical(cqap)
+
+    def test_variable_count_stays_lp_friendly(self):
+        # joint Shannon-flow LPs are exponential in the variable count;
+        # the generator promises to stay at <= 6 body variables
+        for seed in range(200):
+            cqap = random_cqap(random.Random(seed))
+            assert len(cqap.variables) <= 6
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown query shape"):
+            random_cqap(random.Random(0), shape="mystery")
+
+    def test_deterministic_in_seed(self):
+        a = random_cqap(random.Random(123))
+        b = random_cqap(random.Random(123))
+        assert repr(a) == repr(b)
+
+
+class TestRandomDatabase:
+    def test_relations_match_query_schema(self):
+        for seed in SEEDS:
+            rng = random.Random(seed)
+            cqap = random_cqap(rng)
+            db = random_database(cqap, rng)
+            for atom in cqap.atoms:
+                assert atom.relation in db
+                assert len(db[atom.relation].schema) == len(atom.variables)
+
+    @pytest.mark.parametrize("profile", DB_PROFILES)
+    def test_profiles_produce_data(self, profile):
+        rng = random.Random(7)
+        cqap = random_cqap(rng, shape="path")
+        db = random_database(cqap, rng, profile=profile)
+        assert len(db) == len({a.relation for a in cqap.atoms})
+
+    def test_heavy_profile_plants_a_hub(self):
+        rng = random.Random(11)
+        cqap = random_cqap(rng, shape="cycle")
+        db = random_database(cqap, rng, profile="heavy", max_tuples=24)
+        hub_rows = max(
+            sum(1 for row in rel.tuples if row[0] == 0) for rel in db
+        )
+        assert hub_rows >= 2
+
+    def test_unknown_profile_rejected(self):
+        rng = random.Random(0)
+        cqap = random_cqap(rng, shape="path")
+        with pytest.raises(ValueError, match="unknown database profile"):
+            random_database(cqap, rng, profile="normal")
+
+
+class TestProbeStream:
+    def test_arity_matches_access_pattern(self):
+        for seed in SEEDS:
+            rng = random.Random(seed)
+            cqap = random_cqap(rng)
+            db = random_database(cqap, rng)
+            stream = probe_stream(cqap, db, rng, count=5)
+            assert len(stream) == 5
+            assert all(len(b) == len(cqap.access) for b in stream)
+
+    def test_cold_streams_miss(self):
+        rng = random.Random(3)
+        cqap = random_cqap(rng, shape="star")
+        db = random_database(cqap, rng, profile="uniform")
+        if not cqap.access:
+            pytest.skip("drew an empty access pattern")
+        for binding in probe_stream(cqap, db, rng, kind="cold", count=6):
+            assert all(v >= _COLD_BASE for v in binding)
+
+    def test_unknown_kind_rejected(self):
+        rng = random.Random(0)
+        cqap = random_cqap(rng, shape="path")
+        db = random_database(cqap, rng)
+        with pytest.raises(ValueError, match="unknown probe kind"):
+            probe_stream(cqap, db, rng, kind="tepid")
+
+
+class TestWorkload:
+    def test_same_seed_same_workload(self):
+        a = make_workload(99)
+        b = make_workload(99)
+        assert a.describe() == b.describe()
+        assert a.probes == b.probes
+        assert {r.name: r.tuples for r in a.db} == \
+               {r.name: r.tuples for r in b.db}
+
+    def test_different_seeds_differ(self):
+        descriptions = {make_workload(s).describe() for s in range(8)}
+        assert len(descriptions) == 8
+
+    def test_pinned_dimensions_are_respected(self):
+        wl = make_workload(5, shape="path", profile="zipf",
+                           probe_kind="hot", probe_count=4)
+        assert wl.shape == "path" and wl.profile == "zipf"
+        assert wl.probe_kind == "hot" and len(wl.probes) == 4
+
+    def test_suite_uses_consecutive_seeds(self):
+        suite = list(workload_suite(100, 5))
+        assert [w.seed for w in suite] == [100, 101, 102, 103, 104]
