@@ -1,10 +1,13 @@
 """Emit machine-readable serving-engine benchmark results.
 
 Runs the ``bench_engine_serving`` experiment and writes ``BENCH_engine.json``
-(probes/sec, cache hit rate, prepare time, counter totals) so successive PRs
-have a perf trajectory to compare against instead of scraping stdout.
+(probes/sec, cache hit rate, prepare time, counter totals), plus the
+``bench_rule_selection`` experiment into ``BENCH_selection.json`` (planning
+time vs PMTD count, probe latency vs space budget), so successive PRs have a
+perf trajectory to compare against instead of scraping stdout.
 
-Run:  python benchmarks/run_bench.py [--out PATH] [--quiet]
+Run:  python benchmarks/run_bench.py [--out PATH] [--selection-out PATH]
+                                     [--quiet]
 """
 
 from __future__ import annotations
@@ -45,13 +48,38 @@ def collect(quiet: bool = False) -> dict:
     }
 
 
+def collect_selection(quiet: bool = False) -> dict:
+    """Run the rule-selection experiments and shape them for JSON."""
+    import bench_rule_selection as bench
+
+    results = bench.experiment() if quiet else bench.report()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "rule_selection",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "workload": {
+            "planning_query": f"fuzz_path_{bench.HANG_SEED} (21 PMTDs)",
+            "budget_query": "path3",
+            "n_edges": bench.N_EDGES,
+            "domain": bench.DOMAIN,
+            "probes": bench.N_PROBES,
+        },
+        "metrics": results,
+    }
+
+
 def main(argv=None) -> int:
+    root = Path(__file__).resolve().parent.parent
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=Path,
-                        default=Path(__file__).resolve().parent.parent
-                        / "BENCH_engine.json",
-                        help="output path (default: repo-root "
+                        default=root / "BENCH_engine.json",
+                        help="engine output path (default: repo-root "
                              "BENCH_engine.json)")
+    parser.add_argument("--selection-out", type=Path,
+                        default=root / "BENCH_selection.json",
+                        help="rule-selection output path (default: "
+                             "repo-root BENCH_selection.json)")
     parser.add_argument("--quiet", action="store_true",
                         help="skip the human-readable table")
     args = parser.parse_args(argv)
@@ -63,6 +91,17 @@ def main(argv=None) -> int:
           f"{m['warm_probes_per_sec']:.0f} warm probes/s, "
           f"{m['cached_probes_per_sec']:.0f} cached probes/s, "
           f"cache hit rate {m['cache_hit_rate']:.0%}", flush=True)
+
+    selection = collect_selection(quiet=args.quiet)
+    args.selection_out.write_text(
+        json.dumps(selection, indent=2, sort_keys=True) + "\n")
+    planning = selection["metrics"]["planning"][-1]
+    sweep = selection["metrics"]["budget_sweep"]
+    print(f"wrote {args.selection_out}: "
+          f"{planning['pmtds']}-PMTD planning "
+          f"{planning['streamed_seconds'] * 1e3:.0f} ms, "
+          f"budget sweep {sweep[0]['probes_per_sec']:.0f} -> "
+          f"{sweep[-1]['probes_per_sec']:.0f} probes/s", flush=True)
     return 0
 
 

@@ -15,7 +15,13 @@ The pipeline is §4.2/§4.3 verbatim:
 
 * choose a PMTD set (given, or enumerated, falling back to the two trivial
   PMTDs when enumeration is too large);
-* generate the 2-phase disjunctive rules and plan each with the 2PP planner;
+* *select* the rule set against the space budget: small PMTD sets keep
+  every streamed 2-phase disjunctive rule, large ones go through the
+  budgeted beam selection (``repro.tradeoff.selection``) so planning
+  terminates fast and the kept rules are the estimated-cheapest sound
+  subset — ``rule_selection`` picks the mode (``"auto"``/``"all"``/
+  ``"budget"``);
+* plan each kept rule with the 2PP planner;
 * preprocessing materializes every designated S-target, unions same-schema
   targets into the PMTDs' S-views, and builds their hash indexes;
 * answering runs the online phase of every plan, unions T-targets into
@@ -25,6 +31,7 @@ The pipeline is §4.2/§4.3 verbatim:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -43,7 +50,9 @@ from repro.decomposition.pmtd import PMTD, trivial_pmtds
 from repro.query.constraints import ConstraintSet
 from repro.query.cq import CQAP
 from repro.query.hypergraph import VarSet
+from repro.tradeoff.cost import CatalogStatistics, CostModel, order_pmtds_by_cost
 from repro.tradeoff.rules import TwoPhaseRule, rules_from_pmtds
+from repro.tradeoff.selection import SelectionResult, keep_all_rules, select_rules
 from repro.util.counters import Counters
 
 
@@ -56,6 +65,8 @@ class IndexStats:
     preprocess_counters: Dict = field(default_factory=dict)
     last_answer_counters: Dict = field(default_factory=dict)
     plans: List[str] = field(default_factory=list)
+    #: rule-selection summary (mode, chosen rules, estimated space/time)
+    selection: Dict = field(default_factory=dict)
 
 
 class CQAPIndex:
@@ -76,6 +87,11 @@ class CQAPIndex:
         budget_slack: float = 8.0,
         measure_degrees: bool = False,
         threshold_scale: float = 1.0,
+        rule_selection: str = "auto",
+        auto_select_threshold: int = 8,
+        beam_width: int = 3,
+        max_selected_pmtds: Optional[int] = None,
+        statistics: Optional[CatalogStatistics] = None,
     ) -> None:
         self.cqap = cqap
         self.db = db
@@ -94,13 +110,66 @@ class CQAPIndex:
             if not pmtds:
                 pmtds = trivial_pmtds(cqap)
         self.pmtds: List[PMTD] = list(pmtds)
-        if max_pmtds is not None and len(self.pmtds) > max_pmtds:
+        # statistics depend only on (cqap, db): callers sweeping budgets
+        # over one database should measure once and pass them in
+        if statistics is None:
+            statistics = CatalogStatistics.from_database(cqap, db)
+        self.cost_model = CostModel(
+            cqap, statistics, request_size=request_size,
+        )
+        if rule_selection not in ("auto", "all", "budget"):
+            raise ValueError(
+                f"rule_selection must be 'auto', 'all', or 'budget', "
+                f"got {rule_selection!r}"
+            )
+        if max_pmtds is not None:
+            warnings.warn(
+                "max_pmtds is deprecated: the space_budget now drives rule "
+                "selection directly (rule_selection='budget' beam-selects a "
+                "sound PMTD subset; 'auto' does so for large PMTD sets)",
+                DeprecationWarning, stacklevel=2,
+            )
             # Any subset of PMTDs is sound (answering unions the per-PMTD
-            # ψ_i, each of which is complete); a cap only narrows the
-            # tradeoff search.  Rule generation is a cartesian product over
-            # PMTD views, so uncapped large sets blow up combinatorially.
-            self.pmtds = self.pmtds[:max_pmtds]
-        self.rules: List[TwoPhaseRule] = rules_from_pmtds(self.pmtds)
+            # ψ_i, each of which is complete), so the alias layers on the
+            # budgeted selection: cap its subset size at max_pmtds and let
+            # the beam pick the estimated-cheapest feasible subset —
+            # deterministic, unlike the old enumeration-order truncation.
+            if len(self.pmtds) > max_pmtds:
+                if rule_selection == "all":
+                    # legacy escape hatch: plain deterministic truncation
+                    self.pmtds = order_pmtds_by_cost(
+                        self.pmtds, self.cost_model)[:max_pmtds]
+                else:
+                    rule_selection = "budget"
+                    max_selected_pmtds = (
+                        max_pmtds if max_selected_pmtds is None
+                        else min(max_selected_pmtds, max_pmtds)
+                    )
+            # a non-binding cap stays a no-op (beyond the warning), as it
+            # always was
+        mode = rule_selection
+        if mode == "auto":
+            mode = ("all" if len(self.pmtds) <= auto_select_threshold
+                    else "budget")
+        #: full candidate pool + knobs, kept for preprocess()'s re-selection
+        #: backstop when the planner refutes an estimated-feasible rule
+        self._selection_pool: List[PMTD] = list(self.pmtds)
+        self._beam_width = beam_width
+        self._max_selected_pmtds = max_selected_pmtds
+        if mode == "budget":
+            self.selection: SelectionResult = select_rules(
+                self.pmtds, self.cost_model,
+                space_budget=self.space_budget,
+                beam_width=beam_width,
+                max_selected=max_selected_pmtds,
+            )
+            self.pmtds = self.selection.pmtds
+        else:
+            self.selection = keep_all_rules(
+                self.pmtds, rules_from_pmtds(self.pmtds), self.cost_model,
+                space_budget=self.space_budget,
+            )
+        self.rules: List[TwoPhaseRule] = self.selection.rules
         self.planner = TwoPhasePlanner(
             cqap, db, space_budget, dc=dc, ac=ac,
             request_size=request_size, max_splits=max_splits,
@@ -125,10 +194,40 @@ class CQAPIndex:
         every subsequent :meth:`answer` re-plans nothing.
         """
         ctr = counters or Counters()
-        self.plans = [self.planner.plan_rule(rule) for rule in self.rules]
-        self._s_targets = self.executor.preprocess(
-            self.plans, self.space_budget, counters=ctr
-        )
+        try:
+            self._plan_and_materialize(ctr)
+        except PlanningError:
+            if self.selection.mode != "budget":
+                raise
+            # the cost model under-estimated an S-only rule that the LP
+            # (or the materializer's hard limit) refutes at this budget;
+            # re-select restricted to rule sets where every rule can
+            # abort to the online phase, then let a second failure
+            # propagate.  The aborted attempt's scans stay in ``ctr`` and
+            # the executor's preprocess_runs ticks twice: both record work
+            # that genuinely happened — the probe-path contract
+            # (PreparedQuery.replanned) snapshots the counters *after*
+            # prepare, so the retry never reads as per-probe re-planning
+            try:
+                self.selection = select_rules(
+                    self._selection_pool,
+                    self.cost_model,
+                    space_budget=self.space_budget,
+                    beam_width=self._beam_width,
+                    max_selected=self._max_selected_pmtds,
+                    require_online_fallback=True,
+                )
+            except ValueError as exc:
+                # keep the error contract: callers (and the differential
+                # harness's skip logic) see budget infeasibility as
+                # PlanningError, never as a selection internals error
+                raise PlanningError(
+                    f"no rule set is feasible at budget "
+                    f"{self.space_budget:g}: {exc}"
+                ) from exc
+            self.pmtds = self.selection.pmtds
+            self.rules = self.selection.rules
+            self._plan_and_materialize(ctr)
         self._compiled_online = self.executor.compile_online(self.plans)
         self._yannakakis = []
         self.stats = IndexStats()
@@ -144,8 +243,19 @@ class CQAPIndex:
         }
         self.stats.preprocess_counters = ctr.snapshot()
         self.stats.plans = [plan.describe() for plan in self.plans]
+        self.stats.selection = self.selection.snapshot()
         self._ready = True
         return self
+
+    def _plan_and_materialize(self, ctr: Counters) -> None:
+        """Plan the selected rules and materialize their S-targets."""
+        self.plans = [
+            self.planner.plan_rule(rule, estimate=estimate)
+            for rule, estimate in zip(self.rules, self.selection.estimates)
+        ]
+        self._s_targets = self.executor.preprocess(
+            self.plans, self.space_budget, counters=ctr
+        )
 
     @staticmethod
     def _assemble_views(views: Dict, targets: Dict[VarSet, Relation],
@@ -232,5 +342,6 @@ class CQAPIndex:
         header = [
             f"CQAPIndex({self.cqap.name}): budget {self.space_budget:g} "
             f"tuples, {len(self.pmtds)} PMTDs, {len(self.rules)} rules",
+            self.selection.describe(),
         ]
         return "\n".join(header + [p.describe() for p in self.plans])

@@ -73,6 +73,9 @@ class RulePlan:
     decisions: List[PhaseDecision]
     predicted_log_time: float        # OBJ(S) for this rule
     materialize_all: bool = False
+    #: the cost-model estimate that selected this rule (None when the rule
+    #: set was fixed by hand); carried for lifecycle counters / describe()
+    estimate: Optional[object] = None
 
     @property
     def online_decisions(self) -> List[PhaseDecision]:
@@ -83,8 +86,11 @@ class RulePlan:
         return [d for d in self.decisions if d.phase == S_PHASE]
 
     def describe(self) -> str:
+        estimate = ""
+        if self.estimate is not None and hasattr(self.estimate, "describe"):
+            estimate = f"  {self.estimate.describe()}"
         lines = [f"rule {self.rule.label}  (OBJ = 2^"
-                 f"{self.predicted_log_time:.3f})"]
+                 f"{self.predicted_log_time:.3f}){estimate}"]
         for split in self.splits:
             lines.append(f"  {split}")
         for decision in self.decisions:
@@ -144,8 +150,15 @@ class TwoPhasePlanner:
         return best, best_bound
 
     # ------------------------------------------------------------------
-    def plan_rule(self, rule: TwoPhaseRule) -> RulePlan:
-        """Schedule one rule at the planner's budget."""
+    def plan_rule(self, rule: TwoPhaseRule,
+                  estimate: Optional[object] = None) -> RulePlan:
+        """Schedule one rule at the planner's budget.
+
+        ``estimate`` is the cost-model :class:`~repro.tradeoff.cost.
+        RuleEstimate` that selected the rule (if any); the planner plans
+        from the LP either way and carries the estimate on the plan so
+        serving stats can compare predicted vs planned.
+        """
         self.plan_calls += 1
         obj = self.program.obj_for_budget(rule, self.log_budget)
         if obj.fits_in_budget and rule.s_targets:
@@ -158,7 +171,8 @@ class TwoPhasePlanner:
                 )
             whole = apply_splits(self.cqap, self.db, [], self.dc)[0]
             decision = PhaseDecision(whole, S_PHASE, target, bound)
-            return RulePlan(rule, [], [decision], 0.0, materialize_all=True)
+            return RulePlan(rule, [], [decision], 0.0, materialize_all=True,
+                            estimate=estimate)
         if not rule.t_targets:
             raise PlanningError(
                 f"rule {rule.label} has only S-targets but its bound exceeds "
@@ -193,7 +207,8 @@ class TwoPhasePlanner:
                 decisions.append(
                     PhaseDecision(subproblem, T_PHASE, t_target, t_bound)
                 )
-        return RulePlan(rule, splits, decisions, obj.log_time)
+        return RulePlan(rule, splits, decisions, obj.log_time,
+                        estimate=estimate)
 
 
 @dataclass

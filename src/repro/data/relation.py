@@ -221,13 +221,16 @@ class Relation:
             if len(other) == 0:
                 return Relation(name or self.name, self.schema, ())
             return self.copy(name)
-        other_keys = other.key_values(shared)
+        # membership goes against the cached hash index itself: building a
+        # fresh key set would cost O(|other|) per call, which on a hot
+        # probe path re-scans the S-view every probe
+        other_index = other.index_on(shared)
         pos = self.positions(shared)
         out = []
         for row in self.tuples:
             ctr.scans += 1
             ctr.probes += 1
-            if tuple(row[p] for p in pos) in other_keys:
+            if tuple(row[p] for p in pos) in other_index:
                 out.append(row)
         return Relation(name or self.name, self.schema, out)
 

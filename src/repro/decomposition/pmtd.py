@@ -130,6 +130,19 @@ class PMTD:
         """Node -> view mapping (ν plus the S/T kind)."""
         return dict(self._views)
 
+    def ordered_views(self) -> List[View]:
+        """The node set's views in canonical iteration order.
+
+        Sorted by (kind, schema size, schema), independently of node ids —
+        so every consumer that iterates a PMTD's choices (rule generation,
+        cost estimation, display) sees the same deterministic order no
+        matter how the decomposition was enumerated or deduplicated.
+        """
+        return sorted(
+            self._views.values(),
+            key=lambda v: (v.kind, len(v.variables), tuple(sorted(v.variables))),
+        )
+
     def view(self, node: NodeId) -> View:
         return self._views[node]
 

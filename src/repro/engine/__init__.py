@@ -11,7 +11,14 @@ The north-star serving surface of the repo::
 
     pq.probe_boolean((4, 17))                 # one probe
     pq.probe_many([(4, 17), (8, 2), (4, 17)]) # batched, deduplicated
-    pq.stats()                                # cache + lifecycle counters
+    pq.stats()                                # cache + lifecycle counters,
+                                              # incl. the "selection" block
+                                              # (chosen rules, est. space/time)
+
+The ``space_budget`` threads all the way down: it bounds the S-targets the
+2PP planner materializes *and* drives the budgeted rule selection
+(``repro.tradeoff.selection``) that decides which rules get planned when
+the PMTD set is large.
 """
 
 from repro.engine.cache import LRUCache

@@ -38,9 +38,17 @@ def prepare(cqap: CQAP, db: Database, space_budget: float,
             **index_kwargs) -> "PreparedQuery":
     """Run the one-time preprocessing phase and return a serving handle.
 
+    ``space_budget`` drives both phases of planning: the 2PP planner's
+    S-vs-T decisions *and* (for large PMTD sets, or explicitly with
+    ``rule_selection="budget"``) the budgeted rule selection that decides
+    which rules are worth planning at all.  The chosen rules and their
+    estimated space/time land in :meth:`PreparedQuery.stats` under
+    ``"selection"``.
+
     ``index_kwargs`` are forwarded to :class:`~repro.core.index.CQAPIndex`
     (``pmtds``, ``dc``, ``ac``, ``max_bags``, ``max_splits``,
-    ``budget_slack``, ``measure_degrees``, ``threshold_scale``, ...).
+    ``budget_slack``, ``measure_degrees``, ``threshold_scale``,
+    ``rule_selection``, ``beam_width``, ``auto_select_threshold``, ...).
     """
     ctr = counters or Counters()
     start = time.perf_counter()
@@ -208,6 +216,12 @@ class PreparedQuery:
         return self._index.predicted_log_time
 
     @property
+    def selection(self):
+        """The rule-selection result frozen at prepare time
+        (:class:`~repro.tradeoff.selection.SelectionResult`)."""
+        return self._index.selection
+
+    @property
     def replanned(self) -> bool:
         """True if any probe triggered planning work (must stay False)."""
         return (self._index.planner.plan_calls != self.plan_calls_at_prepare
@@ -226,6 +240,7 @@ class PreparedQuery:
             "prepare_counters": self.prepare_counters.snapshot(),
             "stored_tuples": self.stored_tuples,
             "predicted_log_time": self.predicted_log_time,
+            "selection": self._index.selection.snapshot(),
             "plan_calls": self._index.planner.plan_calls,
             "preprocess_runs": self._index.executor.preprocess_runs,
             "compile_runs": self._index.executor.compile_runs,

@@ -21,17 +21,43 @@ from repro.tradeoff.joint_flow import (
     for_cqap,
     symbolic_program,
 )
+from repro.tradeoff.cost import (
+    CatalogStatistics,
+    CostModel,
+    RuleEstimate,
+    order_pmtds_by_cost,
+)
 from repro.tradeoff.paths import path_tradeoff, worst_path_tradeoff
-from repro.tradeoff.rules import TwoPhaseRule, paper_rules_3reach, rules_from_pmtds
+from repro.tradeoff.rules import (
+    TwoPhaseRule,
+    paper_rules_3reach,
+    rules_from_pmtds,
+    stream_rules_from_pmtds,
+)
+from repro.tradeoff.selection import (
+    SelectionResult,
+    evaluate_rules,
+    keep_all_rules,
+    select_rules,
+)
 from repro.tradeoff.witness import JointFlowWitness, extract_witness, obj_with_witness
 from repro.tradeoff import proofs_catalog
 
 __all__ = [
+    "CatalogStatistics",
+    "CostModel",
     "JointFlowProgram",
     "JointFlowWitness",
+    "RuleEstimate",
+    "SelectionResult",
+    "evaluate_rules",
     "extract_witness",
+    "keep_all_rules",
     "obj_with_witness",
+    "order_pmtds_by_cost",
     "proofs_catalog",
+    "select_rules",
+    "stream_rules_from_pmtds",
     "ObjResult",
     "PiecewiseCurve",
     "Segment",

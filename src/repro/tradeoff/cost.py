@@ -1,0 +1,284 @@
+"""Catalog-statistics cost model for budgeted rule selection.
+
+The planner's joint Shannon-flow LP (``tradeoff.joint_flow``) prices one
+rule exactly but is far too expensive to call inside a search over PMTD
+subsets.  This module prices rules *approximately* from per-relation
+catalog statistics — cardinalities, per-variable distinct counts, and
+measured max-degrees, the same quantities ``query.constraints`` feeds the
+LP as degree constraints — so selection can rank hundreds of candidate
+rule sets in milliseconds:
+
+* an **S-target** costs *space*: the estimated size of its materialized
+  projection (greedy weighted edge cover over the body atoms, capped by
+  the product of per-variable distinct counts);
+* a **T-target** costs *time*: the same estimate but with the access
+  pattern bound, so atoms touching a bound variable are priced at their
+  measured degree instead of their cardinality.
+
+Everything is a log₂ estimate internally; the linear-scale accessors
+(`s_space`, `t_time`) are what selection accumulates against the budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.decomposition.pmtd import PMTD, S_VIEW
+from repro.query.cq import CQAP
+from repro.query.hypergraph import VarSet, varset
+from repro.tradeoff.rules import TwoPhaseRule
+
+
+@dataclass(frozen=True)
+class AtomStatistics:
+    """One body atom's catalog entry."""
+
+    relation: str
+    variables: Tuple[str, ...]
+    cardinality: int
+    #: per-variable max degree: how many tuples share one value of ``v``
+    degrees: Tuple[Tuple[str, int], ...]
+    #: per-variable distinct counts
+    distinct: Tuple[Tuple[str, int], ...]
+
+    @property
+    def varset(self) -> VarSet:
+        return varset(self.variables)
+
+    def degree_of(self, variable: str) -> int:
+        return dict(self.degrees).get(variable, self.cardinality)
+
+
+@dataclass
+class CatalogStatistics:
+    """Per-atom statistics of one (CQAP, database) pair."""
+
+    atoms: List[AtomStatistics] = field(default_factory=list)
+
+    @classmethod
+    def from_database(cls, cqap: CQAP, db) -> "CatalogStatistics":
+        """Measure cardinalities, degrees, and distinct counts per atom.
+
+        One streaming pass per stored relation (shared across atoms that
+        reuse it): per-column value counts give the distinct count and the
+        max degree without building hash indexes or rebound copies.
+        """
+        per_relation: Dict[str, List[Dict[object, int]]] = {}
+        out = []
+        for atom in cqap.atoms:
+            relation = db[atom.relation]
+            counts = per_relation.get(atom.relation)
+            if counts is None:
+                counts = [
+                    {} for _ in range(len(relation.schema))
+                ]
+                for row in relation.tuples:
+                    for pos, value in enumerate(row):
+                        counts[pos][value] = counts[pos].get(value, 0) + 1
+                per_relation[atom.relation] = counts
+            # the atom's variables name the stored columns positionally
+            degrees = []
+            distinct = []
+            for pos, var in enumerate(atom.variables):
+                column = counts[pos] if pos < len(counts) else {}
+                distinct.append((var, max(1, len(column))))
+                degrees.append((var, max(1, max(column.values(), default=0))))
+            out.append(AtomStatistics(
+                relation=atom.relation,
+                variables=tuple(atom.variables),
+                cardinality=max(1, len(relation)),
+                degrees=tuple(degrees),
+                distinct=tuple(distinct),
+            ))
+        return cls(out)
+
+    def distinct_count(self, variable: str) -> int:
+        """Distinct values of ``variable`` across every atom mentioning it."""
+        best = None
+        for atom in self.atoms:
+            for var, count in atom.distinct:
+                if var == variable:
+                    best = count if best is None else min(best, count)
+        return best if best is not None else 1
+
+
+@dataclass(frozen=True)
+class RuleEstimate:
+    """One rule priced by the cost model.
+
+    ``s_target``/``s_space`` describe the cheapest S-route (None/inf when
+    the rule has no S-target); ``t_target``/``t_time`` the cheapest
+    T-route.  ``route`` is filled in by selection once the budget decides
+    which one the rule will actually take.
+    """
+
+    rule: TwoPhaseRule
+    s_target: Optional[VarSet]
+    s_space: float
+    t_target: Optional[VarSet]
+    t_time: float
+    route: Optional[str] = None  # "S" | "T", set by selection
+    #: pessimistic size of the S-route; what feasibility checks use for
+    #: rules that have no T-target to abort to
+    s_space_worst: float = math.inf
+
+    def routed(self, route: str) -> "RuleEstimate":
+        return RuleEstimate(self.rule, self.s_target, self.s_space,
+                            self.t_target, self.t_time, route,
+                            self.s_space_worst)
+
+    def describe(self) -> str:
+        parts = []
+        if self.s_target is not None:
+            parts.append(f"S~{self.s_space:.3g}")
+        if self.t_target is not None:
+            parts.append(f"T~{self.t_time:.3g}")
+        route = f" -> {self.route}" if self.route else ""
+        return f"est[{' '.join(parts)}{route}]"
+
+
+class CostModel:
+    """Prices targets, rules, and PMTDs from catalog statistics."""
+
+    def __init__(self, cqap: CQAP, stats: CatalogStatistics,
+                 request_size: float = 1.0) -> None:
+        self.cqap = cqap
+        self.stats = stats
+        self.access: VarSet = varset(cqap.access)
+        self.log_request = math.log2(max(1.0, request_size))
+        self._cache: Dict[Tuple[VarSet, FrozenSet[str], bool], float] = {}
+
+    # ------------------------------------------------------------------
+    # target estimates
+    # ------------------------------------------------------------------
+    def log_size(self, target: VarSet,
+                 bound: Optional[Iterable[str]] = None) -> float:
+        """log₂ estimate of the projection onto ``target``.
+
+        Greedy weighted edge cover: repeatedly pick the atom covering the
+        most still-uncovered target variables per log-cardinality unit.  An
+        atom touching a ``bound`` variable is priced at its max degree with
+        respect to that variable (the probe pins it), not its cardinality.
+        The result is capped by the product of per-variable distinct
+        counts, which is an unconditional upper bound on any projection.
+        """
+        bound_set = frozenset(bound) if bound is not None else frozenset()
+        key = (target, bound_set, False)
+        if key not in self._cache:
+            cost = self._greedy_cover(target, bound_set, worst_case=False)
+            cap = sum(math.log2(self.stats.distinct_count(v))
+                      for v in set(target) - bound_set)
+            self._cache[key] = min(cost, cap)
+        return self._cache[key]
+
+    def log_size_worst(self, target: VarSet) -> float:
+        """Pessimistic log₂ size: cardinality-only cover, no distinct cap.
+
+        Tracks the planner's worst-case LP bounds (which never see the
+        data's distinct counts) closely enough to judge whether a rule
+        *without an online fallback* can be risked against the budget.
+        """
+        key = (target, frozenset(), True)
+        if key not in self._cache:
+            self._cache[key] = self._greedy_cover(target, frozenset(),
+                                                  worst_case=True)
+        return self._cache[key]
+
+    def _greedy_cover(self, target: VarSet, bound_set: FrozenSet[str],
+                      worst_case: bool) -> float:
+        """Greedy weighted cover shared by both estimates.
+
+        ``worst_case`` prices every atom at its cardinality (ignoring the
+        pinned-variable degree refinement), matching what the planner's
+        cardinality-constraint LPs can see.
+        """
+        covered = set(bound_set)
+        uncovered = set(target) - covered
+        cost = 0.0
+        while uncovered:
+            best = None  # (weight / gain, weight, name, vars, atom)
+            for atom in self.stats.atoms:
+                gain = len(set(atom.variables) & uncovered)
+                if not gain:
+                    continue
+                weight = self._atom_log_weight(atom, covered, worst_case)
+                score = (weight / gain, weight, atom.relation,
+                         tuple(atom.variables))
+                if best is None or score < best[:4]:
+                    best = score + (atom,)
+            if best is None:
+                # target variables outside every atom: nothing to join on
+                break
+            cost += best[1]
+            covered |= set(best[4].variables)
+            uncovered -= covered
+        return cost
+
+    def _atom_log_weight(self, atom: AtomStatistics, covered,
+                         worst_case: bool) -> float:
+        pinned = set(atom.variables) & set(covered)
+        if pinned and not worst_case:
+            return math.log2(min(atom.degree_of(v) for v in pinned))
+        return math.log2(atom.cardinality)
+
+    def s_space(self, target: VarSet) -> float:
+        """Estimated tuple count of materializing ``target`` (S-phase)."""
+        return 2.0 ** self.log_size(target)
+
+    def s_space_worst(self, target: VarSet) -> float:
+        """Worst-case tuple count of materializing ``target``."""
+        return 2.0 ** self.log_size_worst(target)
+
+    def t_time(self, target: VarSet) -> float:
+        """Estimated per-probe work of computing ``target`` online."""
+        return 2.0 ** (self.log_size(target, bound=self.access)
+                       + self.log_request)
+
+    # ------------------------------------------------------------------
+    # rule / PMTD estimates
+    # ------------------------------------------------------------------
+    def estimate_rule(self, rule: TwoPhaseRule) -> RuleEstimate:
+        """Cheapest S-route and T-route of one rule."""
+        s_target, s_space = None, math.inf
+        for target in sorted(rule.s_targets, key=lambda t: tuple(sorted(t))):
+            space = self.s_space(target)
+            if space < s_space:
+                s_target, s_space = target, space
+        t_target, t_time = None, math.inf
+        for target in sorted(rule.t_targets, key=lambda t: tuple(sorted(t))):
+            time = self.t_time(target)
+            if time < t_time:
+                t_target, t_time = target, time
+        worst = (self.s_space_worst(s_target) if s_target is not None
+                 else math.inf)
+        return RuleEstimate(rule, s_target, s_space, t_target, t_time,
+                            s_space_worst=worst)
+
+    def estimate_pmtd(self, pmtd: PMTD) -> Tuple[float, float]:
+        """(S-space, T-time) totals over one PMTD's own views.
+
+        Used to order PMTDs deterministically (cheapest first) for the
+        deprecated ``max_pmtds`` truncation and for stable tie-breaking.
+        """
+        space = 0.0
+        time = 0.0
+        for view in pmtd.ordered_views():
+            if view.kind == S_VIEW:
+                space += self.s_space(view.variables)
+            else:
+                time += self.t_time(view.variables)
+        return space, time
+
+    def pmtd_order_key(self, pmtd: PMTD) -> Tuple:
+        """Deterministic sort key: cheapest (time, space) PMTD first."""
+        space, time = self.estimate_pmtd(pmtd)
+        labels = tuple(v.label for v in pmtd.ordered_views())
+        return (time, space, len(labels), labels)
+
+
+def order_pmtds_by_cost(pmtds: Sequence[PMTD],
+                        model: CostModel) -> List[PMTD]:
+    """PMTDs sorted cheapest-first under the cost model (deterministic)."""
+    return sorted(pmtds, key=model.pmtd_order_key)

@@ -1,0 +1,270 @@
+"""Budget-aware rule selection: pick the PMTD subset worth planning.
+
+The paper realizes its space-time tradeoff by *choosing* a 2-phase
+disjunctive rule set that meets a space budget (§4, Table 1).  The rule
+set of a PMTD family is its cartesian product, so the selectable sound
+units are PMTD subsets: answering unions the per-PMTD ψ_i and each ψ_i is
+complete once its views are filled by its subset's full (reduced) rule
+product — any nonempty PMTD subset therefore answers exactly, and the
+choice only moves the space/time point.
+
+``select_rules`` runs a deterministic beam search over PMTD subsets.  A
+candidate subset is priced by streaming its rule set
+(:func:`~repro.tradeoff.rules.stream_rules_from_pmtds`) and letting the
+cost model route every rule:
+
+* a rule takes its cheapest **S-route** when the estimated materialized
+  size still fits the remaining space budget (probes then cost ~1 hash
+  lookup);  S-targets shared across rules are paid for once;
+* otherwise it takes its cheapest **T-route** and its estimated online
+  cost lands on the probe-time side of the ledger.
+
+Candidates are ranked (feasible first, then estimated probe time, then
+space, then a label tie-break), so equal inputs always select the same
+rules.  The search never returns an empty selection: when nothing fits
+the budget the cheapest-space candidate is kept and flagged
+``over_budget`` — the planner's own abort paths stay the hard backstop,
+mirroring ``budget_slack`` elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.decomposition.pmtd import PMTD
+from repro.tradeoff.cost import CostModel, RuleEstimate
+from repro.tradeoff.rules import TwoPhaseRule, stream_rules_from_pmtds
+
+#: estimated per-probe overhead of carrying one extra PMTD (its Online
+#: Yannakakis pass); biases selection toward fewer PMTDs on near-ties
+PMTD_OVERHEAD = 1.0
+
+#: probe cost of a rule served from a materialized S-target (hash lookup)
+S_PROBE_COST = 1.0
+
+
+@dataclass
+class SelectionResult:
+    """The chosen rule set plus the estimates that chose it."""
+
+    mode: str                       # "all" | "budget"
+    pmtds: List[PMTD]
+    rules: List[TwoPhaseRule]
+    estimates: List[RuleEstimate]   # parallel to ``rules``, routes filled
+    estimated_space: float
+    estimated_time: float
+    space_budget: Optional[float]
+    candidate_pmtds: int            # size of the pool selection drew from
+    considered_subsets: int = 1
+    over_budget: bool = False
+
+    def snapshot(self) -> Dict:
+        """JSON-friendly summary for lifecycle counters / stats()."""
+        return {
+            "mode": self.mode,
+            "space_budget": self.space_budget,
+            "candidate_pmtds": self.candidate_pmtds,
+            "selected_pmtds": len(self.pmtds),
+            "selected_rules": len(self.rules),
+            "rules": [rule.label for rule in self.rules],
+            "routes": [est.route for est in self.estimates],
+            "estimated_space": self.estimated_space,
+            "estimated_time": self.estimated_time,
+            "considered_subsets": self.considered_subsets,
+            "over_budget": self.over_budget,
+        }
+
+    def describe(self) -> str:
+        return (f"selection[{self.mode}]: {len(self.pmtds)}/"
+                f"{self.candidate_pmtds} PMTDs, {len(self.rules)} rules, "
+                f"~{self.estimated_space:.3g} tuples, "
+                f"~{self.estimated_time:.3g} probe cost"
+                + (" (over budget)" if self.over_budget else ""))
+
+
+def evaluate_rules(rules: Sequence[TwoPhaseRule], model: CostModel,
+                   space_budget: Optional[float],
+                   ) -> Tuple[float, float, List[RuleEstimate], bool]:
+    """Route every rule S-or-T against the budget; returns the ledger.
+
+    Rules are routed greedily in benefit order (time saved per tuple
+    stored, S-only rules first since they have no online fallback).
+    Returns ``(estimated_space, estimated_time, routed_estimates,
+    over_budget)`` with ``routed_estimates`` back in input order.
+    """
+    estimates = [model.estimate_rule(rule) for rule in rules]
+    forced = [e for e in estimates if e.t_target is None]
+    optional = [e for e in estimates if e.t_target is not None]
+    forced.sort(key=lambda e: (e.s_space, e.rule.label))
+    optional.sort(key=lambda e: (-(e.t_time - S_PROBE_COST)
+                                 / max(e.s_space, 1.0), e.rule.label))
+    space = 0.0
+    time = 0.0
+    over = False
+    paid: Dict[FrozenSet, float] = {}
+    routed: Dict[TwoPhaseRule, RuleEstimate] = {}
+    for est in forced:
+        extra = 0.0 if est.s_target in paid else est.s_space
+        space += extra
+        paid[est.s_target] = est.s_space
+        time += S_PROBE_COST
+        routed[est.rule] = est.routed("S")
+        # a forced rule has no online fallback: judge it by its
+        # pessimistic size, which tracks the planner's worst-case bounds
+        if space_budget is not None and est.s_space_worst > space_budget:
+            over = True
+    if space_budget is not None and space > space_budget:
+        over = True
+    for est in optional:
+        extra = (0.0 if est.s_target is None or est.s_target in paid
+                 else est.s_space)
+        fits = (est.s_target is not None
+                and (space_budget is None or space + extra <= space_budget))
+        if fits and S_PROBE_COST <= est.t_time:
+            space += extra
+            paid[est.s_target] = est.s_space
+            time += S_PROBE_COST
+            routed[est.rule] = est.routed("S")
+        else:
+            time += est.t_time
+            routed[est.rule] = est.routed("T")
+    return space, time, [routed[rule] for rule in rules], over
+
+
+@dataclass
+class _Candidate:
+    """One PMTD subset priced by :func:`evaluate_rules`."""
+
+    indices: FrozenSet[int]
+    pmtds: List[PMTD]
+    rules: List[TwoPhaseRule]
+    estimates: List[RuleEstimate]
+    space: float
+    time: float
+    over_budget: bool
+    order_key: Tuple = field(default=())
+
+    @property
+    def rank(self) -> Tuple:
+        return (self.over_budget, self.time, self.space, self.order_key)
+
+
+def _evaluate_subset(indices: FrozenSet[int], pool: Sequence[PMTD],
+                     model: CostModel,
+                     space_budget: Optional[float]) -> _Candidate:
+    pmtds = [pool[i] for i in sorted(indices)]
+    rules = list(stream_rules_from_pmtds(pmtds))
+    space, time, estimates, over = evaluate_rules(rules, model, space_budget)
+    time += PMTD_OVERHEAD * len(pmtds)
+    order_key = tuple(sorted(model.pmtd_order_key(p) for p in pmtds))
+    return _Candidate(indices, pmtds, rules, estimates, space, time, over,
+                      order_key)
+
+
+def select_rules(pmtds: Sequence[PMTD], model: CostModel,
+                 space_budget: Optional[float] = None,
+                 beam_width: int = 3,
+                 max_selected: Optional[int] = None,
+                 require_online_fallback: bool = False) -> SelectionResult:
+    """Beam-select the PMTD subset whose rule set probes fastest in budget.
+
+    Seeds with every single PMTD, then grows the ``beam_width`` best
+    subsets one PMTD at a time, stopping as soon as a growth round fails
+    to improve the best estimated probe time (adding PMTDs multiplies the
+    rule set, so unhelpful growth gets priced immediately).  Subsets are
+    capped at ``max_selected`` PMTDs (default: min(6, len(pmtds))).
+
+    ``require_online_fallback`` additionally rejects every candidate whose
+    rule set contains an S-only rule — the retry mode
+    :meth:`CQAPIndex.preprocess` uses when the planner proves such a rule
+    infeasible at the budget despite the estimates.
+    """
+    pool = list(pmtds)
+    if not pool:
+        raise ValueError("need at least one PMTD to select from")
+    if max_selected is None:
+        max_selected = min(6, len(pool))
+    max_selected = max(1, min(max_selected, len(pool)))
+
+    seen: Dict[FrozenSet[int], _Candidate] = {}
+
+    def evaluate(indices: FrozenSet[int]) -> _Candidate:
+        if indices not in seen:
+            seen[indices] = _evaluate_subset(indices, pool, model,
+                                             space_budget)
+        return seen[indices]
+
+    def admissible(candidate: _Candidate) -> bool:
+        if not require_online_fallback:
+            return True
+        return all(rule.t_targets for rule in candidate.rules)
+
+    seeds = [c for i in range(len(pool))
+             if admissible(c := evaluate(frozenset({i})))]
+    if not seeds:
+        # No larger subset can help: a subset's reduced rule set is free
+        # of S-only rules iff it contains an all-T-view PMTD — and that
+        # PMTD alone would already have been an admissible seed.
+        raise ValueError(
+            "no admissible PMTD subset: every candidate rule set contains "
+            "an S-only rule that cannot be risked at this budget"
+        )
+    beam = sorted(seeds, key=lambda c: c.rank)[:max(1, beam_width)]
+    best = beam[0]
+    for _ in range(1, max_selected):
+        grown: List[_Candidate] = []
+        for candidate in beam:
+            for j in range(len(pool)):
+                if j in candidate.indices:
+                    continue
+                indices = candidate.indices | {j}
+                if indices in seen:
+                    continue
+                extended = evaluate(indices)
+                if admissible(extended):
+                    grown.append(extended)
+        if not grown:
+            break
+        grown.sort(key=lambda c: c.rank)
+        if grown[0].rank >= best.rank:
+            break
+        beam = grown[:max(1, beam_width)]
+        best = beam[0]
+
+    return SelectionResult(
+        mode="budget",
+        pmtds=best.pmtds,
+        rules=best.rules,
+        estimates=best.estimates,
+        estimated_space=best.space,
+        estimated_time=best.time,
+        space_budget=space_budget,
+        candidate_pmtds=len(pool),
+        considered_subsets=len(seen),
+        over_budget=best.over_budget,
+    )
+
+
+def keep_all_rules(pmtds: Sequence[PMTD], rules: Sequence[TwoPhaseRule],
+                   model: CostModel,
+                   space_budget: Optional[float] = None) -> SelectionResult:
+    """A :class:`SelectionResult` for the keep-everything mode.
+
+    Used when the PMTD set is small enough to plan outright; the estimates
+    are still computed so lifecycle counters always expose the predicted
+    space/time of whatever rule set is being served.
+    """
+    space, time, estimates, over = evaluate_rules(rules, model, space_budget)
+    return SelectionResult(
+        mode="all",
+        pmtds=list(pmtds),
+        rules=list(rules),
+        estimates=estimates,
+        estimated_space=space,
+        estimated_time=time + PMTD_OVERHEAD * len(pmtds),
+        space_budget=space_budget,
+        candidate_pmtds=len(pmtds),
+        considered_subsets=1,
+        over_budget=over,
+    )

@@ -2,17 +2,27 @@
 
 For each workload (seeded random query + database + probe stream) the
 harness computes the exact per-binding answers with ``repro.oracle`` and
-then diffs five checks across the repo's four answer stacks against them:
+then diffs six checks across the repo's answer stacks against them:
 
 * ``from_scratch``   — ``CQAP.answer_from_scratch`` (textbook join path);
 * ``index_lean``     — ``CQAPIndex.answer`` at a tiny space budget, so the
   plans lean on the online phase (TwoPhaseExecutor T-phase + Online
   Yannakakis);
+* ``index_medium``   — ``CQAPIndex.answer`` at a data-linear budget, the
+  regime where budgeted rule selection actually has to trade S-routes
+  against T-routes;
 * ``index_rich``     — ``CQAPIndex.answer`` at an ample budget, so
   preprocessing materializes S-targets and the online phase serves off the
   prepared views (plus an ``answer_batch`` union check);
 * ``engine_probe`` / ``engine_probe_many`` — the serving engine
-  (``PreparedQuery``) over both indexes, cache and batch dedupe included.
+  (``PreparedQuery``) over the prepared indexes, cache and batch dedupe
+  included.
+
+The three index paths sweep ``space_budget`` ∈ {tight, medium, ∞} per
+scenario, and every index is built through the budget-aware rule-selection
+pipeline (``rule_selection="auto"``; no ``max_pmtds`` cap — large PMTD
+sets go through the beam selection instead of being truncated), so every
+budget setting of the selection subsystem is fuzzed against the oracle.
 
 A scenario that fails is reproducible from its seed alone: every recorded
 disagreement carries the seed, the binding, the tuple diff, and a ready-to-
@@ -47,6 +57,7 @@ AnswerSet = FrozenSet[Row]
 PATHS: Tuple[str, ...] = (
     "from_scratch",
     "index_lean",
+    "index_medium",
     "index_rich",
     "engine_probe",
     "engine_probe_many",
@@ -54,9 +65,21 @@ PATHS: Tuple[str, ...] = (
 
 LEAN_BUDGET = 2
 RICH_BUDGET = 10 ** 7
-#: cap the PMTD set per index — rule generation is a cartesian product
-#: over PMTD views, and fuzz queries can enumerate dozens of PMTDs
-MAX_PMTDS = 4
+
+#: keep fuzz planning cheap: beyond this many PMTDs the index switches to
+#: budgeted beam selection (the default auto behavior, tightened so rule
+#: counts stay near the old MAX_PMTDS=4 cap without discarding tradeoffs
+#: arbitrarily)
+AUTO_SELECT_THRESHOLD = 4
+
+
+def scenario_budgets(db) -> Dict[str, float]:
+    """The tight/medium/∞ budget sweep for one workload's database."""
+    return {
+        "index_lean": LEAN_BUDGET,
+        "index_medium": max(LEAN_BUDGET + 1, db.size),
+        "index_rich": RICH_BUDGET,
+    }
 
 
 @dataclass
@@ -202,13 +225,20 @@ def run_scenario(workload: Workload,
     # -- path 1: the textbook from-scratch evaluator --------------------
     run("from_scratch", lambda: _scratch_answers(workload, unique))
 
-    # -- paths 2-3: CQAPIndex at both budget extremes -------------------
+    # -- paths 2-4: CQAPIndex across the budget sweep -------------------
+    # catalog statistics depend only on (cqap, db): measure once, share
+    # across the three budget points
+    from repro.tradeoff.cost import CatalogStatistics
+
+    statistics = CatalogStatistics.from_database(cqap, db)
     indexes: Dict[str, CQAPIndex] = {}
-    for path, budget in (("index_lean", LEAN_BUDGET),
-                         ("index_rich", RICH_BUDGET)):
+    for path, budget in scenario_budgets(db).items():
         try:
-            indexes[path] = CQAPIndex(cqap, db, budget,
-                                      max_pmtds=MAX_PMTDS).preprocess()
+            indexes[path] = CQAPIndex(
+                cqap, db, budget,
+                auto_select_threshold=AUTO_SELECT_THRESHOLD,
+                statistics=statistics,
+            ).preprocess()
         except PlanningError as exc:
             # legitimately infeasible at this budget (S-only rules)
             outcome.skips.append((path, f"PlanningError: {exc}"))
@@ -241,8 +271,9 @@ def run_scenario(workload: Workload,
                     f"raised {exc!r}", repro,
                 ))
 
-    # -- paths 4-5: the serving engine over the prepared indexes --------
-    probe_index = indexes.get("index_lean") or indexes.get("index_rich")
+    # -- paths 5-6: the serving engine over the prepared indexes --------
+    probe_index = (indexes.get("index_lean") or indexes.get("index_medium")
+                   or indexes.get("index_rich"))
     if probe_index is None:
         outcome.skips.append(("engine_probe", "no preprocessed index"))
     else:
@@ -258,7 +289,8 @@ def run_scenario(workload: Workload,
 
         run("engine_probe", engine_probe)
 
-    batch_index = indexes.get("index_rich") or indexes.get("index_lean")
+    batch_index = (indexes.get("index_rich") or indexes.get("index_medium")
+                   or indexes.get("index_lean"))
     if batch_index is None:
         outcome.skips.append(("engine_probe_many", "no preprocessed index"))
     else:

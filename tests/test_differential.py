@@ -11,9 +11,12 @@ from repro.engine import prepare
 from repro.oracle import OracleMismatch, answer_rows, assert_equivalent, oracle_probe
 from repro.workloads import make_workload
 from repro.workloads.differential import (
+    LEAN_BUDGET,
     PATHS,
+    RICH_BUDGET,
     run_differential,
     run_scenario,
+    scenario_budgets,
 )
 
 #: fixed tier-1 seed block; the fuzz-smoke job explores far beyond it
@@ -85,6 +88,55 @@ class TestDifferentialHarness:
         (diff,) = report.diffs
         assert diff.extra == bogus
         assert diff.missing == expected[tuple(binding)]
+
+
+class TestBudgetSweep:
+    """Satellite: the tight/medium/∞ space-budget sweep vs the oracle.
+
+    Every scenario builds three indexes through the budget-aware rule
+    selection pipeline — the sweep is what fuzzes ``space_budget``-driven
+    selection (``repro.tradeoff.selection``) against ground truth.
+    """
+
+    def test_sweep_paths_are_part_of_the_gate(self):
+        assert {"index_lean", "index_medium", "index_rich"} <= set(PATHS)
+
+    def test_budgets_span_the_tradeoff(self):
+        workload = make_workload(TIER1_SEED)
+        budgets = scenario_budgets(workload.db)
+        assert budgets["index_lean"] == LEAN_BUDGET
+        assert budgets["index_rich"] == RICH_BUDGET
+        assert (budgets["index_lean"] < budgets["index_medium"]
+                < budgets["index_rich"])
+
+    def test_fixed_seed_block_agrees_across_all_budgets(self):
+        """Tier-1 merge gate for the sweep: three budgets, zero diffs."""
+        summary = run_differential(12, TIER1_SEED + 6000)
+        assert summary.ok, summary.describe()
+        for path in ("index_lean", "index_medium", "index_rich"):
+            assert summary.path_runs.get(path, 0) >= 11, summary.describe()
+
+    def test_sweep_covers_a_21_pmtd_query_uncapped(self):
+        """The ROADMAP hang query goes through the full harness cleanly."""
+        import random
+
+        from repro.decomposition.enumeration import enumerate_pmtds
+        from repro.workloads.databases import random_database
+        from repro.workloads.probes import probe_stream
+        from repro.workloads.queries import random_cqap
+        from repro.workloads.workload import Workload
+
+        rng = random.Random(75)
+        cqap = random_cqap(rng, shape="path", name="fuzz_path_75")
+        assert len(enumerate_pmtds(cqap, max_bags=3)) == 21
+        db = random_database(cqap, rng, profile="uniform", max_tuples=24)
+        probes = probe_stream(cqap, db, rng, kind="uniform", count=4)
+        workload = Workload(seed=75, shape="path", profile="uniform",
+                            probe_kind="uniform", cache_size=16,
+                            cqap=cqap, db=db, probes=probes)
+        outcome = run_scenario(workload)
+        assert outcome.ok, "\n".join(
+            d.describe() for d in outcome.disagreements)
 
 
 class TestProbeManyAgainstOracle:

@@ -1,0 +1,357 @@
+"""Budgeted rule selection: streamed generation, cost model, beam search.
+
+Three layers of protection for the §4.2 rule machinery:
+
+* **property tests** (hypothesis): the streamed frontier sweep must equal
+  the eager cartesian-product reference on every random PMTD subset small
+  enough to enumerate eagerly, and its output must be subset-minimal in
+  the Observation E.1 sense;
+* **regression**: the ROADMAP hang — the fuzz path4 query whose 21 PMTDs
+  give a ~1e10-combination product — must now plan uncapped in under two
+  seconds and recover strictly more tradeoff points than the old
+  ``max_pmtds=10`` truncation;
+* **integration**: budget-mode ``CQAPIndex`` answers must match
+  from-scratch evaluation, the deprecated ``max_pmtds`` must warn and
+  truncate deterministically, and the engine must surface the selection
+  in its lifecycle stats.
+"""
+
+import random
+import time
+import warnings
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CQAPIndex
+from repro.data import path_database, singleton_request, square_database
+from repro.decomposition.enumeration import enumerate_pmtds
+from repro.engine import prepare
+from repro.query.catalog import by_name, k_path_cqap
+from repro.tradeoff.cost import CatalogStatistics, CostModel, order_pmtds_by_cost
+from repro.tradeoff.rules import (
+    _rules_from_pmtds_eager,
+    rules_from_pmtds,
+    stream_rules_from_pmtds,
+)
+from repro.tradeoff.selection import evaluate_rules, select_rules
+from repro.workloads.queries import random_cqap
+
+#: the ROADMAP hang: fuzz seed whose path4 query enumerates 21 PMTDs
+HANG_SEED = 75
+
+
+def fuzz_path4_cqap():
+    return random_cqap(random.Random(HANG_SEED), shape="path",
+                       name=f"fuzz_path_{HANG_SEED}")
+
+
+@lru_cache(maxsize=None)
+def pmtd_pool(query_name: str):
+    if query_name == "fuzz_path4":
+        return tuple(enumerate_pmtds(fuzz_path4_cqap(), max_bags=3))
+    return tuple(enumerate_pmtds(by_name(query_name), max_bags=3))
+
+
+POOL_NAMES = ("path2", "path3", "square", "setdisj2", "fuzz_path4")
+
+
+@st.composite
+def pmtd_subsets(draw):
+    """A random PMTD subset with ≤ 8 nodes total (eager stays tractable)."""
+    name = draw(st.sampled_from(POOL_NAMES))
+    pool = pmtd_pool(name)
+    indices = draw(st.sets(st.integers(0, len(pool) - 1),
+                           min_size=1, max_size=4))
+    subset = [pool[i] for i in sorted(indices)]
+    while sum(len(p.views) for p in subset) > 8:
+        subset.pop()
+    return subset
+
+
+def rule_keys(rules):
+    return {(r.s_targets, r.t_targets) for r in rules}
+
+
+class TestStreamedGeneratorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(pmtd_subsets())
+    def test_stream_equals_eager_reference(self, pmtds):
+        streamed = rule_keys(stream_rules_from_pmtds(pmtds))
+        eager = rule_keys(_rules_from_pmtds_eager(pmtds))
+        assert streamed == eager
+
+    @settings(max_examples=60, deadline=None)
+    @given(pmtd_subsets())
+    def test_subset_minimality(self, pmtds):
+        rules = list(stream_rules_from_pmtds(pmtds))
+        for rule in rules:
+            # within-rule: no target contains another same-kind target
+            for targets in (rule.s_targets, rule.t_targets):
+                assert not any(a < b for a in targets for b in targets)
+            # across rules: no surviving rule is no easier than another
+            assert not any(
+                other is not rule and rule.no_easier_than(other)
+                and (other.s_targets, other.t_targets)
+                != (rule.s_targets, rule.t_targets)
+                for other in rules
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(pmtd_subsets())
+    def test_deterministic_and_order_canonical(self, pmtds):
+        first = [r.label for r in stream_rules_from_pmtds(pmtds)]
+        again = [r.label for r in stream_rules_from_pmtds(pmtds)]
+        shuffled = list(pmtds)
+        random.Random(0).shuffle(shuffled)
+        reordered = [r.label for r in stream_rules_from_pmtds(shuffled)]
+        assert first == again == reordered
+
+    def test_reduce_rules_false_still_cartesian(self):
+        pool = pmtd_pool("path3")
+        raw = rules_from_pmtds(pool, reduce_rules=False)
+        assert len(raw) == 16  # 2*2*2*2*1, deduplicated
+
+
+class TestHangRegression:
+    """The fuzz path4 query must plan uncapped, fast, and lose nothing."""
+
+    def test_21_pmtds_plan_under_two_seconds_without_cap(self):
+        pmtds = list(pmtd_pool("fuzz_path4"))
+        assert len(pmtds) == 21
+        start = time.perf_counter()
+        full = rules_from_pmtds(pmtds)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0, f"streamed generation took {elapsed:.2f}s"
+        # the old cap threw tradeoff points away: the uncapped rule set
+        # strictly extends what any 10-PMTD truncation could produce
+        cqap = fuzz_path4_cqap()
+        db = path_database(4, 80, 25, seed=HANG_SEED)
+        model = CostModel(cqap, CatalogStatistics.from_database(cqap, db))
+        truncated = rules_from_pmtds(
+            order_pmtds_by_cost(pmtds, model)[:10])
+        assert len(full) > len(truncated)
+
+    def test_index_constructs_uncapped_within_budget_of_time(self):
+        cqap = fuzz_path4_cqap()
+        db = path_database(4, 80, 25, seed=HANG_SEED)
+        start = time.perf_counter()
+        index = CQAPIndex(cqap, db, db.size)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0, f"uncapped planning took {elapsed:.2f}s"
+        assert index.selection.mode == "budget"
+        assert index.rules
+        index.preprocess()
+        # answers must still match from-scratch evaluation
+        full = cqap.evaluate(db)
+        got = index.answer(())
+        assert got.project(cqap.head).tuples == \
+            full.project(cqap.head).tuples
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.cqap = k_path_cqap(3)
+        self.db = path_database(3, 200, 50, seed=3, skew_hubs=2)
+        self.model = CostModel(
+            self.cqap, CatalogStatistics.from_database(self.cqap, self.db))
+
+    def test_log_size_capped_by_distinct_counts(self):
+        from repro.query.hypergraph import varset
+
+        target = varset(("x1", "x4"))
+        cap = sum(
+            __import__("math").log2(self.model.stats.distinct_count(v))
+            for v in ("x1", "x4")
+        )
+        assert 0 <= self.model.log_size(target) <= cap + 1e-9
+
+    def test_binding_access_variables_never_costs_more(self):
+        from repro.query.hypergraph import varset
+
+        target = varset(("x1", "x2", "x4"))
+        assert self.model.log_size(target, bound=("x1", "x4")) <= \
+            self.model.log_size(target) + 1e-9
+
+    def test_rule_estimates_pick_cheapest_targets(self):
+        rules = rules_from_pmtds(
+            enumerate_pmtds(self.cqap, max_bags=3))
+        for rule in rules:
+            est = self.model.estimate_rule(rule)
+            if rule.s_targets:
+                assert est.s_target in rule.s_targets
+                assert all(self.model.s_space(t) >= est.s_space - 1e-9
+                           for t in rule.s_targets)
+            if rule.t_targets:
+                assert est.t_target in rule.t_targets
+
+    def test_pmtd_cost_order_is_deterministic(self):
+        pmtds = enumerate_pmtds(self.cqap, max_bags=3)
+        order1 = [tuple(p.labels) for p in
+                  order_pmtds_by_cost(pmtds, self.model)]
+        order2 = [tuple(p.labels) for p in
+                  order_pmtds_by_cost(list(reversed(pmtds)), self.model)]
+        assert order1 == order2
+
+
+class TestBudgetedSelection:
+    def setup_method(self):
+        self.cqap = k_path_cqap(3)
+        self.db = path_database(3, 200, 50, seed=7, skew_hubs=2)
+        self.pmtds = enumerate_pmtds(self.cqap, max_bags=3)
+        self.model = CostModel(
+            self.cqap, CatalogStatistics.from_database(self.cqap, self.db))
+
+    def test_selection_is_deterministic(self):
+        a = select_rules(self.pmtds, self.model, space_budget=self.db.size)
+        b = select_rules(list(reversed(self.pmtds)), self.model,
+                         space_budget=self.db.size)
+        assert [r.label for r in a.rules] == [r.label for r in b.rules]
+        assert a.estimated_space == b.estimated_space
+        assert a.estimated_time == b.estimated_time
+
+    def test_tight_budget_routes_online(self):
+        result = select_rules(self.pmtds, self.model, space_budget=2)
+        assert result.rules
+        # nothing fits in 2 tuples: no rule may take the S-route
+        assert all(est.route == "T" for est in result.estimates)
+        assert result.estimated_space <= 2
+
+    def test_rich_budget_materializes_something(self):
+        result = select_rules(self.pmtds, self.model,
+                              space_budget=10 ** 9)
+        assert any(est.route == "S" for est in result.estimates)
+        # and the rich point should probe faster than the tight point
+        tight = select_rules(self.pmtds, self.model, space_budget=2)
+        assert result.estimated_time <= tight.estimated_time + 1e-9
+
+    def test_never_selects_nothing(self):
+        result = select_rules(self.pmtds, self.model, space_budget=0)
+        assert result.pmtds and result.rules
+
+    def test_max_selected_caps_subset_size(self):
+        result = select_rules(self.pmtds, self.model,
+                              space_budget=10 ** 9, max_selected=2)
+        assert 1 <= len(result.pmtds) <= 2
+
+    def test_evaluate_rules_shares_s_targets(self):
+        rules = rules_from_pmtds(self.pmtds)
+        space, _, estimates, _ = evaluate_rules(rules, self.model, 10 ** 12)
+        paid = {est.s_target: est.s_space
+                for est in estimates if est.route == "S"}
+        assert space == pytest.approx(sum(paid.values()))
+
+    @pytest.mark.parametrize("budget_exp", [0.8, 1.0, 1.5])
+    def test_budget_mode_index_matches_scratch(self, budget_exp):
+        budget = int(self.db.size ** budget_exp)
+        index = CQAPIndex(self.cqap, self.db, budget,
+                          rule_selection="budget").preprocess()
+        rng = random.Random(int(budget_exp * 10))
+        full = self.cqap.evaluate(self.db)
+        hits = sorted(full.project(self.cqap.access).tuples)
+        for _ in range(20):
+            if hits and rng.random() < 0.5:
+                request = rng.choice(hits)
+            else:
+                request = (rng.randrange(50), rng.randrange(50))
+            got = index.answer(request)
+            expected = self.cqap.answer_from_scratch(
+                self.db, singleton_request(self.cqap.access, request))
+            assert got.project(self.cqap.head).tuples == expected.tuples
+
+    def test_square_budget_mode_matches_scratch(self):
+        from repro.query.catalog import square_cqap
+
+        cqap = square_cqap()
+        db = square_database(200, 40, seed=2, skew_hubs=2)
+        index = CQAPIndex(cqap, db, db.size,
+                          rule_selection="budget").preprocess()
+        rng = random.Random(4)
+        for _ in range(15):
+            request = (rng.randrange(40), rng.randrange(40))
+            got = index.answer(request)
+            expected = cqap.answer_from_scratch(
+                db, singleton_request(cqap.access, request))
+            assert got.project(cqap.head).tuples == expected.tuples
+
+
+class TestIndexSelectionModes:
+    def setup_method(self):
+        self.cqap = k_path_cqap(3)
+        self.db = path_database(3, 150, 40, seed=11)
+
+    def test_auto_keeps_all_rules_on_small_sets(self):
+        index = CQAPIndex(self.cqap, self.db, self.db.size)
+        assert index.selection.mode == "all"
+        assert len(index.rules) == 4  # Table 1
+
+    def test_auto_switches_to_budget_past_threshold(self):
+        index = CQAPIndex(self.cqap, self.db, self.db.size,
+                          auto_select_threshold=2)
+        assert index.selection.mode == "budget"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CQAPIndex(self.cqap, self.db, self.db.size,
+                      rule_selection="everything")
+
+    def test_invalid_mode_rejected_even_with_max_pmtds(self):
+        # the deprecated alias must not mask a rule_selection typo
+        with pytest.raises(ValueError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                CQAPIndex(self.cqap, self.db, self.db.size,
+                          rule_selection="bugdet", max_pmtds=2)
+
+    def test_max_pmtds_is_deprecated_and_deterministic(self):
+        with pytest.warns(DeprecationWarning, match="space_budget"):
+            index = CQAPIndex(self.cqap, self.db, self.db.size, max_pmtds=2)
+        with pytest.warns(DeprecationWarning):
+            again = CQAPIndex(self.cqap, self.db, self.db.size, max_pmtds=2)
+        kept = [tuple(p.labels) for p in index.pmtds]
+        assert kept == [tuple(p.labels) for p in again.pmtds]
+        # the alias layers on the budgeted selection: ≤ max_pmtds PMTDs,
+        # picked by estimated cost instead of enumeration-order luck
+        assert index.selection.mode == "budget"
+        assert 1 <= len(kept) <= 2
+        # and the capped index must still plan and answer at this budget
+        # (a plain cost-sorted prefix can strand an infeasible S-only rule)
+        index.preprocess()
+        assert index.answer_boolean((10 ** 9, 10 ** 9)) is False
+
+    def test_non_binding_max_pmtds_is_noop_beyond_the_warning(self):
+        with pytest.warns(DeprecationWarning):
+            capped = CQAPIndex(self.cqap, self.db, self.db.size,
+                               max_pmtds=50)
+        plain = CQAPIndex(self.cqap, self.db, self.db.size)
+        assert capped.selection.mode == plain.selection.mode == "all"
+        assert [r.label for r in capped.rules] == \
+            [r.label for r in plain.rules]
+
+    def test_max_pmtds_with_explicit_all_mode_truncates_by_cost(self):
+        with pytest.warns(DeprecationWarning):
+            index = CQAPIndex(self.cqap, self.db, self.db.size,
+                              rule_selection="all", max_pmtds=2)
+        assert index.selection.mode == "all"
+        expected = [tuple(p.labels) for p in order_pmtds_by_cost(
+            enumerate_pmtds(self.cqap, max_bags=3), index.cost_model)[:2]]
+        assert [tuple(p.labels) for p in index.pmtds] == expected
+
+    def test_stats_and_engine_expose_selection(self):
+        index = CQAPIndex(self.cqap, self.db, self.db.size).preprocess()
+        snap = index.stats.selection
+        assert snap["mode"] == "all"
+        assert snap["selected_rules"] == len(index.rules)
+        assert snap["estimated_space"] >= 0
+        pq = prepare(self.cqap, self.db, space_budget=self.db.size)
+        stats = pq.stats()
+        assert stats["selection"]["selected_rules"] == \
+            len(pq.selection.rules)
+        assert stats["selection"]["routes"]
+        assert "selection[" in pq.describe()
+
+    def test_deprecation_not_raised_without_max_pmtds(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            CQAPIndex(self.cqap, self.db, self.db.size)
