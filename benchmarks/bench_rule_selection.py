@@ -1,6 +1,6 @@
 """Budgeted rule selection: planning scalability + the budget knob's effect.
 
-Two experiments around ``repro.tradeoff.selection``:
+Three experiments around ``repro.tradeoff.selection``:
 
 * **planning scalability** — rule-generation time vs PMTD count on growing
   prefixes of the 21-PMTD fuzz path4 query (the ROADMAP hang).  The old
@@ -10,11 +10,16 @@ Two experiments around ``repro.tradeoff.selection``:
 * **probe latency vs budget** — the full engine (``prepare`` + probes) on
   3-reachability at tight/linear/rich space budgets with
   ``rule_selection="budget"``: more budget must never store fewer tuples,
-  and the rich point must not probe slower than the tight point.
+  and the rich point must not probe slower than the tight point;
+* **estimator accuracy** — estimated vs actually-stored S-target sizes
+  across several queries at a rich budget, priced twice: by the old
+  single-variable-degree baseline and by the upgraded model
+  (multi-variable degree keys + sampled join sizes).  The upgraded median
+  relative error must be no worse than the baseline's.
 
-``run_bench.py --selection`` reuses :func:`experiment` to emit
-``BENCH_selection.json`` so successive PRs can track planning time and the
-latency/space curve.
+``run_bench.py`` reuses :func:`experiment` to emit
+``BENCH_selection.json`` so successive PRs can track planning time, the
+latency/space curve, and estimator accuracy.
 """
 
 import math
@@ -28,10 +33,13 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from harness import print_table
 
-from repro.data import path_database
+from repro.core import CQAPIndex
+from repro.data import path_database, square_database, triangle_database
 from repro.decomposition.enumeration import enumerate_pmtds
 from repro.engine import prepare
-from repro.query.catalog import k_path_cqap
+from repro.query.catalog import k_path_cqap, square_cqap, triangle_cqap
+from repro.query.hypergraph import varset
+from repro.tradeoff.cost import CatalogStatistics, CostModel
 from repro.tradeoff.rules import _rules_from_pmtds_eager, rules_from_pmtds
 from repro.workloads.queries import random_cqap
 
@@ -125,11 +133,71 @@ def budget_experiment():
     return rows
 
 
+def _accuracy_workloads():
+    """(name, cqap, db, rich budget) rows the accuracy experiment prices."""
+    return [
+        ("path3", k_path_cqap(3),
+         path_database(3, N_EDGES, DOMAIN, seed=13, skew_hubs=3)),
+        ("square", square_cqap(),
+         square_database(800, 90, seed=5, skew_hubs=3)),
+        ("triangle", triangle_cqap(),
+         triangle_database(800, 90, seed=7)),
+    ]
+
+
+@lru_cache(maxsize=1)
+def estimator_experiment():
+    """Estimated vs actual stored tuples, single-variable baseline vs new.
+
+    Every materialized S-target at a rich budget is priced twice from the
+    *same* measured catalog: once with the multi-variable degree keys and
+    sampled join sizes disabled (the pre-upgrade estimator) and once with
+    the full model.  The actuals come from what preprocessing stored.
+    """
+    rows = []
+    for name, cqap, db in _accuracy_workloads():
+        stats = CatalogStatistics.from_database(cqap, db)
+        baseline = CostModel(cqap, stats, use_multivar_degrees=False,
+                             use_join_samples=False)
+        upgraded = CostModel(cqap, stats)
+        index = CQAPIndex(cqap, db, db.size ** 2 + 1,
+                          rule_selection="budget",
+                          statistics=stats).preprocess()
+        for key, actual in sorted(index.stats.s_view_tuples.items()):
+            target = varset(key.split("|"))
+            est_baseline = baseline.s_space(target)
+            est_upgraded = upgraded.s_space(target)
+            rows.append({
+                "query": name,
+                "target": key,
+                "actual": actual,
+                "estimated_baseline": est_baseline,
+                "estimated_upgraded": est_upgraded,
+                "rel_error_baseline":
+                    abs(est_baseline - actual) / max(1, actual),
+                "rel_error_upgraded":
+                    abs(est_upgraded - actual) / max(1, actual),
+            })
+
+    def median(values):
+        values = sorted(values)
+        return values[len(values) // 2] if values else None
+
+    return {
+        "targets": rows,
+        "median_rel_error_baseline":
+            median([r["rel_error_baseline"] for r in rows]),
+        "median_rel_error_upgraded":
+            median([r["rel_error_upgraded"] for r in rows]),
+    }
+
+
 def experiment():
     """Everything ``run_bench.py`` serializes into BENCH_selection.json."""
     return {
         "planning": planning_experiment(),
         "budget_sweep": budget_experiment(),
+        "estimator_accuracy": estimator_experiment(),
     }
 
 
@@ -152,6 +220,20 @@ def report():
           r["selected_rules"], f"{r['probes_per_sec']:.0f}",
           f"{r['prepare_seconds']:.3f}"]
          for r in results["budget_sweep"]],
+    )
+    accuracy = results["estimator_accuracy"]
+    print_table(
+        "estimator accuracy: estimated vs stored S-target tuples "
+        "(baseline = single-variable degrees only)",
+        ["query", "target", "actual", "est base", "est new",
+         "err base", "err new"],
+        [[r["query"], r["target"], r["actual"],
+          f"{r['estimated_baseline']:.0f}", f"{r['estimated_upgraded']:.0f}",
+          f"{r['rel_error_baseline']:.2f}", f"{r['rel_error_upgraded']:.2f}"]
+         for r in accuracy["targets"]]
+        + [["median", "", "", "", "",
+            f"{accuracy['median_rel_error_baseline']:.2f}",
+            f"{accuracy['median_rel_error_upgraded']:.2f}"]],
     )
     return results
 
@@ -178,6 +260,15 @@ def test_uncapped_rules_recover_truncated_tradeoffs():
     rows = planning_experiment()
     by_count = {r["pmtds"]: r["rules"] for r in rows}
     assert by_count[21] > by_count[10]
+
+
+def test_estimator_accuracy_no_worse_than_baseline():
+    accuracy = estimator_experiment()
+    assert accuracy["targets"], "no S-targets materialized to score"
+    # the acceptance bar: multi-variable degrees + sampled join sizes must
+    # not regress the median relative error of the single-variable model
+    assert accuracy["median_rel_error_upgraded"] <= \
+        accuracy["median_rel_error_baseline"] + 1e-9, accuracy
 
 
 def test_budget_grows_space_not_latency():

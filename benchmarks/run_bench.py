@@ -3,11 +3,20 @@
 Runs the ``bench_engine_serving`` experiment and writes ``BENCH_engine.json``
 (probes/sec, cache hit rate, prepare time, counter totals), plus the
 ``bench_rule_selection`` experiment into ``BENCH_selection.json`` (planning
-time vs PMTD count, probe latency vs space budget), so successive PRs have a
-perf trajectory to compare against instead of scraping stdout.
+time vs PMTD count, probe latency vs space budget, estimator accuracy), so
+successive PRs have a perf trajectory to compare against instead of
+scraping stdout.
+
+Every emitted JSON is stamped with provenance (``commit``, ``date``,
+``schema_version``) and validated against the expected schema *before*
+anything is written: a crashing benchmark leaves the previous files
+untouched and exits nonzero, so CI fails instead of uploading a stale
+file.  ``--validate FILE...`` re-checks already-emitted files (the CI
+benchmark-smoke job runs it before uploading artifacts).
 
 Run:  python benchmarks/run_bench.py [--out PATH] [--selection-out PATH]
                                      [--quiet]
+      python benchmarks/run_bench.py --validate BENCH_engine.json ...
 """
 
 from __future__ import annotations
@@ -15,13 +24,83 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-SCHEMA_VERSION = 1
+#: bumped with every incompatible payload change; v2 added the provenance
+#: stamp and the rule-selection estimator-accuracy section
+SCHEMA_VERSION = 2
+
+#: top-level keys every emitted payload must carry
+REQUIRED_KEYS = ("schema_version", "commit", "date", "benchmark",
+                 "python", "workload", "metrics")
+
+#: required metrics sub-keys per benchmark name
+REQUIRED_METRICS = {
+    "engine_serving": ("prepare_seconds", "warm_probes_per_sec",
+                       "cached_probes_per_sec", "cache_hit_rate"),
+    "rule_selection": ("planning", "budget_sweep", "estimator_accuracy"),
+}
+
+
+def provenance() -> dict:
+    """The {commit, date, schema_version} stamp shared by every payload.
+
+    A dirty working tree gets a ``-dirty`` suffix: results regenerated
+    before committing would otherwise attribute their metrics to the
+    parent commit, which is exactly the mis-attribution the stamp exists
+    to prevent.
+    """
+    root = Path(__file__).resolve().parent.parent
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+            check=True,
+        ).stdout.strip()
+        if status:
+            commit += "-dirty"
+    except Exception:
+        commit = "unknown"
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "commit": commit,
+        "date": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+def validate_payload(payload: dict) -> list:
+    """Schema problems of one payload (empty list = valid)."""
+    problems = []
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"missing key {key!r}")
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {payload.get('schema_version')!r} != "
+            f"{SCHEMA_VERSION}"
+        )
+    benchmark = payload.get("benchmark")
+    if benchmark not in REQUIRED_METRICS:
+        problems.append(f"unknown benchmark {benchmark!r}")
+        return problems
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics is not an object")
+        return problems
+    for key in REQUIRED_METRICS[benchmark]:
+        if key not in metrics:
+            problems.append(f"metrics missing {key!r} for {benchmark}")
+    return problems
 
 
 def collect(quiet: bool = False) -> dict:
@@ -32,9 +111,8 @@ def collect(quiet: bool = False) -> dict:
     metrics = {k: v for k, v in results.items()
                if not k.startswith("prepared")}
     return {
-        "schema_version": SCHEMA_VERSION,
+        **provenance(),
         "benchmark": "engine_serving",
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "workload": {
             "query": "path3",
@@ -54,19 +132,62 @@ def collect_selection(quiet: bool = False) -> dict:
 
     results = bench.experiment() if quiet else bench.report()
     return {
-        "schema_version": SCHEMA_VERSION,
+        **provenance(),
         "benchmark": "rule_selection",
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "workload": {
             "planning_query": f"fuzz_path_{bench.HANG_SEED} (21 PMTDs)",
             "budget_query": "path3",
+            "accuracy_queries": [name for name, _, _
+                                 in bench._accuracy_workloads()],
             "n_edges": bench.N_EDGES,
             "domain": bench.DOMAIN,
             "probes": bench.N_PROBES,
         },
         "metrics": results,
     }
+
+
+def _write_all_validated(outputs) -> None:
+    """Validate every (payload, path) pair, then write them all.
+
+    Validation of *all* payloads strictly precedes the first write, so a
+    schema failure in any benchmark leaves every trajectory file exactly
+    as it was — no torn engine-updated/selection-stale state.
+    """
+    outputs = list(outputs)
+    for payload, path in outputs:
+        problems = validate_payload(payload)
+        if problems:
+            raise SystemExit(
+                f"refusing to write {path}: schema validation failed: "
+                + "; ".join(problems)
+            )
+    for payload, path in outputs:
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n")
+
+
+def validate_files(paths) -> int:
+    """Exit code of the --validate mode: 0 iff every file checks out."""
+    failures = 0
+    for path in paths:
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"INVALID {path}: {exc}")
+            failures += 1
+            continue
+        problems = validate_payload(payload)
+        if problems:
+            print(f"INVALID {path}: " + "; ".join(problems))
+            failures += 1
+        else:
+            print(f"ok {path}: {payload['benchmark']} schema v"
+                  f"{payload['schema_version']}, commit "
+                  f"{payload['commit'][:12]}, {payload['date']}")
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:
@@ -82,26 +203,40 @@ def main(argv=None) -> int:
                              "repo-root BENCH_selection.json)")
     parser.add_argument("--quiet", action="store_true",
                         help="skip the human-readable table")
+    parser.add_argument("--validate", nargs="+", metavar="FILE",
+                        help="validate already-emitted JSON files instead "
+                             "of running benchmarks; exits 1 on schema "
+                             "violations")
     args = parser.parse_args(argv)
 
+    if args.validate:
+        return validate_files(args.validate)
+
+    # collect and validate *both* payloads before writing either: neither
+    # a crash in the second benchmark nor a schema failure in one payload
+    # may leave a half-updated trajectory on disk
     payload = collect(quiet=args.quiet)
-    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    selection = collect_selection(quiet=args.quiet)
+    _write_all_validated([(payload, args.out),
+                          (selection, args.selection_out)])
+
     m = payload["metrics"]
     print(f"wrote {args.out}: prepare {m['prepare_seconds'] * 1e3:.0f} ms, "
           f"{m['warm_probes_per_sec']:.0f} warm probes/s, "
           f"{m['cached_probes_per_sec']:.0f} cached probes/s, "
           f"cache hit rate {m['cache_hit_rate']:.0%}", flush=True)
 
-    selection = collect_selection(quiet=args.quiet)
-    args.selection_out.write_text(
-        json.dumps(selection, indent=2, sort_keys=True) + "\n")
     planning = selection["metrics"]["planning"][-1]
     sweep = selection["metrics"]["budget_sweep"]
+    accuracy = selection["metrics"]["estimator_accuracy"]
     print(f"wrote {args.selection_out}: "
           f"{planning['pmtds']}-PMTD planning "
           f"{planning['streamed_seconds'] * 1e3:.0f} ms, "
           f"budget sweep {sweep[0]['probes_per_sec']:.0f} -> "
-          f"{sweep[-1]['probes_per_sec']:.0f} probes/s", flush=True)
+          f"{sweep[-1]['probes_per_sec']:.0f} probes/s, "
+          f"estimator median rel err "
+          f"{accuracy['median_rel_error_baseline']:.2f} -> "
+          f"{accuracy['median_rel_error_upgraded']:.2f}", flush=True)
     return 0
 
 

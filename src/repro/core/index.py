@@ -51,6 +51,7 @@ from repro.query.constraints import ConstraintSet
 from repro.query.cq import CQAP
 from repro.query.hypergraph import VarSet
 from repro.tradeoff.cost import CatalogStatistics, CostModel, order_pmtds_by_cost
+from repro.tradeoff.joint_flow import SizeBoundOracle
 from repro.tradeoff.rules import TwoPhaseRule, rules_from_pmtds
 from repro.tradeoff.selection import SelectionResult, keep_all_rules, select_rules
 from repro.util.counters import Counters
@@ -67,6 +68,12 @@ class IndexStats:
     plans: List[str] = field(default_factory=list)
     #: rule-selection summary (mode, chosen rules, estimated space/time)
     selection: Dict = field(default_factory=dict)
+    #: catalog-statistics summary (degree-key counts, join-sample sizes,
+    #: LP-bound usage)
+    statistics: Dict = field(default_factory=dict)
+    #: estimator accuracy measured after preprocess: estimated vs actual
+    #: stored size per materialized S-target
+    estimate_error: Dict = field(default_factory=dict)
 
 
 class CQAPIndex:
@@ -96,12 +103,17 @@ class CQAPIndex:
         self.cqap = cqap
         self.db = db
         self.space_budget = float(space_budget)
+        # statistics depend only on (cqap, db): callers sweeping budgets
+        # over one database should measure once and pass them in
+        if statistics is None:
+            statistics = CatalogStatistics.from_database(cqap, db)
         if dc is None and measure_degrees:
-            from repro.query.constraints import measured_constraints
+            from repro.query.constraints import constraints_from_statistics
 
-            dc = measured_constraints(
-                db, [(a.relation, a.variables) for a in cqap.atoms]
-            )
+            # the catalog already measured every single- and multi-variable
+            # degree key: feed exactly those to the planner's LP instead of
+            # re-scanning the relations
+            dc = constraints_from_statistics(statistics)
         if pmtds is None:
             try:
                 pmtds = enumerate_pmtds(cqap, max_bags=max_bags)
@@ -110,13 +122,18 @@ class CQAPIndex:
             if not pmtds:
                 pmtds = trivial_pmtds(cqap)
         self.pmtds: List[PMTD] = list(pmtds)
-        # statistics depend only on (cqap, db): callers sweeping budgets
-        # over one database should measure once and pass them in
-        if statistics is None:
-            statistics = CatalogStatistics.from_database(cqap, db)
         self.cost_model = CostModel(
             cqap, statistics, request_size=request_size,
         )
+        # the planner exists before selection so budgeted selection can
+        # blend the planner's own degree-constraint LP bounds into its
+        # final ranking (SizeBoundOracle caches per-target solves)
+        self.planner = TwoPhasePlanner(
+            cqap, db, space_budget, dc=dc, ac=ac,
+            request_size=request_size, max_splits=max_splits,
+            threshold_scale=threshold_scale,
+        )
+        self._lp_oracle = SizeBoundOracle(self.planner.program)
         if rule_selection not in ("auto", "all", "budget"):
             raise ValueError(
                 f"rule_selection must be 'auto', 'all', or 'budget', "
@@ -162,6 +179,7 @@ class CQAPIndex:
                 space_budget=self.space_budget,
                 beam_width=beam_width,
                 max_selected=max_selected_pmtds,
+                lp_oracle=self._lp_oracle,
             )
             self.pmtds = self.selection.pmtds
         else:
@@ -170,11 +188,6 @@ class CQAPIndex:
                 space_budget=self.space_budget,
             )
         self.rules: List[TwoPhaseRule] = self.selection.rules
-        self.planner = TwoPhasePlanner(
-            cqap, db, space_budget, dc=dc, ac=ac,
-            request_size=request_size, max_splits=max_splits,
-            threshold_scale=threshold_scale,
-        )
         self.executor = TwoPhaseExecutor(cqap, budget_slack=budget_slack)
         self.plans: List[RulePlan] = []
         self._s_targets: Dict[VarSet, Relation] = {}
@@ -209,6 +222,10 @@ class CQAPIndex:
             # (PreparedQuery.replanned) snapshots the counters *after*
             # prepare, so the retry never reads as per-probe re-planning
             try:
+                # the retry gets its own LP-solve allowance: the initial
+                # selection may have spent the cap, and this is the pass
+                # that just learned the estimates were wrong
+                self._lp_oracle.reset_budget()
                 self.selection = select_rules(
                     self._selection_pool,
                     self.cost_model,
@@ -216,6 +233,7 @@ class CQAPIndex:
                     beam_width=self._beam_width,
                     max_selected=self._max_selected_pmtds,
                     require_online_fallback=True,
+                    lp_oracle=self._lp_oracle,
                 )
             except ValueError as exc:
                 # keep the error contract: callers (and the differential
@@ -241,11 +259,54 @@ class CQAPIndex:
             "|".join(sorted(schema)): len(rel)
             for schema, rel in self._s_targets.items()
         }
-        self.stats.preprocess_counters = ctr.snapshot()
         self.stats.plans = [plan.describe() for plan in self.plans]
         self.stats.selection = self.selection.snapshot()
+        self.stats.statistics = {
+            **self.cost_model.stats.snapshot(),
+            "lp_bounds": self._lp_oracle.snapshot(),
+        }
+        self.stats.estimate_error = self._measure_estimate_error()
+        self.stats.preprocess_counters = ctr.snapshot()
         self._ready = True
         return self
+
+    def _measure_estimate_error(self) -> Dict:
+        """Estimated vs measured S-target sizes (the estimate_error counter).
+
+        For every materialized S-target, compares the size the cost model
+        predicted (the selection's routed estimate when the target was
+        chosen by selection, the model's direct estimate otherwise)
+        against the tuple count preprocessing actually stored.  The median
+        relative error is what the benchmark trajectory tracks.
+        """
+        predicted: Dict[VarSet, float] = {}
+        for est in self.selection.estimates:
+            if est.route == "S" and est.s_target is not None:
+                predicted.setdefault(est.s_target, est.s_space)
+        targets = []
+        for target, relation in sorted(
+                self._s_targets.items(),
+                key=lambda item: tuple(sorted(item[0]))):
+            estimated = predicted.get(target)
+            if estimated is None:
+                # the planner picked a different target than selection's
+                # cheapest: price it the same way selection would have
+                estimated = self.cost_model.s_space(target)
+            actual = len(relation)
+            targets.append({
+                "target": "|".join(sorted(target)),
+                "estimated": estimated,
+                "actual": actual,
+                "relative_error": abs(estimated - actual) / max(1, actual),
+            })
+        errors = sorted(t["relative_error"] for t in targets)
+        median = errors[len(errors) // 2] if errors else None
+        return {
+            "checks": len(targets),
+            "targets": targets,
+            "median_relative_error": median,
+            "max_relative_error": errors[-1] if errors else None,
+        }
 
     def _plan_and_materialize(self, ctr: Counters) -> None:
         """Plan the selected rules and materialize their S-targets."""

@@ -241,6 +241,11 @@ class PreparedQuery:
             "stored_tuples": self.stored_tuples,
             "predicted_log_time": self.predicted_log_time,
             "selection": self._index.selection.snapshot(),
+            # catalog statistics (degree keys, join samples, LP-bound
+            # usage) plus estimated-vs-actual S-target sizes, both frozen
+            # at prepare time
+            "statistics": self._index.stats.statistics,
+            "estimate_error": self._index.stats.estimate_error,
             "plan_calls": self._index.planner.plan_calls,
             "preprocess_runs": self._index.executor.preprocess_runs,
             "compile_runs": self._index.executor.compile_runs,

@@ -93,6 +93,29 @@ class LinearProgram:
         self._objective = dict(self._row(coeffs))
         self._maximize = maximize
 
+    def clone(self) -> "LinearProgram":
+        """A copy safe to extend without mutating this program.
+
+        Rows are append-only (``add_le``/``add_ge``/``add_eq`` build fresh
+        dicts and never mutate existing ones), so cloning shares the row
+        dicts and copies only the list/scalar containers.  This makes
+        solve-many-variants workflows — the size-bound oracle adds a
+        target row and an objective per query on top of one polymatroid
+        cone — cheap: the cone is built once and cloned per solve.
+        """
+        new = LinearProgram()
+        new._var_index = dict(self._var_index)
+        new._lower = list(self._lower)
+        new._upper = list(self._upper)
+        new._rows_ub = list(self._rows_ub)
+        new._rhs_ub = list(self._rhs_ub)
+        new._names_ub = list(self._names_ub)
+        new._rows_eq = list(self._rows_eq)
+        new._rhs_eq = list(self._rhs_eq)
+        new._objective = dict(self._objective)
+        new._maximize = self._maximize
+        return new
+
     # ------------------------------------------------------------------
     def solve(self) -> LPSolution:
         """Run HiGHS and translate the result."""

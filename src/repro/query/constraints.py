@@ -203,6 +203,31 @@ def cardinalities_from_database(db, atoms) -> ConstraintSet:
     return dc
 
 
+def constraints_from_statistics(stats) -> ConstraintSet:
+    """DC rebuilt from already-measured catalog statistics.
+
+    ``stats`` is a :class:`repro.tradeoff.cost.CatalogStatistics` (duck-
+    typed to keep the layering acyclic): every atom contributes its
+    cardinality constraint plus one degree constraint per measured key —
+    the single-variable max degrees and the multi-variable set-degree
+    keys.  This is the same information :func:`measured_constraints`
+    gathers, but free (the cost model has already paid for the passes) and
+    including the variable-*set* keys the cost model measures, so the
+    planner's LP and the selection estimates read from one catalog.
+    """
+    dc = ConstraintSet()
+    for atom in stats.atoms:
+        variables = tuple(atom.variables)
+        dc.add_cardinality(variables, atom.cardinality)
+        for var, degree in atom.degrees:
+            if len(variables) > 1:
+                dc.add_degree((var,), variables, max(1, degree))
+        for key, degree in getattr(atom, "set_degrees", ()):
+            if len(key) < len(variables):
+                dc.add_degree(key, variables, max(1, degree))
+    return dc
+
+
 def measured_constraints(db, atoms, max_key_size: int = 2) -> ConstraintSet:
     """DC with cardinalities plus *measured* degree constraints.
 

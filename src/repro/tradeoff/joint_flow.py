@@ -81,6 +81,10 @@ class JointFlowProgram:
         self.sc: List[SplitConstraint] = (
             list(sc) if sc is not None else dc.split_constraints()
         )
+        #: cached cone+constraints base per phase for log_size_bound —
+        #: the cone is by far the largest part of the LP and is identical
+        #: across every target queried at the same phase
+        self._size_bound_base: Dict[str, LinearProgram] = {}
 
     # ------------------------------------------------------------------
     # LP construction helpers
@@ -183,19 +187,27 @@ class JointFlowProgram:
         constraints (the DC(j) of split steps).  No split coupling applies —
         this is the single-polymatroid bound.
         """
-        constraints = self.dc if phase == "S" else self.dc_ac
-        if extra is not None:
-            constraints = constraints.union(extra)
-        lp = LinearProgram()
         tag = "h"
-        add_polymatroid_constraints(lp, self.space, lambda m: (tag, m))
-        for c in constraints:
-            if math.isinf(c.bound):
-                continue
-            coeffs = {(tag, self._mask(c.y)): 1.0}
-            if c.x:
-                coeffs[(tag, self._mask(c.x))] = -1.0
-            lp.add_le(coeffs, c.log_bound)
+
+        def constraint_rows(lp: LinearProgram, constraints) -> None:
+            for c in constraints:
+                if math.isinf(c.bound):
+                    continue
+                coeffs = {(tag, self._mask(c.y)): 1.0}
+                if c.x:
+                    coeffs[(tag, self._mask(c.x))] = -1.0
+                lp.add_le(coeffs, c.log_bound)
+
+        base = self._size_bound_base.get(phase)
+        if base is None:
+            base = LinearProgram()
+            add_polymatroid_constraints(base, self.space,
+                                        lambda m: (tag, m))
+            constraint_rows(base, self.dc if phase == "S" else self.dc_ac)
+            self._size_bound_base[phase] = base
+        lp = base.clone()
+        if extra is not None:
+            constraint_rows(lp, extra)
         lp.variable("w", lower=0.0)
         for b in targets:
             lp.add_ge({(tag, self._mask(b)): 1.0, "w": -1.0}, 0.0)
@@ -257,6 +269,66 @@ class JointFlowProgram:
         if not solution.is_optimal:
             return False
         return solution.objective <= tolerance
+
+
+class SizeBoundOracle:
+    """Cached single-phase polymatroid size bounds for selection feedback.
+
+    Wraps a :class:`JointFlowProgram` (typically the planner's own, so the
+    bounds selection sees are exactly the bounds planning will enforce)
+    and memoizes ``log_size_bound`` per (target, phase).  ``max_solves``
+    caps the number of fresh LP solves one selection may trigger: past the
+    cap unknown targets answer ``+inf`` (no clamp) and are counted as
+    skips, so beam refinement stays O(beam width), never O(pool).
+    """
+
+    def __init__(self, program: JointFlowProgram,
+                 max_solves: int = 32) -> None:
+        self.program = program
+        self.max_solves = max_solves
+        self.solves = 0
+        self.skips = 0
+        self._pass_start = 0
+        self._cache: Dict[Tuple[VarSet, str], float] = {}
+
+    def reset_budget(self) -> None:
+        """Grant the next selection pass a fresh ``max_solves`` allowance.
+
+        The cache and the cumulative counters are kept.  Callers sharing
+        one oracle across selection passes (the preprocess re-selection
+        backstop does) must call this between passes, otherwise a pass
+        that exhausted the cap starves the retry of every fresh bound —
+        the very pass that just learned the estimates were wrong.
+        """
+        self._pass_start = self.solves
+
+    def _bound(self, target: VarSet, phase: str) -> float:
+        key = (target, phase)
+        if key not in self._cache:
+            if self.solves - self._pass_start >= self.max_solves:
+                self.skips += 1
+                return math.inf
+            self.solves += 1
+            self._cache[key] = self.program.log_size_bound([target],
+                                                           phase=phase)
+        return self._cache[key]
+
+    def log_s_bound(self, target: VarSet) -> float:
+        """Provable log₂ bound on materializing ``target`` (DC only)."""
+        return self._bound(target, "S")
+
+    def log_t_bound(self, target: VarSet) -> float:
+        """Provable log₂ bound on the online ``target`` (DC ∪ AC)."""
+        return self._bound(target, "T")
+
+    def snapshot(self) -> Dict:
+        """JSON-friendly usage summary for selection/stats reporting."""
+        return {
+            "lp_solves": self.solves,
+            "lp_solves_skipped": self.skips,
+            "cached_bounds": len(self._cache),
+            "max_solves": self.max_solves,
+        }
 
 
 def for_cqap(cqap, db=None, request_size: float = 1,

@@ -19,12 +19,25 @@ cost model route every rule:
 * otherwise it takes its cheapest **T-route** and its estimated online
   cost lands on the probe-time side of the ledger.
 
+Routing is *monotone in the budget*: the first S-candidate that fails the
+budget check freezes the paying prefix, so a rule routed S at budget B is
+routed S at every budget B' ≥ B (the route-stability invariant the
+differential harness asserts; see :func:`evaluate_rules`).
+
 Candidates are ranked (feasible first, then estimated probe time, then
 space, then a label tie-break), so equal inputs always select the same
 rules.  The search never returns an empty selection: when nothing fits
-the budget the cheapest-space candidate is kept and flagged
-``over_budget`` — the planner's own abort paths stay the hard backstop,
-mirroring ``budget_slack`` elsewhere.
+the budget the *cheapest-space* candidate is kept and flagged
+``over_budget`` — over-budget candidates rank by space before time, since
+the planner's own abort paths (the backstop that over-budget selections
+lean on) pay in space, mirroring ``budget_slack`` elsewhere.
+
+When a ``lp_oracle`` (:class:`~repro.tradeoff.joint_flow.SizeBoundOracle`
+over the planner's own degree-constraint LP) is supplied, the candidates
+the final beam kept — never the whole pool — are re-priced with estimates
+clamped to the provable polymatroid bounds, so an estimate that
+contradicts a bound loses; the blend is exposed in
+:meth:`SelectionResult.snapshot` under ``"lp_blend"``.
 """
 
 from __future__ import annotations
@@ -58,6 +71,8 @@ class SelectionResult:
     candidate_pmtds: int            # size of the pool selection drew from
     considered_subsets: int = 1
     over_budget: bool = False
+    #: LP-bound blend summary (None when selection ran estimates-only)
+    lp_blend: Optional[Dict] = None
 
     def snapshot(self) -> Dict:
         """JSON-friendly summary for lifecycle counters / stats()."""
@@ -73,6 +88,7 @@ class SelectionResult:
             "estimated_time": self.estimated_time,
             "considered_subsets": self.considered_subsets,
             "over_budget": self.over_budget,
+            "lp_blend": self.lp_blend,
         }
 
     def describe(self) -> str:
@@ -80,7 +96,8 @@ class SelectionResult:
                 f"{self.candidate_pmtds} PMTDs, {len(self.rules)} rules, "
                 f"~{self.estimated_space:.3g} tuples, "
                 f"~{self.estimated_time:.3g} probe cost"
-                + (" (over budget)" if self.over_budget else ""))
+                + (" (over budget)" if self.over_budget else "")
+                + (" (lp-blended)" if self.lp_blend else ""))
 
 
 def evaluate_rules(rules: Sequence[TwoPhaseRule], model: CostModel,
@@ -92,6 +109,24 @@ def evaluate_rules(rules: Sequence[TwoPhaseRule], model: CostModel,
     stored, S-only rules first since they have no online fallback).
     Returns ``(estimated_space, estimated_time, routed_estimates,
     over_budget)`` with ``routed_estimates`` back in input order.
+
+    Two ledgers run side by side: the *optimistic* one accumulates the
+    cost model's estimated S-target sizes (this is ``estimated_space``),
+    and a *worst-case* one accumulates the pessimistic sizes of the forced
+    (S-only) rules, which have no online phase to abort to.  The selection
+    is flagged ``over_budget`` when either total exceeds the budget — N
+    forced rules that each fit individually can still sink the candidate
+    collectively.
+
+    Routing is monotone in the budget: optional rules are visited in a
+    budget-independent order and the first one that fails the budget check
+    freezes the paying prefix (later rules may still ride a target that is
+    already paid for, which consumes no budget).  Skipping the failure and
+    packing later, smaller targets would fill tight budgets slightly
+    better, but makes routes flap as the budget moves — a rule could be
+    routed S at a small budget and T at a larger one.  With the frozen
+    prefix the S-routed set grows monotonically with the budget, which is
+    the route-stability invariant the differential sweep asserts.
     """
     estimates = [model.estimate_rule(rule) for rule in rules]
     forced = [e for e in estimates if e.t_target is None]
@@ -100,33 +135,42 @@ def evaluate_rules(rules: Sequence[TwoPhaseRule], model: CostModel,
     optional.sort(key=lambda e: (-(e.t_time - S_PROBE_COST)
                                  / max(e.s_space, 1.0), e.rule.label))
     space = 0.0
+    worst_space = 0.0
     time = 0.0
     over = False
     paid: Dict[FrozenSet, float] = {}
     routed: Dict[TwoPhaseRule, RuleEstimate] = {}
     for est in forced:
-        extra = 0.0 if est.s_target in paid else est.s_space
-        space += extra
-        paid[est.s_target] = est.s_space
+        if est.s_target not in paid:
+            space += est.s_space
+            # forced rules have no online fallback: the worst-case ledger
+            # accumulates their pessimistic sizes (tracking the planner's
+            # worst-case bounds), deduplicated per target like the
+            # optimistic one
+            worst_space += est.s_space_worst
+            paid[est.s_target] = est.s_space
         time += S_PROBE_COST
         routed[est.rule] = est.routed("S")
-        # a forced rule has no online fallback: judge it by its
-        # pessimistic size, which tracks the planner's worst-case bounds
-        if space_budget is not None and est.s_space_worst > space_budget:
-            over = True
-    if space_budget is not None and space > space_budget:
+    if space_budget is not None and (space > space_budget
+                                     or worst_space > space_budget):
         over = True
+    blocked = False
     for est in optional:
-        extra = (0.0 if est.s_target is None or est.s_target in paid
-                 else est.s_space)
-        fits = (est.s_target is not None
-                and (space_budget is None or space + extra <= space_budget))
-        if fits and S_PROBE_COST <= est.t_time:
-            space += extra
-            paid[est.s_target] = est.s_space
+        worth = est.s_target is not None and S_PROBE_COST <= est.t_time
+        shared = worth and est.s_target in paid
+        fits = (space_budget is None
+                or space + est.s_space <= space_budget)
+        if worth and (shared or (not blocked and fits)):
+            if not shared:
+                space += est.s_space
+                paid[est.s_target] = est.s_space
             time += S_PROBE_COST
             routed[est.rule] = est.routed("S")
         else:
+            if worth and not shared and not blocked and not fits:
+                # first budget failure freezes the paying prefix (see
+                # docstring: this is what makes routing monotone)
+                blocked = True
             time += est.t_time
             routed[est.rule] = est.routed("T")
     return space, time, [routed[rule] for rule in rules], over
@@ -147,7 +191,13 @@ class _Candidate:
 
     @property
     def rank(self) -> Tuple:
-        return (self.over_budget, self.time, self.space, self.order_key)
+        if self.over_budget:
+            # nothing fits: keep the candidate that overshoots the budget
+            # the least — the planner backstop these selections lean on
+            # pays in space, so space outranks probe time here (this is
+            # the documented "cheapest-space candidate is kept" contract)
+            return (True, self.space, self.time, self.order_key)
+        return (False, self.time, self.space, self.order_key)
 
 
 def _evaluate_subset(indices: FrozenSet[int], pool: Sequence[PMTD],
@@ -162,11 +212,22 @@ def _evaluate_subset(indices: FrozenSet[int], pool: Sequence[PMTD],
                       order_key)
 
 
+def _reprice(candidate: _Candidate, model: CostModel,
+             space_budget: Optional[float]) -> _Candidate:
+    """The same subset re-priced under a (differently clamped) model."""
+    space, time, estimates, over = evaluate_rules(candidate.rules, model,
+                                                  space_budget)
+    time += PMTD_OVERHEAD * len(candidate.pmtds)
+    return _Candidate(candidate.indices, candidate.pmtds, candidate.rules,
+                      estimates, space, time, over, candidate.order_key)
+
+
 def select_rules(pmtds: Sequence[PMTD], model: CostModel,
                  space_budget: Optional[float] = None,
                  beam_width: int = 3,
                  max_selected: Optional[int] = None,
-                 require_online_fallback: bool = False) -> SelectionResult:
+                 require_online_fallback: bool = False,
+                 lp_oracle=None) -> SelectionResult:
     """Beam-select the PMTD subset whose rule set probes fastest in budget.
 
     Seeds with every single PMTD, then grows the ``beam_width`` best
@@ -179,6 +240,12 @@ def select_rules(pmtds: Sequence[PMTD], model: CostModel,
     rule set contains an S-only rule — the retry mode
     :meth:`CQAPIndex.preprocess` uses when the planner proves such a rule
     infeasible at the budget despite the estimates.
+
+    ``lp_oracle`` enables the LP-bound blend: the finalists the beam kept
+    are re-priced with estimates clamped to the planner's provable
+    polymatroid bounds and re-ranked, so a finalist whose estimates
+    contradict a provable bound loses.  Only finalist targets are solved
+    (cached, capped by the oracle), keeping the LP out of the search loop.
     """
     pool = list(pmtds)
     if not pool:
@@ -232,6 +299,21 @@ def select_rules(pmtds: Sequence[PMTD], model: CostModel,
         beam = grown[:max(1, beam_width)]
         best = beam[0]
 
+    lp_blend = None
+    if lp_oracle is not None:
+        blended_model = model.with_bound_oracle(lp_oracle)
+        finalists = [_reprice(c, blended_model, space_budget) for c in beam]
+        finalists.sort(key=lambda c: c.rank)
+        winner = finalists[0]
+        lp_blend = {
+            "finalists": len(finalists),
+            "winner_changed": winner.indices != best.indices,
+            "estimates_clamped": sum(1 for e in winner.estimates
+                                     if e.lp_clamped),
+            **lp_oracle.snapshot(),
+        }
+        best = winner
+
     return SelectionResult(
         mode="budget",
         pmtds=best.pmtds,
@@ -243,6 +325,7 @@ def select_rules(pmtds: Sequence[PMTD], model: CostModel,
         candidate_pmtds=len(pool),
         considered_subsets=len(seen),
         over_budget=best.over_budget,
+        lp_blend=lp_blend,
     )
 
 

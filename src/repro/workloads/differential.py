@@ -23,6 +23,11 @@ scenario, and every index is built through the budget-aware rule-selection
 pipeline (``rule_selection="auto"``; no ``max_pmtds`` cap — large PMTD
 sets go through the beam selection instead of being truncated), so every
 budget setting of the selection subsystem is fuzzed against the oracle.
+The sweep additionally asserts the selection ledger's *route-stability*
+invariant: re-routing each preprocessed index's rule set across the
+sorted budgets, a rule routed S under budget B must stay routed S under
+every B' ≥ B (``repro.tradeoff.selection.evaluate_rules`` freezes its
+paying prefix precisely to guarantee this).
 
 A scenario that fails is reproducible from its seed alone: every recorded
 disagreement carries the seed, the binding, the tuple diff, and a ready-to-
@@ -270,6 +275,36 @@ def run_scenario(workload: Workload,
                     seed, "index_rich.answer_batch",
                     f"raised {exc!r}", repro,
                 ))
+
+    # -- route-stability invariant of the selection ledger --------------
+    # re-route each preprocessed index's selected rule set across the
+    # sorted budget sweep: the S-routed set must grow monotonically with
+    # the budget (a rule routed S at B stays S at B' >= B)
+    from repro.tradeoff.selection import evaluate_rules
+
+    sweep = sorted(scenario_budgets(db).values())
+    for path, index in indexes.items():
+        try:
+            previous = None
+            for budget in sweep:
+                _, _, routed, _ = evaluate_rules(
+                    index.selection.rules, index.cost_model, budget
+                )
+                s_routed = {est.rule.label for est in routed
+                            if est.route == "S"}
+                outcome.comparisons += 1
+                if previous is not None and not previous <= s_routed:
+                    outcome.disagreements.append(Disagreement(
+                        seed, f"{path}.route_stability",
+                        f"rules {sorted(previous - s_routed)} lost their "
+                        f"S-route when the budget grew to {budget:g}",
+                        repro,
+                    ))
+                previous = s_routed
+        except Exception as exc:
+            outcome.disagreements.append(Disagreement(
+                seed, f"{path}.route_stability", f"raised {exc!r}", repro,
+            ))
 
     # -- paths 5-6: the serving engine over the prepared indexes --------
     probe_index = (indexes.get("index_lean") or indexes.get("index_medium")

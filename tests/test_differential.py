@@ -65,12 +65,17 @@ class TestDifferentialHarness:
         outcome = run_scenario(make_workload(TIER1_SEED))
         assert outcome.ok
         # every non-skipped path checked every unique binding, plus the
-        # one answer_batch union check on the rich index
+        # one answer_batch union check on the rich index, plus the
+        # 3-budget route-stability sweep on every preprocessed index
         unique = len({tuple(b) for b in outcome.workload.probes})
         skipped = {path for path, _ in outcome.skips}
         ran = len(PATHS) - len(skipped)
         batch_checks = 0 if "index_rich" in skipped else 1
-        assert outcome.comparisons == ran * unique + batch_checks
+        index_paths = ("index_lean", "index_medium", "index_rich")
+        stability_checks = 3 * sum(1 for p in index_paths
+                                   if p not in skipped)
+        assert outcome.comparisons == \
+            ran * unique + batch_checks + stability_checks
 
     def test_harness_catches_injected_corruption(self):
         """The tester is itself tested: a corrupted path must be flagged."""

@@ -144,6 +144,37 @@ class TestPreparedQuery:
         assert "cache" in payload
 
 
+class TestStatisticsAndEstimateErrorBlocks:
+    def test_stats_surface_catalog_statistics(self):
+        cqap, db = reach3_setup(n_edges=200, domain=40)
+        pq = prepare(cqap, db, space_budget=db.size)
+        block = pq.stats()["statistics"]
+        assert block["atoms"] == 3
+        assert block["single_degree_keys"] == 6
+        assert block["join_samples"] == 2
+        assert "lp_solves" in block["lp_bounds"]
+
+    def test_estimate_error_measured_after_preprocess(self):
+        cqap, db = reach3_setup(n_edges=200, domain=40)
+        # a rich budget so at least one S-target actually materializes
+        pq = prepare(cqap, db, space_budget=db.size ** 2 + 1,
+                     rule_selection="budget")
+        block = pq.stats()["estimate_error"]
+        assert block["checks"] >= 1
+        assert block["median_relative_error"] >= 0
+        for entry in block["targets"]:
+            assert entry["actual"] >= 0
+            assert entry["estimated"] >= 0
+            assert entry["relative_error"] >= 0
+
+    def test_no_materialization_means_no_checks(self):
+        cqap, db = reach3_setup(n_edges=200, domain=40)
+        pq = prepare(cqap, db, space_budget=2)  # nothing fits
+        block = pq.stats()["estimate_error"]
+        assert block["checks"] == len(block["targets"])
+        assert block["checks"] == 0 or block["median_relative_error"] >= 0
+
+
 class TestPlanOnceProbeMany:
     def test_warm_probes_never_replan_or_rematerialize(self):
         cqap, db = reach3_setup()

@@ -35,7 +35,15 @@ from repro.tradeoff.rules import (
     rules_from_pmtds,
     stream_rules_from_pmtds,
 )
-from repro.tradeoff.selection import evaluate_rules, select_rules
+from repro.tradeoff.cost import RuleEstimate
+from repro.tradeoff.rules import TwoPhaseRule
+from repro.tradeoff.selection import (
+    _Candidate,
+    evaluate_rules,
+    keep_all_rules,
+    select_rules,
+)
+from repro.workloads.databases import random_database
 from repro.workloads.queries import random_cqap
 
 #: the ROADMAP hang: fuzz seed whose path4 query enumerates 21 PMTDs
@@ -274,6 +282,204 @@ class TestBudgetedSelection:
             expected = cqap.answer_from_scratch(
                 db, singleton_request(cqap.access, request))
             assert got.project(cqap.head).tuples == expected.tuples
+
+
+def _candidate(over_budget, time, space, key=()):
+    return _Candidate(indices=frozenset(), pmtds=[], rules=[],
+                      estimates=[], space=space, time=time,
+                      over_budget=over_budget, order_key=key)
+
+
+class TestOverBudgetRanking:
+    """The documented contract: over budget, cheapest-*space* wins."""
+
+    def test_over_budget_candidates_rank_by_space_first(self):
+        # time and space order disagree: A is faster but far bigger
+        fast_but_big = _candidate(True, time=1.0, space=1000.0)
+        slow_but_small = _candidate(True, time=50.0, space=10.0)
+        ranked = sorted([fast_but_big, slow_but_small],
+                        key=lambda c: c.rank)
+        assert ranked[0] is slow_but_small
+
+    def test_feasible_candidates_still_rank_by_time_first(self):
+        fast_but_big = _candidate(False, time=1.0, space=1000.0)
+        slow_but_small = _candidate(False, time=50.0, space=10.0)
+        ranked = sorted([fast_but_big, slow_but_small],
+                        key=lambda c: c.rank)
+        assert ranked[0] is fast_but_big
+
+    def test_any_feasible_candidate_beats_any_over_budget_one(self):
+        over = _candidate(True, time=0.0, space=0.0)
+        feasible = _candidate(False, time=10 ** 9, space=10 ** 9)
+        assert feasible.rank < over.rank
+
+
+class _StubModel:
+    """A cost model standing for crafted estimates in ledger unit tests."""
+
+    def __init__(self, estimates):
+        self._estimates = {e.rule: e for e in estimates}
+
+    def estimate_rule(self, rule):
+        return self._estimates[rule]
+
+
+def _forced_rule(tag, space, worst):
+    rule = TwoPhaseRule(frozenset({frozenset({tag})}), frozenset())
+    return rule, RuleEstimate(rule, frozenset({tag}), space, None,
+                              __import__("math").inf,
+                              s_space_worst=worst)
+
+
+class TestForcedWorstCaseLedger:
+    """N forced rules can each fit in the worst case yet sink the budget."""
+
+    def test_collective_worst_case_overflow_is_flagged(self):
+        (r1, e1) = _forced_rule("x1", space=10.0, worst=60.0)
+        (r2, e2) = _forced_rule("x2", space=10.0, worst=60.0)
+        model = _StubModel([e1, e2])
+        # each worst (60) fits the budget (100); optimistic total (20)
+        # fits too — only the cumulative worst-case ledger (120) overflows
+        space, _, routed, over = evaluate_rules([r1, r2], model, 100.0)
+        assert space == pytest.approx(20.0)
+        assert all(est.route == "S" for est in routed)
+        assert over
+
+    def test_within_budget_worst_case_total_is_not_flagged(self):
+        (r1, e1) = _forced_rule("x1", space=10.0, worst=40.0)
+        (r2, e2) = _forced_rule("x2", space=10.0, worst=40.0)
+        model = _StubModel([e1, e2])
+        _, _, _, over = evaluate_rules([r1, r2], model, 100.0)
+        assert not over
+
+    def test_shared_forced_target_is_charged_once(self):
+        (r1, e1) = _forced_rule("x1", space=10.0, worst=60.0)
+        space, _, _, over = evaluate_rules([r1], _StubModel([e1]), 100.0)
+        assert space == pytest.approx(10.0)
+        assert not over
+
+
+@lru_cache(maxsize=None)
+def ledger_fixture(query_name: str):
+    """(rules, model) for the faithful-ledger property tests."""
+    if query_name == "fuzz_path4":
+        cqap = fuzz_path4_cqap()
+    else:
+        cqap = by_name(query_name)
+    db = random_database(cqap, random.Random(17), profile="uniform",
+                         max_tuples=24)
+    model = CostModel(cqap, CatalogStatistics.from_database(cqap, db))
+    rules = rules_from_pmtds(pmtd_pool(query_name))
+    return rules, model
+
+
+class TestLedgerIsFaithful:
+    """hypothesis: evaluate_rules is a faithful, budget-monotone ledger."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(POOL_NAMES),
+           st.one_of(st.none(), st.integers(0, 10 ** 6)))
+    def test_space_equals_sum_of_distinct_routed_targets(self, name,
+                                                         budget):
+        rules, model = ledger_fixture(name)
+        space, time, routed, _ = evaluate_rules(rules, model, budget)
+        paid = {}
+        for est in routed:
+            if est.route == "S":
+                paid[est.s_target] = est.s_space
+        assert space == pytest.approx(sum(paid.values()))
+        assert time >= 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(POOL_NAMES),
+           st.one_of(st.none(), st.integers(0, 10 ** 6)))
+    def test_routed_list_parallels_the_input(self, name, budget):
+        rules, model = ledger_fixture(name)
+        _, _, routed, _ = evaluate_rules(rules, model, budget)
+        assert [est.rule for est in routed] == list(rules)
+        assert all(est.route in ("S", "T") for est in routed)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(POOL_NAMES),
+           st.integers(0, 10 ** 5), st.integers(0, 10 ** 5))
+    def test_route_stability_as_the_budget_grows(self, name, b1, b2):
+        rules, model = ledger_fixture(name)
+        low, high = min(b1, b2), max(b1, b2)
+        budgets = [low, high, None]  # None = unbounded
+        s_sets = []
+        for budget in budgets:
+            _, _, routed, _ = evaluate_rules(rules, model, budget)
+            s_sets.append({est.rule.label for est in routed
+                           if est.route == "S"})
+        assert s_sets[0] <= s_sets[1] <= s_sets[2]
+
+
+class TestLPBoundBlend:
+    def setup_method(self):
+        self.cqap = k_path_cqap(3)
+        self.db = path_database(3, 200, 50, seed=7, skew_hubs=2)
+        self.pmtds = enumerate_pmtds(self.cqap, max_bags=3)
+        self.model = CostModel(
+            self.cqap, CatalogStatistics.from_database(self.cqap, self.db))
+
+    def _oracle(self):
+        from repro.tradeoff.joint_flow import SizeBoundOracle, for_cqap
+
+        return SizeBoundOracle(for_cqap(self.cqap, self.db))
+
+    def test_blend_is_reported_and_solves_are_capped(self):
+        oracle = self._oracle()
+        result = select_rules(self.pmtds, self.model,
+                              space_budget=self.db.size,
+                              lp_oracle=oracle)
+        blend = result.lp_blend
+        assert blend is not None
+        assert blend["finalists"] >= 1
+        assert 0 < blend["lp_solves"] <= blend["max_solves"]
+        assert result.snapshot()["lp_blend"] == blend
+
+    def test_without_oracle_no_blend(self):
+        result = select_rules(self.pmtds, self.model,
+                              space_budget=self.db.size)
+        assert result.lp_blend is None
+        assert keep_all_rules(self.pmtds, rules_from_pmtds(self.pmtds),
+                              self.model).lp_blend is None
+
+    def test_blended_selection_still_answers_correctly(self):
+        index = CQAPIndex(self.cqap, self.db, self.db.size,
+                          rule_selection="budget").preprocess()
+        assert index.selection.lp_blend is not None
+        full = self.cqap.evaluate(self.db)
+        hits = sorted(full.project(self.cqap.access).tuples)[:10]
+        for request in hits:
+            assert index.answer_boolean(request)
+
+    def test_clamped_worst_case_aligns_with_planner_bound(self):
+        from repro.tradeoff.joint_flow import for_cqap
+
+        oracle = self._oracle()
+        clamped = self.model.with_bound_oracle(oracle)
+        program = for_cqap(self.cqap, self.db)
+        from repro.query.hypergraph import varset
+
+        target = varset(("x1", "x4"))
+        lp_bound = program.log_size_bound([target], phase="S")
+        assert clamped.log_size_worst(target) <= lp_bound + 1e-9
+
+    def test_oracle_skips_past_the_solve_cap(self):
+        from repro.tradeoff.joint_flow import SizeBoundOracle, for_cqap
+        from repro.query.hypergraph import varset
+
+        oracle = SizeBoundOracle(for_cqap(self.cqap, self.db),
+                                 max_solves=1)
+        assert oracle.log_s_bound(varset(("x1", "x4"))) < float("inf")
+        assert oracle.log_s_bound(varset(("x1", "x3"))) == float("inf")
+        assert oracle.snapshot()["lp_solves_skipped"] == 1
+        # a new selection pass gets a fresh allowance (cache retained)
+        oracle.reset_budget()
+        assert oracle.log_s_bound(varset(("x1", "x3"))) < float("inf")
+        assert oracle.log_s_bound(varset(("x1", "x4"))) < float("inf")
+        assert oracle.snapshot()["lp_solves"] == 2
 
 
 class TestIndexSelectionModes:
