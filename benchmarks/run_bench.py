@@ -1,11 +1,13 @@
 """Emit machine-readable serving-engine benchmark results.
 
 Runs the ``bench_engine_serving`` experiment and writes ``BENCH_engine.json``
-(probes/sec, cache hit rate, prepare time, counter totals), plus the
+(probes/sec, cache hit rate, prepare time, counter totals), the
 ``bench_rule_selection`` experiment into ``BENCH_selection.json`` (planning
-time vs PMTD count, probe latency vs space budget, estimator accuracy), so
-successive PRs have a perf trajectory to compare against instead of
-scraping stdout.
+time vs PMTD count, probe latency vs space budget, estimator accuracy),
+and the ``bench_serving`` experiment into ``BENCH_serving.json``
+(throughput vs shard count × batch size, speedup vs the serial
+``probe_many`` baseline, single-shard batch-of-1 overhead), so successive
+PRs have a perf trajectory to compare against instead of scraping stdout.
 
 Every emitted JSON is stamped with provenance (``commit``, ``date``,
 ``schema_version``) and validated against the expected schema *before*
@@ -44,6 +46,8 @@ REQUIRED_METRICS = {
     "engine_serving": ("prepare_seconds", "warm_probes_per_sec",
                        "cached_probes_per_sec", "cache_hit_rate"),
     "rule_selection": ("planning", "budget_sweep", "estimator_accuracy"),
+    "serving": ("baseline_probes_per_sec", "throughput_grid",
+                "best_speedup", "single_shard_overhead"),
 }
 
 
@@ -148,6 +152,31 @@ def collect_selection(quiet: bool = False) -> dict:
     }
 
 
+def collect_serving(quiet: bool = False) -> dict:
+    """Run the sharded-serving experiment and shape it for JSON."""
+    import bench_serving as bench
+
+    results = bench.experiment() if quiet else bench.report()
+    return {
+        **provenance(),
+        "benchmark": "serving",
+        "python": platform.python_version(),
+        "workload": {
+            "query": "path3_enum",
+            "n_edges": bench.N_EDGES,
+            "domain": bench.DOMAIN,
+            "stream_batches": bench.BATCHES,
+            "stream_batch_size": bench.STREAM_BATCH,
+            "dedupe_ratio": bench.DEDUPE_RATIO,
+            "hot_fraction": bench.HOT_FRACTION,
+            "shard_counts": list(bench.SHARD_COUNTS),
+            "batch_sizes": list(bench.BATCH_SIZES),
+            "cache_size": bench.CACHE_SIZE,
+        },
+        "metrics": results,
+    }
+
+
 def _write_all_validated(outputs) -> None:
     """Validate every (payload, path) pair, then write them all.
 
@@ -201,6 +230,10 @@ def main(argv=None) -> int:
                         default=root / "BENCH_selection.json",
                         help="rule-selection output path (default: "
                              "repo-root BENCH_selection.json)")
+    parser.add_argument("--serving-out", type=Path,
+                        default=root / "BENCH_serving.json",
+                        help="sharded-serving output path (default: "
+                             "repo-root BENCH_serving.json)")
     parser.add_argument("--quiet", action="store_true",
                         help="skip the human-readable table")
     parser.add_argument("--validate", nargs="+", metavar="FILE",
@@ -212,13 +245,15 @@ def main(argv=None) -> int:
     if args.validate:
         return validate_files(args.validate)
 
-    # collect and validate *both* payloads before writing either: neither
-    # a crash in the second benchmark nor a schema failure in one payload
-    # may leave a half-updated trajectory on disk
+    # collect and validate *every* payload before writing any: neither a
+    # crash in a later benchmark nor a schema failure in one payload may
+    # leave a half-updated trajectory on disk
     payload = collect(quiet=args.quiet)
     selection = collect_selection(quiet=args.quiet)
+    serving = collect_serving(quiet=args.quiet)
     _write_all_validated([(payload, args.out),
-                          (selection, args.selection_out)])
+                          (selection, args.selection_out),
+                          (serving, args.serving_out)])
 
     m = payload["metrics"]
     print(f"wrote {args.out}: prepare {m['prepare_seconds'] * 1e3:.0f} ms, "
@@ -237,6 +272,14 @@ def main(argv=None) -> int:
           f"estimator median rel err "
           f"{accuracy['median_rel_error_baseline']:.2f} -> "
           f"{accuracy['median_rel_error_upgraded']:.2f}", flush=True)
+
+    sm = serving["metrics"]
+    print(f"wrote {args.serving_out}: serial baseline "
+          f"{sm['baseline_probes_per_sec']:.0f} probes/s, best "
+          f"{sm['best_config']['shards']} shards x batch "
+          f"{sm['best_config']['batch_size']} = "
+          f"{sm['best_speedup']:.2f}x, single-shard overhead "
+          f"{sm['single_shard_overhead']:+.1%}", flush=True)
     return 0
 
 

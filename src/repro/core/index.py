@@ -387,6 +387,30 @@ class CQAPIndex:
 
     # ------------------------------------------------------------------
     @property
+    def ready(self) -> bool:
+        """True once :meth:`preprocess` has frozen the serving state."""
+        return self._ready
+
+    @property
+    def compiled_online(self) -> List[CompiledOnlineStep]:
+        """The frozen per-probe T-phase steps (read-only serving state).
+
+        The sharded serving layer (:mod:`repro.serving`) executes these
+        through per-shard executors; the steps themselves — and the base
+        relation pieces they hold — are shared across shards.
+        """
+        if not self._ready:
+            raise RuntimeError("call preprocess() before reading plans")
+        return self._compiled_online
+
+    @property
+    def s_targets(self) -> Dict[VarSet, Relation]:
+        """The materialized S-target relations, keyed by variable set."""
+        if not self._ready:
+            raise RuntimeError("call preprocess() before reading S-targets")
+        return self._s_targets
+
+    @property
     def stored_tuples(self) -> int:
         """Intrinsic space actually used (S-target tuples)."""
         return self.stats.stored_tuples

@@ -12,11 +12,53 @@ use ints and strings).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+import hashlib
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.util.counters import Counters, global_counters
 
 Tuple_ = Tuple[object, ...]
+
+
+def _canonical_bytes(value) -> bytes:
+    """An equality-consistent, process-independent encoding of one value.
+
+    Two requirements pull in different directions.  Routing must respect
+    the engine's own equality (``(1, 2) == (1.0, 2.0) == (True, 2)`` as
+    dict keys), so numbers that compare equal must encode identically —
+    a bare ``repr`` would split them across shards and silently break
+    shard-count invariance.  And routing must be stable across processes,
+    so the builtin (string-salted) ``hash`` is out.  Numbers therefore
+    canonicalize through their mathematical value, strings/bytes through
+    their raw contents, each behind a type tag; anything exotic falls back
+    to ``repr`` (equality-consistent for values of one type, which is all
+    the engine's generators and workloads produce).
+    """
+    if isinstance(value, (bool, int, float)):
+        if isinstance(value, float) and not value.is_integer():
+            return b"f" + repr(value).encode()
+        return b"i" + repr(int(value)).encode()
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8", "backslashreplace")
+    if isinstance(value, bytes):
+        return b"b" + value
+    if isinstance(value, tuple):
+        return b"t" + b"\x00".join(_canonical_bytes(v) for v in value)
+    return b"o" + repr(value).encode("utf-8", "backslashreplace")
+
+
+def stable_hash(value) -> int:
+    """A process-independent, equality-consistent hash for shard routing.
+
+    Guarantees (for the engine's value types — numbers, strings, bytes,
+    and tuples thereof): values that compare equal hash equal, and the
+    hash is identical across processes and platforms, so a server and its
+    replay shard identically (Python's builtin ``hash`` is salted per
+    process for strings and unusable here).
+    """
+    data = _canonical_bytes(value)
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(),
+                          "big")
 
 
 class SchemaError(ValueError):
@@ -121,7 +163,15 @@ class Relation:
             ) from exc
 
     def index_on(self, key: Sequence[str]) -> Dict[Tuple_, list]:
-        """Hash index: key-tuple -> list of full tuples (built lazily)."""
+        """Hash index: key-tuple -> list of full tuples (built lazily).
+
+        Concurrency note (the serving layer's single-writer/many-reader
+        discipline): the index is built *fully* into a local dict and only
+        then published with one cache assignment, so concurrent readers of
+        a frozen relation either see the finished index or rebuild an
+        identical one — never a half-built dict.  Mutation remains
+        single-threaded-only, as per the class contract above.
+        """
         key = tuple(key)
         cached = self._indexes.get(key)
         if cached is not None:
@@ -147,6 +197,32 @@ class Relation:
     def degree_of(self, key: Sequence[str], key_value: Tuple_) -> int:
         """Number of tuples whose ``key`` columns equal ``key_value``."""
         return len(self.index_on(key).get(tuple(key_value), ()))
+
+    # ------------------------------------------------------------------
+    # partition views
+    # ------------------------------------------------------------------
+    def partition_by_hash(self, key: Sequence[str], n_shards: int,
+                          hasher: Optional[Callable[[Tuple_], int]] = None,
+                          ) -> List["Relation"]:
+        """Split into ``n_shards`` relations by a hash of the ``key`` columns.
+
+        Shard ``i`` holds exactly the tuples whose key-column values hash to
+        ``i`` modulo ``n_shards`` (:func:`stable_hash` by default, so the
+        split is identical across processes).  The returned relations share
+        the stored tuple objects — a partition *view*, not a copy of the
+        payloads — and re-unioning them reproduces this relation exactly.
+        Each partition starts with an empty index cache of its own, so
+        mutating one partition invalidates only that partition's indexes.
+        """
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        pos = self.positions(key)
+        hash_ = hasher or stable_hash
+        buckets: List[list] = [[] for _ in range(n_shards)]
+        for row in self.tuples:
+            buckets[hash_(tuple(row[p] for p in pos)) % n_shards].append(row)
+        return [Relation(f"{self.name}@{i}", self.schema, bucket)
+                for i, bucket in enumerate(buckets)]
 
     # ------------------------------------------------------------------
     # relational operators

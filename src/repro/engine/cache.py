@@ -5,10 +5,18 @@ small exact-answer cache in front of the online phase converts the common
 case into a dictionary move-to-front.  Values are stored as immutable
 ``(schema, frozenset-of-tuples)`` payloads so cached answers can never alias
 a relation a caller later mutates.
+
+The cache is thread-safe: the sharded serving layer
+(:mod:`repro.serving`) probes it from a worker pool, so every operation
+that touches the entry map or the hit/miss/eviction counters runs under a
+single internal lock.  In particular ``hits + misses`` always equals the
+number of ``get`` calls issued, no matter how the callers interleave —
+the concurrent-access property test pins this down.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
@@ -23,57 +31,67 @@ class LRUCache:
     def __init__(self, capacity: int = 256) -> None:
         self.capacity = int(capacity)
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable):
         """The cached value (refreshing recency) or ``None`` on a miss."""
-        if key in self._entries:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.misses += 1
+            return None
 
     def peek(self, key: Hashable):
         """Like :meth:`get` but touches neither recency nor counters."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def put(self, key: Hashable, value) -> None:
         """Insert/refresh ``key``, evicting the LRU entry when full."""
         if self.capacity <= 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry; counters are preserved."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def hit_rate(self) -> float:
         """Hits over lookups (0.0 before the first lookup)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def snapshot(self) -> Dict[str, float]:
-        """JSON-friendly counter dump."""
-        return {
-            "capacity": self.capacity,
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+        """JSON-friendly counter dump (one consistent point in time)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

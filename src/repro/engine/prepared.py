@@ -19,6 +19,7 @@ planner/executor lifecycle counters (``plan_calls``, ``preprocess_runs``,
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -85,6 +86,10 @@ class PreparedQuery:
         self.probes_served = 0
         self.batch_calls = 0
         self.online_phases = 0
+        # lifecycle counters are bumped under this lock so concurrent
+        # probes (the sharded serving layer runs a worker pool) never lose
+        # increments; the answer cache carries its own lock
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # binding plumbing
@@ -103,13 +108,15 @@ class PreparedQuery:
     def probe(self, binding, counters: Optional[Counters] = None) -> Relation:
         """Answer one access binding; cached answers cost one dict lookup."""
         key = self._normalize_binding(binding)
-        self.probes_served += 1
+        with self._stats_lock:
+            self.probes_served += 1
         cached = self.cache.get(key)
         if cached is not None:
             return self._from_cache_payload(cached)
         ctr = counters or Counters()
         answer = self._index.answer(key, counters=ctr)
-        self.online_phases += 1
+        with self._stats_lock:
+            self.online_phases += 1
         if self.cache.capacity > 0:
             self.cache.put(key, (answer.schema, frozenset(answer.tuples)))
         return answer
@@ -137,8 +144,9 @@ class PreparedQuery:
         """
         keys: List[Binding] = [self._normalize_binding(b) for b in bindings]
         unique = list(dict.fromkeys(keys))
-        self.batch_calls += 1
-        self.probes_served += len(unique)
+        with self._stats_lock:
+            self.batch_calls += 1
+            self.probes_served += len(unique)
         results: Dict[Binding, Relation] = {}
         missing: List[Binding] = []
         for key in unique:
@@ -150,7 +158,8 @@ class PreparedQuery:
         if missing:
             ctr = counters or Counters()
             batched = self._index.answer(missing, counters=ctr)
-            self.online_phases += 1
+            with self._stats_lock:
+                self.online_phases += 1
             access_pos = tuple(batched.schema.index(v)
                                for v in self.cqap.access)
             by_key: Dict[Binding, set] = {}

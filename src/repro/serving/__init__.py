@@ -1,0 +1,44 @@
+"""Sharded, batched serving on top of the prepared engine.
+
+The serving stack, bottom to top::
+
+    CQAPIndex.preprocess()          # plan once (repro.core / repro.engine)
+      └─ ShardedIndex(index, N)     # hash-partition S-views by access tuple
+           └─ BatchScheduler        # dedupe + shard-group + concurrent fan-out
+                └─ ProbeServer      # stream facade with backpressure + stats
+
+Because every S-view that serves probes is keyed by the access-variable
+binding, partitioning the stored side by a hash of that binding commutes
+with probe semantics by construction — answers are bit-identical for every
+shard count (the proof-of-invariance note lives in
+:mod:`repro.serving.sharding`, and the differential harness asserts it
+across shard counts {1, 4, 7}).
+
+Quickstart::
+
+    from repro.serving import ProbeServer, prepare_sharded
+
+    sharded = prepare_sharded(cqap, db, space_budget=20_000, n_shards=4)
+    with ProbeServer(sharded, batch_size=32) as server:
+        for binding, answer in server.serve(stream_of_bindings):
+            ...
+    server.stats()   # per-shard lifecycle counters, dedupe ratio, cache
+"""
+
+from repro.serving.batching import BatchScheduler
+from repro.serving.server import ProbeServer
+from repro.serving.sharding import (
+    ShardedIndex,
+    ShardState,
+    access_hash,
+    prepare_sharded,
+)
+
+__all__ = [
+    "BatchScheduler",
+    "ProbeServer",
+    "ShardState",
+    "ShardedIndex",
+    "access_hash",
+    "prepare_sharded",
+]

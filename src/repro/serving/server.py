@@ -1,0 +1,122 @@
+"""The serving facade: a probe server with backpressure over a stream.
+
+:class:`ProbeServer` is the top of the serving stack::
+
+    sharded = prepare_sharded(cqap, db, space_budget=..., n_shards=4)
+    with ProbeServer(sharded, batch_size=32) as server:
+        for binding, answer in server.serve(workload_stream):
+            ...
+
+``serve`` is a generator, which makes the backpressure real rather than
+advisory: the server pulls from the workload stream *lazily*, buffering at
+most ``batch_size * max_pending_batches`` bindings ahead of what the
+consumer has taken, and it does not read further until the consumer drains
+the batch it was handed.  A slow consumer therefore throttles the producer
+instead of growing an unbounded queue.
+
+Results are yielded in stream order, one ``(binding, relation)`` pair per
+incoming binding (duplicates included — they share the same answer
+relation).  Aggregate statistics are surfaced
+:meth:`~repro.engine.prepared.PreparedQuery.stats`-style through
+:meth:`ProbeServer.stats`, which nests the scheduler's dedupe/cache
+counters and the sharded index's per-shard lifecycle counters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.data.relation import Relation
+from repro.serving.batching import BatchScheduler
+from repro.serving.sharding import ShardedIndex
+
+
+class ProbeServer:
+    """Batched, sharded serving of a probe stream with bounded buffering."""
+
+    def __init__(self, sharded: ShardedIndex, batch_size: int = 32,
+                 max_pending_batches: int = 4, cache_size: int = 256,
+                 max_workers: Optional[int] = None) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if max_pending_batches <= 0:
+            raise ValueError("max_pending_batches must be positive, got "
+                             f"{max_pending_batches}")
+        self.sharded = sharded
+        self.scheduler = BatchScheduler(sharded, cache_size=cache_size,
+                                        max_workers=max_workers)
+        self.batch_size = batch_size
+        self.max_pending_batches = max_pending_batches
+        self.batches_served = 0
+        self.probes_served = 0
+        self.peak_pending = 0
+
+    def __enter__(self) -> "ProbeServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the scheduler's worker pool."""
+        self.scheduler.close()
+
+    # ------------------------------------------------------------------
+    def serve(self, workload_stream: Iterable,
+              ) -> Iterator[Tuple[tuple, Relation]]:
+        """Yield ``(normalized binding, answer)`` pairs in stream order.
+
+        The stream may yield single bindings or lists of bindings
+        (pre-formed batches get flattened into the buffer); execution
+        batches are always ``batch_size`` wide regardless of how the
+        stream chunks its input.
+        """
+        def flatten(stream):
+            # pre-formed batches are unpacked lazily, one binding per
+            # pull, so a single huge list can't blow past the window
+            for item in stream:
+                if isinstance(item, list):
+                    yield from item
+                else:
+                    yield item
+
+        window = self.batch_size * self.max_pending_batches
+        buffer: deque = deque()
+        source = flatten(workload_stream)
+        exhausted = False
+        while True:
+            while not exhausted and len(buffer) < window:
+                try:
+                    buffer.append(next(source))
+                except StopIteration:
+                    exhausted = True
+                    break
+            self.peak_pending = max(self.peak_pending, len(buffer))
+            if not buffer:
+                return
+            batch = [buffer.popleft()
+                     for _ in range(min(self.batch_size, len(buffer)))]
+            keys, answers = self.scheduler.run_keyed(batch)
+            self.batches_served += 1
+            self.probes_served += len(batch)
+            yield from zip(keys, answers)
+
+    def serve_all(self, workload_stream: Iterable,
+                  ) -> Dict[tuple, Relation]:
+        """Drain the stream; returns the last answer per unique binding."""
+        return dict(self.serve(workload_stream))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """Aggregate serving snapshot (server + scheduler + shards)."""
+        return {
+            "query": self.sharded.cqap.name,
+            "batch_size": self.batch_size,
+            "max_pending_batches": self.max_pending_batches,
+            "batches_served": self.batches_served,
+            "probes_served": self.probes_served,
+            "peak_pending": self.peak_pending,
+            "scheduler": self.scheduler.stats(),
+            "sharded": self.sharded.stats(),
+        }

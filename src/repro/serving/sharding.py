@@ -1,0 +1,313 @@
+"""Access-hash sharding of a prepared CQAP index.
+
+Every materialized S-view of the paper's framework is *keyed*: a probe for
+access binding ``b`` only ever consults view rows that agree with ``b`` on
+the access variables.  The stored side of a prepared index therefore
+partitions exactly by a hash of the access-variable binding — a sharding
+scheme that commutes with probe semantics by construction, unlike generic
+join sharding.  :class:`ShardedIndex` realizes this: S-views whose schema
+contains the full access prefix are hash-partitioned across ``n_shards``
+(each probe routed to exactly one shard), while everything else — S-views
+missing part of the prefix, the compiled T-phase steps and the base
+relation pieces they scan — is shared read-only across shards ("replicated"
+in the distributed reading, T-route state included).
+
+Proof of invariance (why answers are independent of the shard count):
+
+1. *Answers extend the request.*  Every T-view row joins ``Q_A`` by
+   construction (the executor prepends the request to each compiled step),
+   and the Online-Yannakakis top-down pass starts from the ``Q_A``-reduced
+   root — so every emitted answer row agrees with a requested binding on
+   all access variables.
+2. *Partitioned views keep every relevant row.*  A view is partitioned only
+   when its schema contains every access variable.  Any view row used by a
+   derivation of an answer row agrees with that answer row on all of its
+   columns — in particular on the access columns, so it carries the probed
+   binding ``b`` and lives on ``shard(b)``.  Rows of replicated views are
+   on every shard.  Hence the complete derivation of every answer for ``b``
+   is shard-local, and the semijoin reductions (the shard-build SS pass and
+   the per-probe bottom-up pass) only test joinability against rows the
+   derivation itself provides — none of its rows can be reduced away.
+3. *Monotonicity.*  The whole online pipeline — semijoins, hash joins,
+   projections, unions — is monotone in the view contents: removing rows
+   never adds answers.  A shard's views are pointwise subsets of the
+   unsharded views, so a shard can never answer *more* than the unsharded
+   index; by (2) it answers no less for the bindings routed to it; by (1)
+   the unsharded answer contains nothing else.  Equality follows, for every
+   shard count — the differential harness asserts it bit-identically over
+   shard counts {1, 4, 7}.
+
+Routing uses :func:`repro.data.relation.stable_hash` so shard assignment is
+reproducible across processes (Python's builtin string hash is salted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.index import CQAPIndex
+from repro.core.online_yannakakis import OnlineYannakakis
+from repro.core.two_phase import TwoPhaseExecutor
+from repro.data.relation import Relation, stable_hash
+from repro.query.cq import normalize_access_binding
+from repro.query.hypergraph import VarSet
+from repro.util.counters import Counters
+
+Binding = Tuple[object, ...]
+
+
+def access_hash(key: Binding) -> int:
+    """The deterministic shard-routing hash of one access binding."""
+    return stable_hash(tuple(key))
+
+
+def merge_counters(into: Counters, part: Counters) -> None:
+    """Accumulate ``part``'s operation counts into ``into``."""
+    into.probes += part.probes
+    into.scans += part.scans
+    into.stores += part.stores
+    into.joins_emitted += part.joins_emitted
+
+
+@dataclass
+class ShardState:
+    """One shard's serving state: views, executor, lifecycle counters.
+
+    The executor is per-shard so ``online_runs`` counts this shard's work
+    and concurrent shards never race on a shared counter; the compiled
+    T-phase *steps* it executes are shared read-only across shards.
+    """
+
+    shard_id: int
+    executor: TwoPhaseExecutor
+    yannakakis: List[OnlineYannakakis]
+    partitioned_tuples: int = 0
+    probes_served: int = 0
+    online_phases: int = 0
+    counters: Counters = field(default_factory=Counters)
+
+    def snapshot(self) -> Dict:
+        """JSON-friendly per-shard lifecycle counters."""
+        return {
+            "shard": self.shard_id,
+            "partitioned_tuples": self.partitioned_tuples,
+            "probes_served": self.probes_served,
+            "online_phases": self.online_phases,
+            "online_runs": self.executor.online_runs,
+            "counters": self.counters.snapshot(),
+        }
+
+
+class ShardedIndex:
+    """A preprocessed :class:`CQAPIndex` partitioned for sharded serving.
+
+    Construction is the only phase that touches shared mutable state
+    (partitioning, per-shard semijoin reduction, index warm-up); afterwards
+    each shard serves probes against its own views plus the shared
+    read-only plan state.  :meth:`shard_of` routes a normalized binding to
+    its unique home shard; :meth:`answer_on_shard` answers a group of
+    bindings that all live on one shard.  Concurrency contract: distinct
+    shards may answer concurrently (the :class:`~repro.serving.batching.
+    BatchScheduler` runs one in-flight task per shard); a single shard is
+    single-threaded.
+    """
+
+    def __init__(self, index: CQAPIndex, n_shards: int = 4) -> None:
+        if not index.ready:
+            raise ValueError("ShardedIndex needs a preprocessed CQAPIndex; "
+                             "call preprocess() (or repro.engine.prepare) "
+                             "first")
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        self.index = index
+        self.cqap = index.cqap
+        self.access: Tuple[str, ...] = tuple(index.cqap.access)
+        self.n_shards = int(n_shards)
+        # shared read-only plan state (T-route state, in the distributed
+        # reading: replicated to every shard)
+        self._steps = index.compiled_online
+        # the selection declares each rule's S-view key schema; a target is
+        # partitionable iff its key contains the whole access prefix
+        declared = {
+            frozenset(entry["s_target"]): tuple(entry["access_prefix"])
+            for entry in index.selection.s_view_keys(self.access)
+            if entry["partitionable"]
+        }
+        self._partition_prefix: Dict[VarSet, Tuple[str, ...]] = {}
+        self._target_parts: Dict[VarSet, List[Relation]] = {}
+        partitioned = replicated = 0
+        for target, relation in index.s_targets.items():
+            prefix = declared.get(target)
+            if prefix is None and self.access \
+                    and set(self.access) <= set(target):
+                # materialized by a planner decision the selection ledger
+                # didn't route (e.g. a post-abort re-target): the schema
+                # test is the same invariant the declaration encodes
+                prefix = self.access
+            if prefix and self.n_shards > 1:
+                self._partition_prefix[target] = prefix
+                self._target_parts[target] = relation.partition_by_hash(
+                    prefix, self.n_shards, hasher=access_hash,
+                )
+                partitioned += len(relation)
+            else:
+                replicated += len(relation)
+        self.partitioned_tuples = partitioned
+        self.replicated_tuples = replicated
+        # replicated views are built once and shared by reference across
+        # every shard's Yannakakis state (zero-copy replication); the
+        # per-shard reductions only ever derive new relations from them.
+        # Assembly goes through the engine's own matcher so the sharded
+        # views can never diverge from what CQAPIndex.answer would serve.
+        replicated_targets = {
+            target: relation for target, relation in index.s_targets.items()
+            if target not in self._target_parts
+        }
+        shared_views: Dict[Tuple[int, object], Relation] = {}
+        for p, pmtd in enumerate(index.pmtds):
+            assembled = CQAPIndex._assemble_views(pmtd.s_views,
+                                                  replicated_targets)
+            for node, view in pmtd.s_views.items():
+                if view.variables not in self._target_parts:
+                    shared_views[(p, node)] = assembled[node]
+        # a PMTD none of whose views are partitioned serves identical state
+        # on every shard: build its (read-only at probe time) Yannakakis
+        # pass once and share it, instead of redoing the same SS-reductions
+        # and index warm-up per shard
+        shared_oy: Dict[int, OnlineYannakakis] = {}
+        for p, pmtd in enumerate(index.pmtds):
+            if not any(view.variables in self._target_parts
+                       for view in pmtd.s_views.values()):
+                shared_oy[p] = OnlineYannakakis(
+                    pmtd, {node: shared_views[(p, node)]
+                           for node in pmtd.s_views})
+        self.shards: List[ShardState] = []
+        for shard_id in range(self.n_shards):
+            yannakakis = []
+            part_tuples = 0
+            for p, pmtd in enumerate(index.pmtds):
+                if p in shared_oy:
+                    yannakakis.append(shared_oy[p])
+                    continue
+                s_views: Dict = {}
+                for node, view in pmtd.s_views.items():
+                    parts = self._target_parts.get(view.variables)
+                    if parts is None:
+                        s_views[node] = shared_views[(p, node)]
+                    else:
+                        s_views[node] = parts[shard_id]
+                yannakakis.append(OnlineYannakakis(pmtd, s_views))
+            for parts in self._target_parts.values():
+                part_tuples += len(parts[shard_id])
+            self.shards.append(ShardState(
+                shard_id=shard_id,
+                executor=TwoPhaseExecutor(index.cqap,
+                                          budget_slack=index.executor
+                                          .budget_slack),
+                yannakakis=yannakakis,
+                partitioned_tuples=part_tuples,
+            ))
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def normalize(self, binding) -> Binding:
+        """One probe binding as a tuple matching the access arity."""
+        return normalize_access_binding(self.access, binding)
+
+    def shard_of(self, key: Binding) -> int:
+        """The unique home shard of a normalized access binding."""
+        if self.n_shards == 1 or not self.access:
+            return 0
+        return access_hash(key) % self.n_shards
+
+    # ------------------------------------------------------------------
+    # per-shard answering
+    # ------------------------------------------------------------------
+    def answer_on_shard(self, shard_id: int, keys: Sequence[Binding],
+                        counters: Optional[Counters] = None) -> Relation:
+        """Answer a group of bindings that all route to ``shard_id``.
+
+        Mirrors :meth:`CQAPIndex.answer` against the shard's views: one
+        compiled T-phase pass for the whole group, then the per-PMTD
+        Online-Yannakakis passes, unioned over PMTDs.
+        """
+        shard = self.shards[shard_id]
+        ctr = Counters()
+        q_a = Relation("Q_A", self.access, keys)
+        t_targets = shard.executor.online_compiled(self._steps, q_a,
+                                                   counters=ctr)
+        head = tuple(self.cqap.head)
+        out_rows: set = set()
+        for oy in shard.yannakakis:
+            t_views = CQAPIndex._assemble_views(oy.pmtd.t_views, t_targets)
+            psi = oy.answer(q_a, t_views, counters=ctr)
+            if set(psi.schema) == set(head):
+                out_rows |= psi.project(head, counters=ctr).tuples
+            elif psi.schema == ():
+                out_rows |= psi.tuples
+        shard.probes_served += len(keys)
+        shard.online_phases += 1
+        merge_counters(shard.counters, ctr)
+        if counters is not None:
+            merge_counters(counters, ctr)
+        return Relation(f"{self.cqap.name}_answer", head, out_rows)
+
+    def probe(self, binding,
+              counters: Optional[Counters] = None) -> Relation:
+        """Route one binding to its shard and answer it there."""
+        key = self.normalize(binding)
+        return self.answer_on_shard(self.shard_of(key), [key],
+                                    counters=counters)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def stored_tuples(self) -> int:
+        """Global S-tuples (partitioned once + replicated once)."""
+        return self.partitioned_tuples + self.replicated_tuples
+
+    def budget_split(self) -> Dict:
+        """How the global space budget divides across shards.
+
+        Partitionable state splits by access hash, so each shard is billed
+        ``global_budget / n_shards`` of it; replicated state is resident on
+        every shard and must fit each per-shard budget whole.
+        """
+        per_shard = [s.partitioned_tuples for s in self.shards]
+        return {
+            "shards": self.n_shards,
+            "global_budget": self.index.space_budget,
+            "per_shard_budget": self.index.space_budget / self.n_shards,
+            "partitioned_tuples": self.partitioned_tuples,
+            "replicated_tuples": self.replicated_tuples,
+            "per_shard_partitioned": per_shard,
+            "max_shard_tuples": (max(per_shard) if per_shard else 0)
+            + self.replicated_tuples,
+        }
+
+    def stats(self) -> Dict:
+        """JSON-friendly aggregate + per-shard lifecycle snapshot."""
+        split = self.budget_split()
+        return {
+            "query": self.cqap.name,
+            "shards": self.n_shards,
+            "budget_split": split,
+            "partitioned_targets": sorted(
+                "|".join(sorted(t)) for t in self._target_parts),
+            "selection": self.index.selection.snapshot(budget_split=split),
+            "probes_served": sum(s.probes_served for s in self.shards),
+            "online_phases": sum(s.online_phases for s in self.shards),
+            "per_shard": [s.snapshot() for s in self.shards],
+        }
+
+
+def prepare_sharded(cqap, db, space_budget: float, n_shards: int = 4,
+                    counters: Optional[Counters] = None,
+                    **index_kwargs) -> ShardedIndex:
+    """One-call convenience: preprocess a :class:`CQAPIndex` and shard it."""
+    index = CQAPIndex(cqap, db, space_budget, **index_kwargs)
+    index.preprocess(counters=counters)
+    return ShardedIndex(index, n_shards=n_shards)

@@ -74,9 +74,16 @@ class SelectionResult:
     #: LP-bound blend summary (None when selection ran estimates-only)
     lp_blend: Optional[Dict] = None
 
-    def snapshot(self) -> Dict:
-        """JSON-friendly summary for lifecycle counters / stats()."""
-        return {
+    def snapshot(self, budget_split: Optional[Dict] = None) -> Dict:
+        """JSON-friendly summary for lifecycle counters / stats().
+
+        ``budget_split`` is the sharded serving layer's per-shard division
+        of the space budget (:meth:`repro.serving.ShardedIndex.stats`
+        computes it); when given it is recorded verbatim so a selection
+        snapshot always names the budget regime it is actually serving
+        under — global for a single index, per-shard once partitioned.
+        """
+        snap = {
             "mode": self.mode,
             "space_budget": self.space_budget,
             "candidate_pmtds": self.candidate_pmtds,
@@ -90,6 +97,41 @@ class SelectionResult:
             "over_budget": self.over_budget,
             "lp_blend": self.lp_blend,
         }
+        if budget_split is not None:
+            snap["budget_split"] = dict(budget_split)
+        return snap
+
+    def s_view_keys(self, access: Sequence[str]) -> List[Dict]:
+        """Per-rule S-view key schemas — what the sharder routes on.
+
+        Every S-routed rule serves probes out of a materialized view whose
+        *key* is its schema; a view is hash-partitionable by access tuple
+        exactly when its schema contains every access variable (rows that
+        could answer a probe then all carry that probe's access binding,
+        so partitioning commutes with probe semantics).  Returns one entry
+        per rule with an S-target::
+
+            {"rule": label, "s_target": sorted schema tuple,
+             "access_prefix": access vars in access-pattern order,
+             "partitionable": bool}
+
+        ``access_prefix`` is the key the sharder hashes — ordered like the
+        access pattern so routing and probe normalization agree.
+        """
+        access = tuple(access)
+        out: List[Dict] = []
+        for est in self.estimates:
+            if est.s_target is None:
+                continue
+            target = est.s_target
+            partitionable = bool(access) and set(access) <= set(target)
+            out.append({
+                "rule": est.rule.label,
+                "s_target": tuple(sorted(target)),
+                "access_prefix": access if partitionable else (),
+                "partitionable": partitionable,
+            })
+        return out
 
     def describe(self) -> str:
         return (f"selection[{self.mode}]: {len(self.pmtds)}/"

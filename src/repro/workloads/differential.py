@@ -2,7 +2,7 @@
 
 For each workload (seeded random query + database + probe stream) the
 harness computes the exact per-binding answers with ``repro.oracle`` and
-then diffs six checks across the repo's answer stacks against them:
+then diffs seven checks across the repo's answer stacks against them:
 
 * ``from_scratch``   — ``CQAP.answer_from_scratch`` (textbook join path);
 * ``index_lean``     — ``CQAPIndex.answer`` at a tiny space budget, so the
@@ -16,7 +16,12 @@ then diffs six checks across the repo's answer stacks against them:
   prepared views (plus an ``answer_batch`` union check);
 * ``engine_probe`` / ``engine_probe_many`` — the serving engine
   (``PreparedQuery``) over the prepared indexes, cache and batch dedupe
-  included.
+  included;
+* ``serving_sharded`` — the sharded serving layer (``repro.serving``):
+  the same prepared index hash-partitioned across every shard count in
+  ``SHARD_SWEEP`` and probed in batches through the ``BatchScheduler``;
+  beyond the oracle diff this path asserts *shard-count invariance* —
+  answers must be bit-identical across shard counts.
 
 The three index paths sweep ``space_budget`` ∈ {tight, medium, ∞} per
 scenario, and every index is built through the budget-aware rule-selection
@@ -66,10 +71,18 @@ PATHS: Tuple[str, ...] = (
     "index_rich",
     "engine_probe",
     "engine_probe_many",
+    "serving_sharded",
 )
 
 LEAN_BUDGET = 2
 RICH_BUDGET = 10 ** 7
+
+#: shard counts the sharded serving path must agree across (1 = unsharded
+#: reference; 4 and 7 exercise even and non-divisor partition shapes)
+SHARD_SWEEP: Tuple[int, ...] = (1, 4, 7)
+
+#: batch width the sharded path chunks each probe stream into
+SHARD_BATCH = 3
 
 #: keep fuzz planning cheap: beyond this many PMTDs the index switches to
 #: budgeted beam selection (the default auto behavior, tightened so rule
@@ -346,6 +359,47 @@ def run_scenario(workload: Workload,
             return {b: answer_rows(rel, head) for b, rel in first.items()}
 
         run("engine_probe_many", engine_probe_many)
+
+    # -- path 7: the sharded serving layer, invariant across shard counts
+    if batch_index is None:
+        outcome.skips.append(("serving_sharded", "no preprocessed index"))
+    else:
+        def serving_sharded() -> Dict[Row, AnswerSet]:
+            from repro.serving import BatchScheduler, ShardedIndex
+
+            batches = [workload.probes[i:i + SHARD_BATCH]
+                       for i in range(0, len(workload.probes), SHARD_BATCH)]
+            per_count: Dict[int, Dict[Row, AnswerSet]] = {}
+            for n_shards in SHARD_SWEEP:
+                sharded = ShardedIndex(batch_index, n_shards=n_shards)
+                # inline_threshold=0 forces every multi-shard batch through
+                # the concurrent pool dispatch, so the riskiest branch
+                # (parallel shard groups over shared read-only plan state)
+                # is the one the oracle fuzzes
+                with BatchScheduler(
+                        sharded, cache_size=workload.cache_size,
+                        inline_threshold=0) as sched:
+                    answers: Dict[Row, AnswerSet] = {}
+                    for batch in batches:
+                        keys, rels = sched.run_keyed(batch)
+                        for key, rel in zip(keys, rels):
+                            answers[key] = answer_rows(rel, head)
+                per_count[n_shards] = answers
+            reference = per_count[SHARD_SWEEP[0]]
+            for n_shards, answers in per_count.items():
+                if answers != reference:
+                    changed = sorted(
+                        key for key in set(reference) | set(answers)
+                        if answers.get(key) != reference.get(key)
+                    )
+                    raise AssertionError(
+                        f"shard-count invariance violated: {n_shards} "
+                        f"shards disagree with {SHARD_SWEEP[0]} at "
+                        f"bindings {changed}"
+                    )
+            return reference
+
+        run("serving_sharded", serving_sharded)
 
     return outcome
 

@@ -11,7 +11,12 @@ differential harness checks.  Kinds:
   exercising the LRU answer cache and batch dedupe;
 * ``cold`` — adversarial cold misses: every binding uses values outside
   the data domain, so every answer is empty and the cache never helps;
-* ``mixed`` — interleaves the above.
+* ``mixed`` — interleaves the above;
+* ``batched`` — a serving-shaped stream drawn from a small distinct pool
+  with a configurable dedupe ratio and hot-key skew
+  (:func:`batched_stream` produces the same stream pre-chunked into
+  batches), so batch dedupe, the answer cache, and the sharded serving
+  path all see realistic redundancy.
 
 For an empty access pattern the only possible binding is ``()`` and the
 stream is just that binding repeated.
@@ -27,7 +32,8 @@ from repro.query.cq import CQAP
 
 Row = Tuple[object, ...]
 
-PROBE_KINDS: Tuple[str, ...] = ("uniform", "hot", "cold", "mixed")
+PROBE_KINDS: Tuple[str, ...] = ("uniform", "hot", "cold", "mixed",
+                                "batched")
 
 #: cold-miss bindings start here — far outside any generated domain
 _COLD_BASE = 10 ** 6
@@ -66,6 +72,12 @@ def probe_stream(cqap: CQAP, db: Database, rng: random.Random,
         )
     if not cqap.access:
         return [()] * count
+    if kind == "batched":
+        batches = batched_stream(cqap, db, rng, batches=max(1, count // 2),
+                                 batch_size=2)
+        flat = [b for batch in batches for b in batch]
+        return flat[:count] if len(flat) >= count \
+            else flat + flat[:count - len(flat)]
     pools = _value_pools(cqap, db)
     hot = [_uniform_binding(rng, cqap, pools)
            for _ in range(rng.randint(1, 2))]
@@ -82,3 +94,42 @@ def probe_stream(cqap: CQAP, db: Database, rng: random.Random,
         else:
             stream.append(_uniform_binding(rng, cqap, pools))
     return stream
+
+
+def batched_stream(cqap: CQAP, db: Database, rng: random.Random,
+                   batches: int = 4, batch_size: int = 8,
+                   dedupe_ratio: float = 0.5,
+                   hot_fraction: float = 0.6) -> List[List[Row]]:
+    """A pre-batched probe stream with controlled redundancy.
+
+    ``dedupe_ratio`` is the fraction of probe slots that repeat an
+    already-drawn binding (0.0 = every slot distinct, 0.75 = a 4:1
+    dedupe opportunity); ``hot_fraction`` is the share of those repeats
+    that go to a couple of *hot* bindings rather than a uniformly chosen
+    previous one — the skew that makes answer caches and batch dedupe
+    worth their complexity.  Deterministic in ``rng``; the distinct pool
+    is drawn from values actually occurring in the access columns, so the
+    stream is a realistic hit/miss mix.
+    """
+    if not 0.0 <= dedupe_ratio < 1.0:
+        raise ValueError(f"dedupe_ratio must be in [0, 1), got "
+                         f"{dedupe_ratio}")
+    total = max(1, batches) * max(1, batch_size)
+    if not cqap.access:
+        flat = [()] * total
+    else:
+        pools = _value_pools(cqap, db)
+        distinct = max(1, round(total * (1.0 - dedupe_ratio)))
+        pool = [_uniform_binding(rng, cqap, pools) for _ in range(distinct)]
+        hot = [rng.choice(pool) for _ in range(min(2, len(pool)))]
+        flat = []
+        for i in range(total):
+            if i < len(pool):       # guarantee every distinct binding occurs
+                flat.append(pool[i])
+            elif rng.random() < hot_fraction:
+                flat.append(rng.choice(hot))
+            else:
+                flat.append(rng.choice(pool))
+        rng.shuffle(flat)
+    return [flat[i:i + batch_size]
+            for i in range(0, total, max(1, batch_size))]

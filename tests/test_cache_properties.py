@@ -132,3 +132,62 @@ class TestLRUCacheProperties:
         assert (cache.hits, cache.misses) == (1, 1)
         snapshot = cache.snapshot()
         assert snapshot["entries"] == 0 and snapshot["hits"] == 1
+
+
+class TestLRUCacheConcurrency:
+    """The cache's lock contract: counters stay exact under contention.
+
+    Hypothesis drives the shape (capacity, op mix); each example replays
+    the same op list from several threads at once through a barrier.  The
+    sequential model can't predict interleaved *contents*, but the locked
+    counters must still balance: every ``get`` is exactly one hit or one
+    miss, the capacity bound holds at all times, and no operation raises.
+    """
+
+    @given(
+        capacity=st.integers(1, 8),
+        n_threads=st.integers(2, 4),
+        ops=ops_strategy,
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_counters_balance_under_concurrent_access(self, capacity,
+                                                      n_threads, ops):
+        import threading
+
+        cache = LRUCache(capacity)
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker():
+            barrier.wait()
+            try:
+                for op, key, value in ops:
+                    if op == "get":
+                        cache.get(key)
+                    else:
+                        cache.put(key, value)
+                    assert len(cache) <= capacity
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        gets = n_threads * sum(1 for op, _, _ in ops if op == "get")
+        assert cache.hits + cache.misses == gets
+        snap = cache.snapshot()
+        assert snap["hits"] + snap["misses"] == gets
+        assert snap["entries"] <= capacity
+
+    def test_snapshot_is_internally_consistent(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        snap = cache.snapshot()
+        assert snap["hit_rate"] == snap["hits"] / (snap["hits"]
+                                                   + snap["misses"])

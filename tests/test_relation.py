@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.data.relation import Relation, SchemaError, singleton_request
+from repro.data.relation import Relation, SchemaError, singleton_request, stable_hash
 from repro.util.counters import Counters
 
 
@@ -257,3 +257,84 @@ class TestIndexInvalidation:
         r.tuples.add((9, 9))
         assert r.index_on(("a",)) is stale
         assert (9,) not in r.index_on(("a",))
+
+
+class TestPartitionViews:
+    """Hash-partition views: the sharded serving layer's storage split."""
+
+    def sample(self, n=40):
+        rows = [(i % 7, i, i * 2) for i in range(n)]
+        return rel("R", ("a", "b", "c"), rows)
+
+    def test_partitions_reunion_to_identity(self):
+        r = self.sample()
+        parts = r.partition_by_hash(("a", "b"), 4)
+        assert len(parts) == 4
+        merged = parts[0]
+        for part in parts[1:]:
+            merged = merged.union(part)
+        assert merged == r
+
+    def test_partitions_are_disjoint_and_routed_by_hash(self):
+        r = self.sample()
+        parts = r.partition_by_hash(("a",), 3)
+        seen = set()
+        for i, part in enumerate(parts):
+            assert part.schema == r.schema
+            assert not (part.tuples & seen)
+            seen |= part.tuples
+            for row in part.tuples:
+                assert stable_hash((row[0],)) % 3 == i
+        assert seen == r.tuples
+
+    def test_tuple_payloads_are_shared_not_copied(self):
+        r = self.sample(10)
+        originals = {id(row): row for row in r.tuples}
+        for part in r.partition_by_hash(("b",), 2):
+            for row in part.tuples:
+                assert id(row) in originals  # same objects, no payload copy
+
+    def test_custom_hasher_is_used(self):
+        r = self.sample(12)
+        parts = r.partition_by_hash(("b",), 2, hasher=lambda key: key[0])
+        for row in parts[0].tuples:
+            assert row[1] % 2 == 0
+        for row in parts[1].tuples:
+            assert row[1] % 2 == 1
+
+    def test_empty_relation_yields_empty_shards(self):
+        r = rel("R", ("a", "b"), [])
+        parts = r.partition_by_hash(("a",), 5)
+        assert len(parts) == 5
+        assert all(part.is_empty() for part in parts)
+        # empty shards still behave like relations (joinable, indexable)
+        assert parts[0].index_on(("a",)) == {}
+
+    def test_single_shard_is_a_full_copy_of_the_tuple_set(self):
+        r = self.sample()
+        [only] = r.partition_by_hash(("a",), 1)
+        assert only.tuples == r.tuples
+
+    def test_invalid_shard_count_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            self.sample().partition_by_hash(("a",), 0)
+
+    def test_missing_key_variable_raises(self):
+        with pytest.raises(SchemaError):
+            self.sample().partition_by_hash(("z",), 2)
+
+    def test_partition_index_invalidation_still_fires(self):
+        r = self.sample()
+        part = r.partition_by_hash(("a",), 2)[0]
+        index = part.index_on(("a",))
+        row = next(iter(part.tuples))
+        part.add((99, 99, 99))
+        rebuilt = part.index_on(("a",))
+        assert rebuilt is not index
+        assert (99,) in rebuilt and (row[0],) in rebuilt
+        # the parent relation and sibling partitions are untouched
+        assert (99, 99, 99) not in r.tuples
+
+    def test_partition_names_mark_the_shard(self):
+        parts = self.sample().partition_by_hash(("a",), 2)
+        assert [p.name for p in parts] == ["R@0", "R@1"]

@@ -1,0 +1,335 @@
+"""Tests for the sharded, batched serving layer (``repro.serving``).
+
+The load-bearing property is shard-count invariance: a probe routed to its
+home shard must see exactly the answer the unsharded index would give, for
+every shard count.  The differential harness fuzzes this against the
+oracle; here it is pinned down deterministically, together with the
+scheduler's ordering/dedupe contract, the server's backpressure, and the
+budget-split accounting.
+"""
+
+import json
+import random
+import threading
+
+import pytest
+
+from repro.core.index import CQAPIndex
+from repro.data import path_database
+from repro.engine import prepare
+from repro.query.catalog import k_path_cqap
+from repro.serving import (
+    BatchScheduler,
+    ProbeServer,
+    ShardedIndex,
+    access_hash,
+    prepare_sharded,
+)
+from repro.util.counters import Counters
+
+DOMAIN = 60
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    cqap = k_path_cqap(3)
+    db = path_database(3, 400, DOMAIN, seed=11, skew_hubs=4)
+    index = CQAPIndex(cqap, db, int(db.size ** 1.2))
+    index.preprocess()
+    return index
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    rng = random.Random(5)
+    return [(rng.randrange(DOMAIN), rng.randrange(DOMAIN))
+            for _ in range(30)]
+
+
+class TestAccessHash:
+    def test_deterministic_and_spread(self):
+        assert access_hash((3, 17)) == access_hash((3, 17))
+        assert access_hash((3, 17)) != access_hash((17, 3))
+        shards = {access_hash((i, j)) % 4
+                  for i in range(8) for j in range(8)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_equal_values_hash_equal_across_types(self):
+        # routing must respect the engine's own equality: (1, 2) and
+        # (1.0, 2.0) are the same dict key, so they must share a shard
+        assert access_hash((1, 2)) == access_hash((1.0, 2.0))
+        assert access_hash((1, 2)) == access_hash((True, 2))
+        assert access_hash((0,)) == access_hash((-0.0,))
+        assert access_hash((1.5,)) != access_hash((1,))
+        assert access_hash(("1",)) != access_hash((1,))
+
+    def test_numeric_type_of_binding_does_not_change_answers(self,
+                                                             prepared):
+        sharded = ShardedIndex(prepared, n_shards=4)
+        for pair in [(1, 2), (3, 4)]:
+            as_int = sharded.probe(pair)
+            as_float = sharded.probe(tuple(float(v) for v in pair))
+            assert frozenset(as_float.tuples) == frozenset(as_int.tuples)
+            assert frozenset(as_int.tuples) == \
+                frozenset(prepared.answer(pair).tuples)
+
+
+class TestShardedIndex:
+    def test_requires_preprocessed_index(self, prepared):
+        raw = CQAPIndex(prepared.cqap, prepared.db, 100)
+        with pytest.raises(ValueError, match="preprocessed"):
+            ShardedIndex(raw)
+
+    def test_shard_count_validated(self, prepared):
+        with pytest.raises(ValueError, match="positive"):
+            ShardedIndex(prepared, n_shards=0)
+
+    def test_routing_total_and_stable(self, prepared, pairs):
+        sharded = ShardedIndex(prepared, n_shards=5)
+        for pair in pairs:
+            key = sharded.normalize(pair)
+            shard = sharded.shard_of(key)
+            assert 0 <= shard < 5
+            assert shard == sharded.shard_of(key)
+
+    def test_partitions_disjointly_cover_targets(self, prepared):
+        sharded = ShardedIndex(prepared, n_shards=4)
+        assert sharded._target_parts, "expected partitionable S-targets"
+        for target, parts in sharded._target_parts.items():
+            original = prepared.s_targets[target]
+            assert sum(len(p) for p in parts) == len(original)
+            seen = set()
+            for part in parts:
+                assert not (part.tuples & seen)
+                seen |= part.tuples
+            assert seen == original.tuples
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 7])
+    def test_probe_matches_unsharded(self, prepared, pairs, n_shards):
+        sharded = ShardedIndex(prepared, n_shards=n_shards)
+        for pair in pairs:
+            expected = prepared.answer(pair)
+            got = sharded.probe(pair)
+            assert frozenset(got.tuples) == frozenset(expected.tuples)
+
+    def test_single_shard_partitions_nothing(self, prepared):
+        sharded = ShardedIndex(prepared, n_shards=1)
+        assert sharded.partitioned_tuples == 0
+        assert sharded.replicated_tuples == prepared.stored_tuples
+
+    def test_budget_split_accounting(self, prepared):
+        sharded = ShardedIndex(prepared, n_shards=4)
+        split = sharded.budget_split()
+        assert split["shards"] == 4
+        assert split["per_shard_budget"] * 4 == \
+            pytest.approx(split["global_budget"])
+        assert sum(split["per_shard_partitioned"]) == \
+            split["partitioned_tuples"]
+        assert split["partitioned_tuples"] + split["replicated_tuples"] \
+            == prepared.stored_tuples
+
+    def test_selection_snapshot_records_budget_split(self, prepared):
+        sharded = ShardedIndex(prepared, n_shards=3)
+        stats = sharded.stats()
+        selection = stats["selection"]
+        assert selection["budget_split"]["shards"] == 3
+        assert selection["budget_split"] == stats["budget_split"]
+        # the unsharded snapshot stays split-free
+        assert "budget_split" not in prepared.selection.snapshot()
+        json.dumps(stats)  # the whole snapshot is JSON-serializable
+
+    def test_per_shard_lifecycle_counters(self, prepared, pairs):
+        sharded = ShardedIndex(prepared, n_shards=4)
+        for pair in pairs:
+            sharded.probe(pair)
+        per_shard = [s.probes_served for s in sharded.shards]
+        assert sum(per_shard) == len(pairs)
+        # online phases happen on the probed shard only
+        for shard in sharded.shards:
+            assert shard.online_phases == shard.probes_served
+            assert shard.executor.online_runs == shard.online_phases
+
+    def test_prepare_sharded_convenience(self):
+        cqap = k_path_cqap(2)
+        db = path_database(2, 120, 40, seed=3)
+        sharded = prepare_sharded(cqap, db, space_budget=db.size,
+                                  n_shards=3)
+        assert sharded.n_shards == 3
+        assert sharded.index.ready
+
+
+class TestSelectionKeyExposure:
+    def test_s_view_keys_declare_access_prefix(self, prepared):
+        access = tuple(prepared.cqap.access)
+        entries = prepared.selection.s_view_keys(access)
+        assert entries, "expected at least one S-routed rule"
+        for entry in entries:
+            assert entry["s_target"] == tuple(sorted(entry["s_target"]))
+            expected = set(access) <= set(entry["s_target"])
+            assert entry["partitionable"] == expected
+            if entry["partitionable"]:
+                assert entry["access_prefix"] == access
+            else:
+                assert entry["access_prefix"] == ()
+
+
+class TestBatchScheduler:
+    def test_input_order_and_duplicate_sharing(self, prepared):
+        sharded = ShardedIndex(prepared, n_shards=4)
+        batch = [(1, 2), (3, 4), (1, 2), (5, 6), (3, 4)]
+        with BatchScheduler(sharded) as sched:
+            out = sched.run(batch)
+        assert len(out) == len(batch)
+        assert out[0] is out[2]          # duplicates share one relation
+        assert out[1] is out[4]
+        for pair, rel in zip(batch, out):
+            assert frozenset(rel.tuples) == \
+                frozenset(prepared.answer(pair).tuples)
+
+    def test_matches_probe_many(self, prepared, pairs):
+        pq = prepare(prepared.cqap, prepared.db,
+                     int(prepared.db.size ** 1.2))
+        sharded = ShardedIndex(prepared, n_shards=4)
+        with BatchScheduler(sharded) as sched:
+            out = dict(zip([sharded.normalize(p) for p in pairs],
+                           sched.run(pairs)))
+        reference = pq.probe_many(pairs)
+        assert set(out) == set(reference)
+        for key, rel in reference.items():
+            assert frozenset(out[key].tuples) == frozenset(rel.tuples)
+
+    def test_dedupe_and_cache_accounting(self, prepared):
+        sharded = ShardedIndex(prepared, n_shards=4)
+        batch = [(1, 2), (1, 2), (3, 4), (1, 2)]
+        with BatchScheduler(sharded) as sched:
+            sched.run(batch)
+            assert sched.probes_in == 4
+            assert sched.unique_probes == 2
+            assert sched.cache_served == 0
+            phases = sched.shard_phases
+            # an identical batch is served wholly from the cache
+            sched.run(batch)
+            assert sched.cache_served == 2
+            assert sched.shard_phases == phases
+            assert sched.dedupe_ratio == pytest.approx(8 / 4)
+            assert sched.stats()["cache"]["hits"] == 2
+
+    def test_counters_forwarded(self, prepared):
+        sharded = ShardedIndex(prepared, n_shards=2)
+        ctr = Counters()
+        with BatchScheduler(sharded, cache_size=0) as sched:
+            sched.run([(1, 2), (3, 4)], counters=ctr)
+        assert ctr.online_work > 0
+
+    def test_empty_batch(self, prepared):
+        sharded = ShardedIndex(prepared, n_shards=4)
+        with BatchScheduler(sharded) as sched:
+            assert sched.run([]) == []
+
+    def test_close_is_idempotent(self, prepared):
+        sharded = ShardedIndex(prepared, n_shards=4)
+        sched = BatchScheduler(sharded)
+        sched.run([(1, 2), (3, 4), (5, 6), (7, 8)])
+        sched.close()
+        sched.close()
+
+
+class TestProbeServer:
+    def test_serves_stream_in_order(self, prepared, pairs):
+        sharded = ShardedIndex(prepared, n_shards=4)
+        with ProbeServer(sharded, batch_size=4) as server:
+            served = list(server.serve(iter(pairs)))
+        assert [key for key, _ in served] == \
+            [sharded.normalize(p) for p in pairs]
+        for key, rel in served:
+            assert frozenset(rel.tuples) == \
+                frozenset(prepared.answer(key).tuples)
+        assert server.probes_served == len(pairs)
+
+    def test_accepts_pre_batched_streams(self, prepared):
+        sharded = ShardedIndex(prepared, n_shards=2)
+        batches = [[(1, 2), (3, 4)], [(5, 6)]]
+        with ProbeServer(sharded, batch_size=2) as server:
+            served = list(server.serve(batches))
+        assert [key for key, _ in served] == [(1, 2), (3, 4), (5, 6)]
+
+    def test_backpressure_bounds_lookahead(self, prepared, pairs):
+        sharded = ShardedIndex(prepared, n_shards=2)
+        produced = []
+
+        def stream():
+            for pair in pairs:
+                produced.append(pair)
+                yield pair
+
+        window = 2 * 2  # batch_size * max_pending_batches
+        with ProbeServer(sharded, batch_size=2,
+                         max_pending_batches=2) as server:
+            consumed = 0
+            for _ in server.serve(stream()):
+                consumed += 1
+                # the producer never ran more than the window ahead of
+                # what the consumer has taken out
+                assert len(produced) - consumed <= window
+        assert consumed == len(pairs)
+        assert server.peak_pending <= window
+
+    def test_backpressure_holds_for_burst_batches(self, prepared, pairs):
+        # one huge pre-formed batch must not blow past the pending window:
+        # pre-batched items are unpacked lazily, one binding per pull
+        sharded = ShardedIndex(prepared, n_shards=2)
+        window = 2 * 2
+        with ProbeServer(sharded, batch_size=2,
+                         max_pending_batches=2) as server:
+            served = list(server.serve([list(pairs)]))
+        assert len(served) == len(pairs)
+        assert server.peak_pending <= window
+
+    def test_stats_shape(self, prepared, pairs):
+        sharded = ShardedIndex(prepared, n_shards=3)
+        with ProbeServer(sharded, batch_size=8) as server:
+            list(server.serve(iter(pairs)))
+            stats = server.stats()
+        json.dumps(stats)
+        assert stats["batches_served"] == (len(pairs) + 7) // 8
+        assert len(stats["sharded"]["per_shard"]) == 3
+        assert stats["scheduler"]["probes_in"] == len(pairs)
+
+    def test_parameter_validation(self, prepared):
+        sharded = ShardedIndex(prepared, n_shards=2)
+        with pytest.raises(ValueError):
+            ProbeServer(sharded, batch_size=0)
+        with pytest.raises(ValueError):
+            ProbeServer(sharded, max_pending_batches=0)
+
+
+class TestConcurrentEngineCounters:
+    def test_prepared_query_counters_consistent_under_threads(self):
+        cqap = k_path_cqap(2)
+        db = path_database(2, 150, 40, seed=9)
+        pq = prepare(cqap, db, space_budget=int(db.size ** 1.2))
+        binding = (1, 2)
+        pq.probe(binding)            # prime the cache
+        n_threads, per_thread = 4, 50
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker():
+            barrier.wait()
+            try:
+                for _ in range(per_thread):
+                    pq.probe(binding)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # no lost increments: the lock makes the counter exact
+        assert pq.probes_served == 1 + n_threads * per_thread
+        cache = pq.cache.snapshot()
+        assert cache["hits"] + cache["misses"] == pq.probes_served
