@@ -42,7 +42,7 @@ def experiment():
 
     # cold: the one-time prepare phase
     pq = prepare(cqap, db, space_budget=budget, cache_size=512)
-    plan_calls_cold = pq.stats()["plan_calls"]
+    plan_calls_cold = pq.stats()["engine"]["plan_calls"]
 
     # warm: distinct probes through the compiled online plan (no cache hits)
     warm_ctr = Counters()
@@ -75,7 +75,7 @@ def experiment():
     batched = prepare(cqap, db, space_budget=budget, cache_size=0)
     batched.probe_many(batch, counters=batched_ctr)
 
-    stats = pq.stats()
+    stats = pq.stats()["engine"]
     return {
         "db_size": db.size,
         "budget": budget,

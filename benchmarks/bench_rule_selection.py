@@ -118,7 +118,7 @@ def budget_experiment():
         for probe in probes:
             pq.probe_boolean(probe)
         seconds = time.perf_counter() - start
-        snap = pq.stats()["selection"]
+        snap = pq.stats()["engine"]["selection"]
         rows.append({
             "budget_point": point,
             "space_budget": budget,

@@ -14,6 +14,20 @@ baseline.  The engine's own batch loop (``probe_many`` per 32-wide batch)
 is also reported as context: it is the throughput floor the scheduler
 must match before sharding and window batching can add anything.
 
+The **process backend** is measured on its own grid with a CPU-time
+methodology.  This box (and most CI runners) pins the whole fleet to a
+handful of cores, so wall-clock cannot show the parallelism a fleet buys
+on real hardware; what sharding actually changes is the *critical path*:
+each worker only executes its shard's slice of the online work.  The
+grid therefore reports ``critical_path_seconds = parent CPU + max(worker
+CPU)`` — the elapsed time of the slowest chain when every worker has its
+own core — as the primary ``probes_per_sec`` denominator, with measured
+wall-clock seconds and the box's core count recorded alongside so the
+number can never be mistaken for a same-box wall-clock win.  Worker CPU
+is ``time.process_time()`` measured *inside* each worker process; the
+process stream is all-distinct (no dedupe, no cache hits), so the
+measurement is online-phase-bound, which is the regime sharding targets.
+
 All sides serve the *same* prepared index, stream, and cache capacity, so
 differences are purely scheduling.  Every answer is additionally
 cross-checked against ``probe_many`` (and the grid across shard counts
@@ -21,6 +35,7 @@ against itself), so a throughput number can never come from a wrong
 answer.
 """
 
+import os
 import sys
 import time
 from functools import lru_cache
@@ -37,7 +52,7 @@ from repro.data import path_database
 from repro.engine import PreparedQuery
 from repro.query.catalog import k_path_cqap
 from repro.query.cq import CQAP, Atom
-from repro.serving import BatchScheduler, ProbeServer, ShardedIndex
+from repro.serving import BatchScheduler, ShardedIndex, serve
 from repro.workloads.probes import batched_stream
 
 N_EDGES = 800
@@ -50,6 +65,13 @@ CACHE_SIZE = 512
 
 SHARD_COUNTS = (1, 2, 4, 8)
 BATCH_SIZES = (8, 32)
+
+#: the process fleet's grid: shard counts on an all-distinct stream.
+#: Wide batches keep the parent's per-submission dispatch cost (one
+#: executor round-trip per shard per batch) off the critical path.
+PROCESS_SHARD_COUNTS = (1, 2, 4)
+PROCESS_BATCHES = 10
+PROCESS_BATCH_SIZE = 256
 
 #: the degenerate config measured for overhead: 1 shard, batches of 1
 OVERHEAD_PROBES = 400
@@ -124,7 +146,11 @@ def experiment():
 
     batch_loop_pps = n_probes / max(_best_seconds(batch_loop), 1e-9)
 
-    # -- grid: shard count × execution batch size -----------------------
+    # -- grid: shard count × execution batch size (thread backend) ------
+    # the backend (shard partitioning) is built once per shard count,
+    # outside the timed region: the grid measures serving, not setup.
+    # Each timed pass fronts it with a fresh Server via serve(), so every
+    # repeat starts with a cold answer cache.
     grid = []
     for n_shards in SHARD_COUNTS:
         sharded = ShardedIndex(index, n_shards=n_shards)
@@ -134,8 +160,8 @@ def experiment():
             stats = {}
 
             def serving_pass():
-                with ProbeServer(sharded, batch_size=batch_size,
-                                 cache_size=CACHE_SIZE) as server:
+                with serve(index, backend=sharded, batch_size=batch_size,
+                           cache_size=CACHE_SIZE) as server:
                     served[:] = list(server.serve(chunks))
                     stats.update(server.stats())
 
@@ -144,6 +170,7 @@ def experiment():
                 assert frozenset(rel.tuples) == \
                     frozenset(reference[key].tuples), (n_shards, key)
             grid.append({
+                "backend": "thread",
                 "shards": n_shards,
                 "batch_size": batch_size,
                 "probes": len(served),
@@ -154,8 +181,80 @@ def experiment():
                 "dedupe_ratio": stats["scheduler"]["dedupe_ratio"],
                 "cache_hit_rate": stats["scheduler"]["cache"]["hit_rate"],
                 "partitioned_tuples":
-                    stats["sharded"]["budget_split"]["partitioned_tuples"],
+                    stats["engine"]["budget_split"]["partitioned_tuples"],
             })
+
+    # -- process fleet: critical-path CPU scaling vs shard count --------
+    proc_stream = batched_stream(cqap, db, random.Random(91),
+                                 batches=PROCESS_BATCHES,
+                                 batch_size=PROCESS_BATCH_SIZE,
+                                 dedupe_ratio=0.0, hot_fraction=0.0)
+    proc_reference = {}
+    ref_pq = PreparedQuery(index, cache_size=0)
+    for batch in proc_stream:
+        proc_reference.update(ref_pq.probe_many(batch))
+    n_proc_probes = sum(len(batch) for batch in proc_stream)
+
+    # the fleet (fork + in-worker preprocessing) is built once per shard
+    # count; each timed pass fronts it with a fresh Server (cold cache)
+    # and charges only that pass's worker CPU via before/after deltas
+    from repro.serving import ProcessShardFleet
+
+    process_grid = []
+    for n_shards in PROCESS_SHARD_COUNTS:
+        fleet = ProcessShardFleet(index, n_shards=n_shards)
+        try:
+            best = None
+            for _ in range(REPEATS):
+                before = [s.cpu_seconds for s in fleet.shards]
+                with serve(index, backend=fleet,
+                           batch_size=PROCESS_BATCH_SIZE,
+                           cache_size=CACHE_SIZE) as server:
+                    wall0 = time.perf_counter()
+                    cpu0 = time.process_time()
+                    served = list(server.serve(proc_stream))
+                    parent_cpu = time.process_time() - cpu0
+                    wall = time.perf_counter() - wall0
+                for key, rel in served:   # correctness gates throughput
+                    assert frozenset(rel.tuples) == \
+                        frozenset(proc_reference[key].tuples), \
+                        (n_shards, key)
+                worker_cpus = [s.cpu_seconds - b
+                               for s, b in zip(fleet.shards, before)]
+                critical = parent_cpu + max(worker_cpus)
+                row = {
+                    "backend": "process",
+                    "shards": n_shards,
+                    "batch_size": PROCESS_BATCH_SIZE,
+                    "probes": len(served),
+                    "wall_seconds": wall,
+                    "parent_cpu_seconds": parent_cpu,
+                    "worker_cpu_seconds": worker_cpus,
+                    "critical_path_seconds": critical,
+                    "probes_per_sec": len(served) / max(critical, 1e-9),
+                    "preprocess_seconds":
+                        max(s.preprocess_seconds for s in fleet.shards),
+                    "partitioned_tuples": fleet.partitioned_tuples,
+                }
+                if best is None or critical < best["critical_path_seconds"]:
+                    best = row
+            process_grid.append(best)
+        finally:
+            fleet.close()
+
+    proc_pps = [row["probes_per_sec"] for row in process_grid]
+    process_scaling = {
+        "metric": "critical_path_cpu",
+        "note": "probes / (parent CPU + max worker CPU); wall-clock "
+                "cannot show fleet parallelism on this box",
+        "cpu_count": os.cpu_count(),
+        "shard_counts": list(PROCESS_SHARD_COUNTS),
+        "probes_per_sec": proc_pps,
+        "speedup_4_vs_1": proc_pps[-1] / max(proc_pps[0], 1e-9),
+        "monotone_increasing": all(a < b for a, b
+                                   in zip(proc_pps, proc_pps[1:])),
+        "stream_probes": n_proc_probes,
+    }
 
     # -- overhead: 1 shard, batches of 1, vs probe_many([b]) ------------
     head = flat[:OVERHEAD_PROBES]
@@ -184,6 +283,8 @@ def experiment():
         "baseline_probes_per_sec": baseline_pps,
         "probe_many_batch_probes_per_sec": batch_loop_pps,
         "throughput_grid": grid,
+        "process_grid": process_grid,
+        "process_scaling": process_scaling,
         "best_speedup": best["speedup_vs_baseline"],
         "best_config": {"shards": best["shards"],
                         "batch_size": best["batch_size"]},
@@ -214,6 +315,26 @@ def report():
     )
     print(f"single-shard batch-of-1 overhead vs probe_many: "
           f"{r['single_shard_overhead']:+.1%}", flush=True)
+    scaling = r["process_scaling"]
+    print_table(
+        "process fleet — critical-path CPU throughput vs shard count "
+        f"({scaling['stream_probes']} distinct probes, "
+        f"{scaling['cpu_count']} cores on this box; probes / "
+        "(parent CPU + max worker CPU))",
+        ["shards", "probes/s", "wall s", "parent cpu", "max worker cpu",
+         "preprocess s"],
+        [
+            [row["shards"], f"{row['probes_per_sec']:.0f}",
+             f"{row['wall_seconds']:.2f}",
+             f"{row['parent_cpu_seconds']:.2f}",
+             f"{max(row['worker_cpu_seconds']):.2f}",
+             f"{row['preprocess_seconds']:.2f}"]
+            for row in r["process_grid"]
+        ],
+    )
+    print(f"process fleet critical-path speedup 4 shards vs 1: "
+          f"{scaling['speedup_4_vs_1']:.2f}x "
+          f"(monotone: {scaling['monotone_increasing']})", flush=True)
     return r
 
 
@@ -242,14 +363,22 @@ def test_serving_benchmark(benchmark):
     # sharding actually partitions stored state beyond one shard
     assert any(row["partitioned_tuples"] > 0
                for row in r["throughput_grid"] if row["shards"] > 1)
+    # the process fleet's critical-path throughput grows with the fleet:
+    # monotone from 1 -> 4 shards, and at least 1.5x at 4 shards
+    scaling = r["process_scaling"]
+    assert scaling["monotone_increasing"], scaling["probes_per_sec"]
+    assert scaling["speedup_4_vs_1"] >= 1.5, scaling["speedup_4_vs_1"]
     benchmark(lambda: None)
 
 
-def smoke(n_shards: int = 2, batches: int = 2) -> int:
+def smoke(n_shards: int = 2, batches: int = 2,
+          backend: str = "thread") -> int:
     """The CI smoke: a tiny sharded run cross-checked against probe_many.
 
     Returns 0 on agreement, 1 otherwise — cheap enough to run on every
-    push (2 shards × 2 batches by default).
+    push (2 shards × 2 batches by default).  ``backend`` selects the
+    thread or process fleet through the same ``serve()`` facade users go
+    through, so CI covers both serving paths on every push.
     """
     cqap = k_path_cqap(3)
     db = path_database(3, 300, 60, seed=7)
@@ -259,21 +388,25 @@ def smoke(n_shards: int = 2, batches: int = 2) -> int:
     stream = batched_stream(cqap, db, rng, batches=batches, batch_size=8,
                             dedupe_ratio=0.5)
     pq = PreparedQuery(index, cache_size=64)
-    sharded = ShardedIndex(index, n_shards=n_shards)
     failures = 0
-    with ProbeServer(sharded, batch_size=8, cache_size=64) as server:
+    with serve(index, backend=backend, shards=n_shards, batch_size=8,
+               cache_size=64) as server:
         for key, rel in server.serve(stream):
             expected = pq.probe_many([key])[key]
             if frozenset(rel.tuples) != frozenset(expected.tuples):
                 print(f"SMOKE MISMATCH at {key}")
                 failures += 1
-    print(f"serving smoke: {n_shards} shards x {batches} batches, "
-          f"{server.probes_served} probes, {failures} mismatches",
+        probes = server.probes_served
+    print(f"serving smoke [{backend}]: {n_shards} shards x {batches} "
+          f"batches, {probes} probes, {failures} mismatches",
           flush=True)
     return 1 if failures else 0
 
 
 if __name__ == "__main__":
     if "--smoke" in sys.argv:
-        sys.exit(smoke())
+        chosen = "thread"
+        if "--backend" in sys.argv:
+            chosen = sys.argv[sys.argv.index("--backend") + 1]
+        sys.exit(smoke(backend=chosen))
     report()

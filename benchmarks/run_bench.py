@@ -34,8 +34,10 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 #: bumped with every incompatible payload change; v2 added the provenance
-#: stamp and the rule-selection estimator-accuracy section
-SCHEMA_VERSION = 2
+#: stamp and the rule-selection estimator-accuracy section; v3 added the
+#: ``backend`` axis to the serving grid plus the process-fleet
+#: ``process_grid``/``process_scaling`` critical-path CPU sections
+SCHEMA_VERSION = 3
 
 #: top-level keys every emitted payload must carry
 REQUIRED_KEYS = ("schema_version", "commit", "date", "benchmark",
@@ -47,7 +49,8 @@ REQUIRED_METRICS = {
                        "cached_probes_per_sec", "cache_hit_rate"),
     "rule_selection": ("planning", "budget_sweep", "estimator_accuracy"),
     "serving": ("baseline_probes_per_sec", "throughput_grid",
-                "best_speedup", "single_shard_overhead"),
+                "best_speedup", "single_shard_overhead",
+                "process_grid", "process_scaling"),
 }
 
 
@@ -171,6 +174,7 @@ def collect_serving(quiet: bool = False) -> dict:
             "hot_fraction": bench.HOT_FRACTION,
             "shard_counts": list(bench.SHARD_COUNTS),
             "batch_sizes": list(bench.BATCH_SIZES),
+            "process_shard_counts": list(bench.PROCESS_SHARD_COUNTS),
             "cache_size": bench.CACHE_SIZE,
         },
         "metrics": results,
@@ -279,7 +283,10 @@ def main(argv=None) -> int:
           f"{sm['best_config']['shards']} shards x batch "
           f"{sm['best_config']['batch_size']} = "
           f"{sm['best_speedup']:.2f}x, single-shard overhead "
-          f"{sm['single_shard_overhead']:+.1%}", flush=True)
+          f"{sm['single_shard_overhead']:+.1%}, process fleet "
+          f"{sm['process_scaling']['speedup_4_vs_1']:.2f}x critical-path "
+          f"speedup at {sm['process_scaling']['shard_counts'][-1]} shards",
+          flush=True)
     return 0
 
 

@@ -1,11 +1,11 @@
 """Quickstart — prepare a space-budgeted CQAP instance once, probe it many
-times through the serving engine.
+times through the serving engine, then scale it out with the serving
+facade (``repro.serve``).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import catalog, path_database, singleton_request
-from repro.engine import prepare
+from repro import catalog, path_database, prepare, serve, singleton_request
 from repro.util.counters import Counters
 
 
@@ -61,11 +61,25 @@ def main() -> None:
     print(f"\nbatch of {len(batch)} requests -> {hits} hits "
           f"in {counters.online_work} online ops")
 
-    stats = pq.stats()
-    print(f"\nserving stats: {stats['probes_served']} probes, "
-          f"{stats['online_phases']} online phases, "
-          f"cache {stats['cache']['hits']}/{stats['cache']['hits'] + stats['cache']['misses']} hits, "
-          f"replanned={stats['replanned']}")
+    engine = pq.stats()["engine"]
+    print(f"\nserving stats: {engine['probes_served']} probes, "
+          f"{engine['online_phases']} online phases, "
+          f"cache {engine['cache']['hits']}/{engine['cache']['hits'] + engine['cache']['misses']} hits, "
+          f"replanned={engine['replanned']}")
+
+    # Scale out: front the same prepared query with the serving facade.
+    # backend="thread" shards inside this process; backend="process"
+    # forks one worker per shard — answers are identical either way, so
+    # migrating is exactly the backend= argument.
+    stream = [batch, [hit, miss]]
+    with serve(pq, backend="thread", shards=2, batch_size=8) as server:
+        served = server.serve_all(stream)
+        envelope = server.stats()
+    print(f"\nserve(backend='thread', shards=2): "
+          f"{envelope['server']['probes_served']} probes over "
+          f"{len(served)} distinct bindings, "
+          f"dedupe {envelope['scheduler']['dedupe_ratio']:.2f}, "
+          f"stats schema v{envelope['schema_version']}")
 
 
 if __name__ == "__main__":

@@ -12,8 +12,8 @@ Run:  python examples/social_reachability.py
 
 import random
 
+from repro import prepare
 from repro.data import random_edge_relation
-from repro.engine import prepare
 from repro.problems import KReachOracle, graph_database
 from repro.query.catalog import k_path_cqap
 from repro.util.counters import Counters
@@ -87,10 +87,10 @@ def main() -> None:
     counters = Counters()
     for pair in stream:
         hot.probe_boolean(pair, counters=counters)
-    stats = hot.stats()
+    engine = hot.stats()["engine"]
     print(f"{len(stream)} probes over {len(hot_pairs)} hot pairs: "
-          f"{stats['cache']['hit_rate']:.0%} cache hits, "
-          f"{stats['online_phases']} online phases, "
+          f"{engine['cache']['hit_rate']:.0%} cache hits, "
+          f"{engine['online_phases']} online phases, "
           f"{counters.online_work} total online ops")
 
 

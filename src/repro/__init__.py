@@ -8,13 +8,15 @@ square/triangle queries, hierarchical CQAPs).
 
 Quickstart::
 
-    from repro import CQAPIndex, catalog, path_database
+    from repro import catalog, path_database, prepare, serve
 
     cqap = catalog.k_path_cqap(2)
     db = path_database(k=2, n_edges=2000, domain=300, seed=1)
-    index = CQAPIndex(cqap, db, space_budget=4000)
-    index.preprocess()
-    print(index.answer_boolean((3, 17)))   # is there a 2-path from 3 to 17?
+    prepared = prepare(cqap, db, space_budget=4000)
+    print(prepared.probe_boolean((3, 17)))  # a 2-path from 3 to 17?
+
+    with serve(prepared, backend="process", shards=4) as server:
+        answers = server.serve_all(stream_of_bindings)
 """
 
 from repro.data import (
@@ -50,6 +52,7 @@ __all__ = [
     "catalog",
     "path_database",
     "prepare",
+    "serve",
     "singleton_request",
     "square_database",
     "star_database",
@@ -72,4 +75,8 @@ def __getattr__(name):
         from repro.engine.prepared import prepare
 
         return prepare
+    if name == "serve":
+        from repro.serving.api import serve
+
+        return serve
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -99,6 +99,7 @@ class CQAPIndex:
         beam_width: int = 3,
         max_selected_pmtds: Optional[int] = None,
         statistics: Optional[CatalogStatistics] = None,
+        shards: int = 1,
     ) -> None:
         self.cqap = cqap
         self.db = db
@@ -140,10 +141,16 @@ class CQAPIndex:
                 f"got {rule_selection!r}"
             )
         if max_pmtds is not None:
+            # Deprecated since PR 3; scheduled for removal two releases
+            # after the serving facade landed (PR 6) — i.e. the parameter
+            # disappears in PR 8.  Internal callers all pass
+            # ``rule_selection=`` already; only external callers can still
+            # reach this branch.
             warnings.warn(
-                "max_pmtds is deprecated: the space_budget now drives rule "
-                "selection directly (rule_selection='budget' beam-selects a "
-                "sound PMTD subset; 'auto' does so for large PMTD sets)",
+                "max_pmtds is deprecated and will be removed two releases "
+                "after the repro.serving facade (use rule_selection='budget' "
+                "with max_selected_pmtds, or 'auto' which beam-selects "
+                "large PMTD sets against the space_budget)",
                 DeprecationWarning, stacklevel=2,
             )
             # Any subset of PMTDs is sound (answering unions the per-PMTD
@@ -173,6 +180,10 @@ class CQAPIndex:
         self._selection_pool: List[PMTD] = list(self.pmtds)
         self._beam_width = beam_width
         self._max_selected_pmtds = max_selected_pmtds
+        #: worker count the selection ledger prices for — the serving fleet
+        #: passes its shard count so replicated S-targets must fit every
+        #: per-shard budget slice whole (see selection.shard_fraction)
+        self.shards = max(1, int(shards))
         if mode == "budget":
             self.selection: SelectionResult = select_rules(
                 self.pmtds, self.cost_model,
@@ -180,12 +191,14 @@ class CQAPIndex:
                 beam_width=beam_width,
                 max_selected=max_selected_pmtds,
                 lp_oracle=self._lp_oracle,
+                shards=self.shards,
             )
             self.pmtds = self.selection.pmtds
         else:
             self.selection = keep_all_rules(
                 self.pmtds, rules_from_pmtds(self.pmtds), self.cost_model,
                 space_budget=self.space_budget,
+                shards=self.shards,
             )
         self.rules: List[TwoPhaseRule] = self.selection.rules
         self.executor = TwoPhaseExecutor(cqap, budget_slack=budget_slack)
@@ -234,6 +247,7 @@ class CQAPIndex:
                     max_selected=self._max_selected_pmtds,
                     require_online_fallback=True,
                     lp_oracle=self._lp_oracle,
+                    shards=self.shards,
                 )
             except ValueError as exc:
                 # keep the error contract: callers (and the differential

@@ -98,6 +98,27 @@ class Relation:
         self._indexes: Dict[Tuple[str, ...], Dict[Tuple_, list]] = {}
 
     # ------------------------------------------------------------------
+    # pickling (process-backed serving ships relation payloads to shard
+    # worker processes)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle the payload, not the cache.
+
+        The lazily-built hash indexes are derived state — often larger
+        than the tuple set itself — and every process can rebuild them on
+        first use, so shipping a relation to a shard worker serializes
+        only ``(name, schema, tuples)``.
+        """
+        return (self.name, self.schema, self.tuples)
+
+    def __setstate__(self, state) -> None:
+        name, schema, tuples = state
+        self.name = name
+        self.schema = schema
+        self.tuples = tuples
+        self._indexes = {}
+
+    # ------------------------------------------------------------------
     # basic protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:

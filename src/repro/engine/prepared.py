@@ -215,6 +215,11 @@ class PreparedQuery:
     # introspection
     # ------------------------------------------------------------------
     @property
+    def index(self) -> CQAPIndex:
+        """The underlying preprocessed index (what ``serve()`` shards)."""
+        return self._index
+
+    @property
     def stored_tuples(self) -> int:
         """Space held by the prepared S-targets."""
         return self._index.stored_tuples
@@ -241,10 +246,9 @@ class PreparedQuery:
         """Human-readable dump of the frozen plans."""
         return self._index.describe()
 
-    def stats(self) -> Dict:
-        """JSON-friendly serving statistics."""
+    def engine_section(self) -> Dict:
+        """The stats envelope's ``engine`` section for this prepared query."""
         return {
-            "query": self.cqap.name,
             "prepare_seconds": self.prepare_seconds,
             "prepare_counters": self.prepare_counters.snapshot(),
             "stored_tuples": self.stored_tuples,
@@ -265,3 +269,16 @@ class PreparedQuery:
             "replanned": self.replanned,
             "cache": self.cache.snapshot(),
         }
+
+    def stats(self) -> Dict:
+        """Serving statistics in the versioned stats envelope.
+
+        Same shape as every other serving-stack layer
+        (:mod:`repro.serving.stats`): the prepared-engine numbers live
+        under ``"engine"``; ``scheduler``/``server``/``shards`` are empty
+        at this layer.
+        """
+        from repro.serving.stats import stats_envelope
+
+        return stats_envelope(query=self.cqap.name,
+                              engine=self.engine_section())

@@ -2,43 +2,66 @@
 
 The serving stack, bottom to top::
 
-    CQAPIndex.preprocess()          # plan once (repro.core / repro.engine)
-      └─ ShardedIndex(index, N)     # hash-partition S-views by access tuple
-           └─ BatchScheduler        # dedupe + shard-group + concurrent fan-out
-                └─ ProbeServer      # stream facade with backpressure + stats
+    repro.prepare(cqap, db, budget, shards=N)   # plan once, priced per shard
+      └─ shard backend                          # hash-partition S-views
+           ├─ ShardedIndex     backend="thread" (in-process, GIL-bound)
+           └─ ProcessShardFleet backend="process" (one worker per shard)
+         └─ BatchScheduler     # dedupe + shard-group + backend dispatch
+              └─ Server        # stream facade: backpressure + stats
 
 Because every S-view that serves probes is keyed by the access-variable
 binding, partitioning the stored side by a hash of that binding commutes
 with probe semantics by construction — answers are bit-identical for every
-shard count (the proof-of-invariance note lives in
-:mod:`repro.serving.sharding`, and the differential harness asserts it
-across shard counts {1, 4, 7}).
+shard count and for both backends (the proof-of-invariance note lives in
+:mod:`repro.serving.sharding`; the differential harness asserts it across
+shard counts on both the thread and the process path).
 
 Quickstart::
 
-    from repro.serving import ProbeServer, prepare_sharded
+    from repro import prepare
+    from repro.serving import serve
 
-    sharded = prepare_sharded(cqap, db, space_budget=20_000, n_shards=4)
-    with ProbeServer(sharded, batch_size=32) as server:
+    prepared = prepare(cqap, db, space_budget=20_000, shards=4)
+    with serve(prepared, backend="process", shards=4,
+               batch_size=32) as server:
         for binding, answer in server.serve(stream_of_bindings):
             ...
-    server.stats()   # per-shard lifecycle counters, dedupe ratio, cache
+    server.stats()   # versioned envelope: engine/scheduler/server/shards
+
+``ProbeServer`` and ``prepare_sharded`` are the pre-facade entry points;
+both still work and raise ``DeprecationWarning``.
 """
 
+from repro.serving.api import serve
 from repro.serving.batching import BatchScheduler
-from repro.serving.server import ProbeServer
+from repro.serving.fleet import FleetError, ProcessShardFleet
+from repro.serving.server import ProbeServer, Server
 from repro.serving.sharding import (
     ShardedIndex,
     ShardState,
     access_hash,
     prepare_sharded,
+    shard_payloads,
+)
+from repro.serving.stats import (
+    STATS_SCHEMA_VERSION,
+    stats_envelope,
+    validate_stats,
 )
 
 __all__ = [
     "BatchScheduler",
+    "FleetError",
     "ProbeServer",
+    "ProcessShardFleet",
+    "STATS_SCHEMA_VERSION",
+    "Server",
     "ShardState",
     "ShardedIndex",
     "access_hash",
     "prepare_sharded",
+    "serve",
+    "shard_payloads",
+    "stats_envelope",
+    "validate_stats",
 ]

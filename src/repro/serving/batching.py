@@ -15,12 +15,17 @@ scheduler exploits both:
   the engine-wide mutation contract;
 * **shard grouping last** — the remaining misses are grouped by home
   shard and each group is answered in *one* online phase on its shard.
-  Groups run concurrently on a thread pool (at most one in-flight task
-  per shard, so shard state stays single-writer; the shared plan state is
-  only read).  Results are reassembled in input order.
+  Dispatch is backend-agnostic: a backend exposing ``submit_group``
+  (the process fleet) gets every group submitted up front so the worker
+  processes run them genuinely in parallel; otherwise (the in-process
+  thread backend) groups fan out on the scheduler's own thread pool, at
+  most one in-flight task per shard so shard state stays single-writer.
+  Results are reassembled in input order either way.
 
-The scheduler owns its pool lazily; ``close()`` (or use as a context
-manager) releases the threads.
+The scheduler owns its thread pool lazily; ``close()`` (or use as a
+context manager) releases the threads.  It never owns the backend —
+:class:`~repro.serving.server.Server` (via :func:`~repro.serving.serve`)
+manages backend lifecycle.
 """
 
 from __future__ import annotations
@@ -32,29 +37,41 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.data.relation import Relation
 from repro.engine.cache import LRUCache
-from repro.serving.sharding import Binding, ShardedIndex, merge_counters
+from repro.serving.sharding import Binding, merge_counters
+from repro.serving.stats import stats_envelope
 from repro.util.counters import Counters
 
 
 class BatchScheduler:
     """Dedupes, shard-groups and concurrently executes probe batches.
 
-    ``inline_threshold`` is the dispatch policy: when a batch's total miss
-    count is below it, the shard groups run inline (sequentially) instead
-    of on the pool — on hot streams the steady-state miss trickle is one
-    or two bindings per batch, where thread dispatch would cost more than
-    the online phases themselves.  Large miss sets (cold caches, uniform
-    streams) still fan out concurrently.
+    ``backend`` is any object honoring the shard-backend contract
+    (:class:`~repro.serving.sharding.ShardedIndex` or
+    :class:`~repro.serving.fleet.ProcessShardFleet`): ``normalize``,
+    ``shard_of``, ``n_shards``, ``answer_group(shard_id, group)`` and
+    optionally an asynchronous ``submit_group``.
+
+    ``inline_threshold`` is the thread-backend dispatch policy: when a
+    batch's total miss count is below it, the shard groups run inline
+    (sequentially) instead of on the pool — on hot streams the
+    steady-state miss trickle is one or two bindings per batch, where
+    thread dispatch would cost more than the online phases themselves.
+    Large miss sets (cold caches, uniform streams) still fan out
+    concurrently.  A ``submit_group`` backend pays IPC per group whether
+    or not the parent waits, so its groups are always submitted up front.
     """
 
-    def __init__(self, sharded: ShardedIndex, cache_size: int = 256,
+    def __init__(self, backend, cache_size: int = 256,
                  max_workers: Optional[int] = None,
                  inline_threshold: int = 16) -> None:
-        self.sharded = sharded
+        self.backend_obj = backend
+        #: legacy alias from when the only backend was ShardedIndex
+        self.sharded = backend
         self.cache = LRUCache(cache_size)
         self.inline_threshold = inline_threshold
         self.max_workers = max_workers or max(
-            1, min(sharded.n_shards, (os.cpu_count() or 4)))
+            1, min(backend.n_shards, (os.cpu_count() or 4)))
+        self._submit_group = getattr(backend, "submit_group", None)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
         self.batch_calls = 0
@@ -91,26 +108,6 @@ class BatchScheduler:
     # ------------------------------------------------------------------
     # batch execution
     # ------------------------------------------------------------------
-    def _answer_group(self, shard_id: int, group: List[Binding],
-                      ) -> Tuple[Dict[Binding, Relation], Counters]:
-        """One shard's online phase for its group, split back per binding."""
-        ctr = Counters()
-        batched = self.sharded.answer_on_shard(shard_id, group, counters=ctr)
-        access = self.sharded.access
-        name = f"{self.sharded.cqap.name}_answer"
-        if not access:
-            # the only possible binding is (): the whole answer is its rows
-            return {key: batched for key in group}, ctr
-        access_pos = tuple(batched.schema.index(v) for v in access)
-        by_key: Dict[Binding, set] = {}
-        for row in batched.tuples:
-            by_key.setdefault(tuple(row[p] for p in access_pos),
-                              set()).add(row)
-        return {
-            key: Relation(name, batched.schema, by_key.get(key, ()))
-            for key in group
-        }, ctr
-
     def run(self, bindings: Iterable,
             counters: Optional[Counters] = None) -> List[Relation]:
         """Answer a batch; returns one relation per binding, input order.
@@ -131,7 +128,8 @@ class BatchScheduler:
         — on hot streams the normalization is a measurable slice of the
         per-probe cost.
         """
-        keys = [self.sharded.normalize(b) for b in bindings]
+        backend = self.backend_obj
+        keys = [backend.normalize(b) for b in bindings]
         unique = list(dict.fromkeys(keys))
         self.batch_calls += 1
         self.probes_in += len(keys)
@@ -144,17 +142,23 @@ class BatchScheduler:
                 results[key] = cached
                 self.cache_served += 1
             else:
-                groups.setdefault(self.sharded.shard_of(key),
+                groups.setdefault(backend.shard_of(key),
                                   []).append(key)
         missing = sum(len(group) for group in groups.values())
-        if len(groups) <= 1 or missing < self.inline_threshold:
+        if self._submit_group is not None and groups:
+            # process backend: submit every group before collecting any
+            # result, so the worker processes overlap
+            futures = [self._submit_group(shard_id, group)
+                       for shard_id, group in sorted(groups.items())]
+            parts = [future.result() for future in futures]
+        elif len(groups) <= 1 or missing < self.inline_threshold:
             # one home shard, or too few misses to be worth dispatching
-            parts = [self._answer_group(shard_id, group)
+            parts = [backend.answer_group(shard_id, group)
                      for shard_id, group in sorted(groups.items())]
         else:
             pool = self._pool_handle()
             parts = list(pool.map(
-                lambda item: self._answer_group(item[0], item[1]),
+                lambda item: backend.answer_group(item[0], item[1]),
                 sorted(groups.items()),
             ))
         self.shard_phases += len(groups)
@@ -177,8 +181,8 @@ class BatchScheduler:
         return self.probes_in / self.unique_probes if self.unique_probes \
             else 0.0
 
-    def stats(self) -> Dict:
-        """JSON-friendly scheduler counters + cache snapshot."""
+    def scheduler_section(self) -> Dict:
+        """The envelope's ``scheduler`` section (counters + cache)."""
         return {
             "batch_calls": self.batch_calls,
             "probes_in": self.probes_in,
@@ -187,5 +191,17 @@ class BatchScheduler:
             "shard_phases": self.shard_phases,
             "dedupe_ratio": self.dedupe_ratio,
             "max_workers": self.max_workers,
+            "native_dispatch": self._submit_group is not None,
             "cache": self.cache.snapshot(),
         }
+
+    def stats(self) -> Dict:
+        """Versioned stats envelope (scheduler + backend shard sections)."""
+        backend = self.backend_obj
+        shard_sections = getattr(backend, "shard_sections", None)
+        return stats_envelope(
+            query=backend.cqap.name,
+            backend=getattr(backend, "backend", None),
+            scheduler=self.scheduler_section(),
+            shards=shard_sections() if shard_sections else (),
+        )

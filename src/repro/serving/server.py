@@ -1,9 +1,12 @@
 """The serving facade: a probe server with backpressure over a stream.
 
-:class:`ProbeServer` is the top of the serving stack::
+:class:`Server` is the top of the serving stack.  Construct it through
+:func:`repro.serving.serve`, which builds the right shard backend for
+you::
 
-    sharded = prepare_sharded(cqap, db, space_budget=..., n_shards=4)
-    with ProbeServer(sharded, batch_size=32) as server:
+    prepared = repro.prepare(cqap, db, space_budget=..., shards=4)
+    with repro.serving.serve(prepared, backend="process", shards=4,
+                             batch_size=32) as server:
         for binding, answer in server.serve(workload_stream):
             ...
 
@@ -16,51 +19,76 @@ instead of growing an unbounded queue.
 
 Results are yielded in stream order, one ``(binding, relation)`` pair per
 incoming binding (duplicates included — they share the same answer
-relation).  Aggregate statistics are surfaced
-:meth:`~repro.engine.prepared.PreparedQuery.stats`-style through
-:meth:`ProbeServer.stats`, which nests the scheduler's dedupe/cache
-counters and the sharded index's per-shard lifecycle counters.
+relation).  :meth:`Server.stats` returns the serving stack's versioned
+envelope (:mod:`repro.serving.stats`) with every section filled: engine
+(the backend's partitioning/selection state), scheduler (dedupe/cache),
+server (stream/backpressure), and the per-shard lifecycle snapshots.
+
+:class:`ProbeServer` — the pre-facade name that took a
+:class:`~repro.serving.sharding.ShardedIndex` directly — still works but
+warns: it is now a deprecated alias for a thread-backend :class:`Server`
+that does not own its backend.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.data.relation import Relation
 from repro.serving.batching import BatchScheduler
-from repro.serving.sharding import ShardedIndex
+from repro.serving.stats import stats_envelope
 
 
-class ProbeServer:
-    """Batched, sharded serving of a probe stream with bounded buffering."""
+class Server:
+    """Batched, sharded serving of a probe stream with bounded buffering.
 
-    def __init__(self, sharded: ShardedIndex, batch_size: int = 32,
+    Backend-agnostic: ``backend`` is a :class:`~repro.serving.sharding.
+    ShardedIndex` (threads) or :class:`~repro.serving.fleet.
+    ProcessShardFleet` (processes); nothing above the scheduler's dispatch
+    distinguishes them.  When ``owns_backend`` is true (the
+    :func:`~repro.serving.serve` path) closing the server also closes the
+    backend — for the process fleet that is what reaps the worker
+    processes.
+    """
+
+    def __init__(self, backend, batch_size: int = 32,
                  max_pending_batches: int = 4, cache_size: int = 256,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 inline_threshold: int = 16,
+                 owns_backend: bool = False) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if max_pending_batches <= 0:
             raise ValueError("max_pending_batches must be positive, got "
                              f"{max_pending_batches}")
-        self.sharded = sharded
-        self.scheduler = BatchScheduler(sharded, cache_size=cache_size,
-                                        max_workers=max_workers)
+        self.backend = backend
+        #: legacy alias from when the only backend was ShardedIndex
+        self.sharded = backend
+        self.owns_backend = owns_backend
+        self.scheduler = BatchScheduler(backend, cache_size=cache_size,
+                                        max_workers=max_workers,
+                                        inline_threshold=inline_threshold)
         self.batch_size = batch_size
         self.max_pending_batches = max_pending_batches
         self.batches_served = 0
         self.probes_served = 0
         self.peak_pending = 0
 
-    def __enter__(self) -> "ProbeServer":
+    def __enter__(self) -> "Server":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
 
     def close(self) -> None:
-        """Release the scheduler's worker pool."""
+        """Release the scheduler's pool (and the backend, when owned)."""
         self.scheduler.close()
+        if self.owns_backend:
+            close = getattr(self.backend, "close", None)
+            if close is not None:
+                close()
 
     # ------------------------------------------------------------------
     def serve(self, workload_stream: Iterable,
@@ -108,15 +136,49 @@ class ProbeServer:
         return dict(self.serve(workload_stream))
 
     # ------------------------------------------------------------------
-    def stats(self) -> Dict:
-        """Aggregate serving snapshot (server + scheduler + shards)."""
+    def server_section(self) -> Dict:
+        """The envelope's ``server`` section (stream/backpressure)."""
         return {
-            "query": self.sharded.cqap.name,
             "batch_size": self.batch_size,
             "max_pending_batches": self.max_pending_batches,
             "batches_served": self.batches_served,
             "probes_served": self.probes_served,
             "peak_pending": self.peak_pending,
-            "scheduler": self.scheduler.stats(),
-            "sharded": self.sharded.stats(),
+            "owns_backend": self.owns_backend,
         }
+
+    def stats(self) -> Dict:
+        """The full serving envelope: every section filled."""
+        backend = self.backend
+        engine_section = getattr(backend, "engine_section", None)
+        shard_sections = getattr(backend, "shard_sections", None)
+        return stats_envelope(
+            query=backend.cqap.name,
+            backend=getattr(backend, "backend", None),
+            engine=engine_section() if engine_section else None,
+            scheduler=self.scheduler.scheduler_section(),
+            server=self.server_section(),
+            shards=shard_sections() if shard_sections else (),
+        )
+
+
+class ProbeServer(Server):
+    """Deprecated pre-facade name; use :func:`repro.serving.serve`.
+
+    Kept as a thin :class:`Server` subclass (thread semantics, backend not
+    owned) so existing call sites keep working one release longer.
+    """
+
+    def __init__(self, sharded, batch_size: int = 32,
+                 max_pending_batches: int = 4, cache_size: int = 256,
+                 max_workers: Optional[int] = None) -> None:
+        warnings.warn(
+            "ProbeServer is deprecated: use repro.serving.serve(prepared, "
+            "backend='thread'|'process', shards=N), which returns the same "
+            "Server protocol and owns the backend lifecycle",
+            DeprecationWarning, stacklevel=2,
+        )
+        super().__init__(sharded, batch_size=batch_size,
+                         max_pending_batches=max_pending_batches,
+                         cache_size=cache_size, max_workers=max_workers,
+                         owns_backend=False)

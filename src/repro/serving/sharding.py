@@ -43,6 +43,7 @@ reproducible across processes (Python's builtin string hash is salted).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -52,6 +53,7 @@ from repro.core.two_phase import TwoPhaseExecutor
 from repro.data.relation import Relation, stable_hash
 from repro.query.cq import normalize_access_binding
 from repro.query.hypergraph import VarSet
+from repro.serving.stats import stats_envelope
 from repro.util.counters import Counters
 
 Binding = Tuple[object, ...]
@@ -60,6 +62,133 @@ Binding = Tuple[object, ...]
 def access_hash(key: Binding) -> int:
     """The deterministic shard-routing hash of one access binding."""
     return stable_hash(tuple(key))
+
+
+def split_by_binding(batched: Relation, access: Tuple[str, ...],
+                     group: Sequence[Binding]) -> Dict[Binding, Relation]:
+    """Split one group's batched answer back into per-binding relations.
+
+    Both backends use this — the thread backend in the parent, the process
+    backend inside the worker — so a binding's answer relation is
+    constructed identically wherever the online phase ran.
+    """
+    if not access:
+        # the only possible binding is (): the whole answer is its rows
+        return {key: batched for key in group}
+    access_pos = tuple(batched.schema.index(v) for v in access)
+    by_key: Dict[Binding, set] = {}
+    for row in batched.tuples:
+        by_key.setdefault(tuple(row[p] for p in access_pos), set()).add(row)
+    return {
+        key: Relation(batched.name, batched.schema, by_key.get(key, ()))
+        for key in group
+    }
+
+
+def partition_s_targets(index: CQAPIndex, n_shards: int,
+                        ) -> Tuple[Dict[VarSet, List[Relation]],
+                                   Dict[VarSet, Tuple[str, ...]], int, int]:
+    """Hash-partition the partitionable S-targets of a prepared index.
+
+    Returns ``(target_parts, partition_prefix, partitioned_tuples,
+    replicated_tuples)``: per-target shard slices for every S-target whose
+    schema contains the whole access prefix, the prefix each partitioned
+    target is hashed on, and the tuple totals on each side of the split.
+    Both serving backends — :class:`ShardedIndex` (threads) and the
+    process fleet's :func:`shard_payloads` — partition through here, so
+    shard contents can never depend on the backend.
+    """
+    access = tuple(index.cqap.access)
+    declared = {
+        frozenset(entry["s_target"]): tuple(entry["access_prefix"])
+        for entry in index.selection.s_view_keys(access)
+        if entry["partitionable"]
+    }
+    target_parts: Dict[VarSet, List[Relation]] = {}
+    partition_prefix: Dict[VarSet, Tuple[str, ...]] = {}
+    partitioned = replicated = 0
+    for target, relation in index.s_targets.items():
+        prefix = declared.get(target)
+        if prefix is None and access and set(access) <= set(target):
+            # materialized by a planner decision the selection ledger
+            # didn't route (e.g. a post-abort re-target): the schema
+            # test is the same invariant the declaration encodes
+            prefix = access
+        if prefix and n_shards > 1:
+            partition_prefix[target] = prefix
+            target_parts[target] = relation.partition_by_hash(
+                prefix, n_shards, hasher=access_hash,
+            )
+            partitioned += len(relation)
+        else:
+            replicated += len(relation)
+    return target_parts, partition_prefix, partitioned, replicated
+
+
+@dataclass
+class ShardPayload:
+    """Everything one fleet worker needs to serve its shard, picklable.
+
+    ``pmtd_views`` holds the *raw* per-shard view relations (partition
+    slices for partitionable targets, the full relation for replicated
+    ones).  The worker builds its own :class:`~repro.core.
+    online_yannakakis.OnlineYannakakis` per PMTD from them, so the
+    per-shard preprocessing — semijoin reduction against the shard's own
+    slice, hash-index warm-up — happens *in the worker process*, sized by
+    the shard's partition rather than derived from a parent-side global
+    build.
+    """
+
+    shard_id: int
+    n_shards: int
+    cqap: object
+    steps: List
+    budget_slack: float
+    #: parallel to ``pmtds``: per-PMTD ``{node: Relation}`` S-view dicts
+    pmtds: List
+    pmtd_views: List[Dict]
+    partitioned_tuples: int
+
+
+def shard_payloads(index: CQAPIndex, n_shards: int) -> List[ShardPayload]:
+    """Build one picklable serving payload per shard for the process fleet.
+
+    Partitioning goes through :func:`partition_s_targets`, and view
+    assembly through the engine's own matcher, exactly like
+    :class:`ShardedIndex` — the two backends ship byte-identical shard
+    contents and differ only in where the per-shard preprocessing runs.
+    """
+    if not index.ready:
+        raise ValueError("shard payloads need a preprocessed CQAPIndex; "
+                         "call preprocess() (or repro.prepare) first")
+    target_parts, _, partitioned, replicated = partition_s_targets(
+        index, n_shards)
+    replicated_targets = {
+        target: relation for target, relation in index.s_targets.items()
+        if target not in target_parts
+    }
+    payloads: List[ShardPayload] = []
+    for shard_id in range(n_shards):
+        shard_targets = dict(replicated_targets)
+        part_tuples = 0
+        for target, parts in target_parts.items():
+            shard_targets[target] = parts[shard_id]
+            part_tuples += len(parts[shard_id])
+        pmtd_views = [
+            CQAPIndex._assemble_views(pmtd.s_views, shard_targets)
+            for pmtd in index.pmtds
+        ]
+        payloads.append(ShardPayload(
+            shard_id=shard_id,
+            n_shards=n_shards,
+            cqap=index.cqap,
+            steps=index.compiled_online,
+            budget_slack=index.executor.budget_slack,
+            pmtds=list(index.pmtds),
+            pmtd_views=pmtd_views,
+            partitioned_tuples=part_tuples,
+        ))
+    return payloads
 
 
 def merge_counters(into: Counters, part: Counters) -> None:
@@ -113,6 +242,9 @@ class ShardedIndex:
     single-threaded.
     """
 
+    #: backend-contract tag: in-process shards, dispatched on threads
+    backend = "thread"
+
     def __init__(self, index: CQAPIndex, n_shards: int = 4) -> None:
         if not index.ready:
             raise ValueError("ShardedIndex needs a preprocessed CQAPIndex; "
@@ -129,32 +261,9 @@ class ShardedIndex:
         self._steps = index.compiled_online
         # the selection declares each rule's S-view key schema; a target is
         # partitionable iff its key contains the whole access prefix
-        declared = {
-            frozenset(entry["s_target"]): tuple(entry["access_prefix"])
-            for entry in index.selection.s_view_keys(self.access)
-            if entry["partitionable"]
-        }
-        self._partition_prefix: Dict[VarSet, Tuple[str, ...]] = {}
-        self._target_parts: Dict[VarSet, List[Relation]] = {}
-        partitioned = replicated = 0
-        for target, relation in index.s_targets.items():
-            prefix = declared.get(target)
-            if prefix is None and self.access \
-                    and set(self.access) <= set(target):
-                # materialized by a planner decision the selection ledger
-                # didn't route (e.g. a post-abort re-target): the schema
-                # test is the same invariant the declaration encodes
-                prefix = self.access
-            if prefix and self.n_shards > 1:
-                self._partition_prefix[target] = prefix
-                self._target_parts[target] = relation.partition_by_hash(
-                    prefix, self.n_shards, hasher=access_hash,
-                )
-                partitioned += len(relation)
-            else:
-                replicated += len(relation)
-        self.partitioned_tuples = partitioned
-        self.replicated_tuples = replicated
+        (self._target_parts, self._partition_prefix,
+         self.partitioned_tuples, self.replicated_tuples) = \
+            partition_s_targets(index, self.n_shards)
         # replicated views are built once and shared by reference across
         # every shard's Yannakakis state (zero-copy replication); the
         # per-shard reductions only ever derive new relations from them.
@@ -254,12 +363,28 @@ class ShardedIndex:
             merge_counters(counters, ctr)
         return Relation(f"{self.cqap.name}_answer", head, out_rows)
 
+    def answer_group(self, shard_id: int, group: Sequence[Binding],
+                     ) -> Tuple[Dict[Binding, Relation], Counters]:
+        """One shard's online phase for a group, split back per binding.
+
+        This is the synchronous half of the backend contract the
+        :class:`~repro.serving.batching.BatchScheduler` dispatches
+        against; the process fleet implements the same method (plus an
+        asynchronous ``submit_group``) against its workers.
+        """
+        ctr = Counters()
+        batched = self.answer_on_shard(shard_id, group, counters=ctr)
+        return split_by_binding(batched, self.access, group), ctr
+
     def probe(self, binding,
               counters: Optional[Counters] = None) -> Relation:
         """Route one binding to its shard and answer it there."""
         key = self.normalize(binding)
         return self.answer_on_shard(self.shard_of(key), [key],
                                     counters=counters)
+
+    def close(self) -> None:
+        """Backend-contract no-op: thread-shard state needs no teardown."""
 
     # ------------------------------------------------------------------
     # introspection
@@ -288,26 +413,46 @@ class ShardedIndex:
             + self.replicated_tuples,
         }
 
-    def stats(self) -> Dict:
-        """JSON-friendly aggregate + per-shard lifecycle snapshot."""
+    def engine_section(self) -> Dict:
+        """The envelope's ``engine`` section for this partitioned index."""
         split = self.budget_split()
         return {
-            "query": self.cqap.name,
-            "shards": self.n_shards,
+            "n_shards": self.n_shards,
             "budget_split": split,
             "partitioned_targets": sorted(
                 "|".join(sorted(t)) for t in self._target_parts),
             "selection": self.index.selection.snapshot(budget_split=split),
             "probes_served": sum(s.probes_served for s in self.shards),
             "online_phases": sum(s.online_phases for s in self.shards),
-            "per_shard": [s.snapshot() for s in self.shards],
         }
+
+    def shard_sections(self) -> List[Dict]:
+        """The envelope's per-shard ``shards`` entries."""
+        return [s.snapshot() for s in self.shards]
+
+    def stats(self) -> Dict:
+        """Versioned stats envelope (engine + per-shard sections)."""
+        return stats_envelope(
+            query=self.cqap.name,
+            backend=self.backend,
+            engine=self.engine_section(),
+            shards=self.shard_sections(),
+        )
 
 
 def prepare_sharded(cqap, db, space_budget: float, n_shards: int = 4,
                     counters: Optional[Counters] = None,
                     **index_kwargs) -> ShardedIndex:
-    """One-call convenience: preprocess a :class:`CQAPIndex` and shard it."""
+    """Deprecated one-call preprocess-and-shard (use :func:`repro.serving.
+    serve` on a prepared query instead)."""
+    warnings.warn(
+        "prepare_sharded is deprecated: prepare once with repro.prepare() "
+        "and front it with repro.serving.serve(prepared, backend='thread', "
+        "shards=N), which owns the backend lifecycle and serves both "
+        "backends through one API",
+        DeprecationWarning, stacklevel=2,
+    )
+    index_kwargs.setdefault("shards", n_shards)
     index = CQAPIndex(cqap, db, space_budget, **index_kwargs)
     index.preprocess(counters=counters)
     return ShardedIndex(index, n_shards=n_shards)

@@ -71,6 +71,8 @@ class SelectionResult:
     candidate_pmtds: int            # size of the pool selection drew from
     considered_subsets: int = 1
     over_budget: bool = False
+    #: worker count the space ledger was priced for (1 = global ledger)
+    shards: int = 1
     #: LP-bound blend summary (None when selection ran estimates-only)
     lp_blend: Optional[Dict] = None
 
@@ -95,6 +97,7 @@ class SelectionResult:
             "estimated_time": self.estimated_time,
             "considered_subsets": self.considered_subsets,
             "over_budget": self.over_budget,
+            "shards": self.shards,
             "lp_blend": self.lp_blend,
         }
         if budget_split is not None:
@@ -142,8 +145,26 @@ class SelectionResult:
                 + (" (lp-blended)" if self.lp_blend else ""))
 
 
+def shard_fraction(target, access: Sequence[str], shards: int) -> float:
+    """The share of an S-target resident on one of ``shards`` workers.
+
+    A target whose schema contains every access variable partitions by
+    access hash (see :meth:`SelectionResult.s_view_keys`), so each shard
+    holds ~``1/shards`` of it; any other target is replicated whole to
+    every shard and costs each worker its full size.  This is what makes
+    the fleet's per-process space budget *honest*: replicated state must
+    fit every per-shard budget, partitioned state splits.
+    """
+    if shards <= 1:
+        return 1.0
+    if access and set(access) <= set(target):
+        return 1.0 / shards
+    return 1.0
+
+
 def evaluate_rules(rules: Sequence[TwoPhaseRule], model: CostModel,
                    space_budget: Optional[float],
+                   shards: int = 1,
                    ) -> Tuple[float, float, List[RuleEstimate], bool]:
     """Route every rule S-or-T against the budget; returns the ledger.
 
@@ -169,7 +190,24 @@ def evaluate_rules(rules: Sequence[TwoPhaseRule], model: CostModel,
     routed S at a small budget and T at a larger one.  With the frozen
     prefix the S-routed set grows monotonically with the budget, which is
     the route-stability invariant the differential sweep asserts.
+
+    ``shards`` prices the ledger *per worker process* for the sharded
+    serving fleet: the budget check compares each shard's resident set —
+    access-partitionable targets at ``1/shards`` of their estimate,
+    replicated targets whole (:func:`shard_fraction`) — against the
+    per-shard budget ``space_budget / shards``.  ``shards=1`` is exactly
+    the old global ledger.  ``estimated_space`` stays the *global* total
+    either way, so stats remain comparable across shard counts, and the
+    frozen-prefix routing (hence route stability) is untouched: the
+    visiting order is budget- and shard-independent.
     """
+    shards = max(1, int(shards))
+    # the access tuple only matters to the per-shard fraction, so the
+    # single-shard ledger never touches it (crafted-estimate stubs in the
+    # ledger unit tests carry no cqap)
+    access = tuple(model.cqap.access) if shards > 1 else ()
+    per_shard_budget = (None if space_budget is None
+                        else space_budget / shards)
     estimates = [model.estimate_rule(rule) for rule in rules]
     forced = [e for e in estimates if e.t_target is None]
     optional = [e for e in estimates if e.t_target is not None]
@@ -177,34 +215,41 @@ def evaluate_rules(rules: Sequence[TwoPhaseRule], model: CostModel,
     optional.sort(key=lambda e: (-(e.t_time - S_PROBE_COST)
                                  / max(e.s_space, 1.0), e.rule.label))
     space = 0.0
-    worst_space = 0.0
+    resident = 0.0           # one shard's share of ``space``
+    worst_resident = 0.0
     time = 0.0
     over = False
     paid: Dict[FrozenSet, float] = {}
     routed: Dict[TwoPhaseRule, RuleEstimate] = {}
     for est in forced:
         if est.s_target not in paid:
+            frac = shard_fraction(est.s_target, access, shards)
             space += est.s_space
+            resident += est.s_space * frac
             # forced rules have no online fallback: the worst-case ledger
             # accumulates their pessimistic sizes (tracking the planner's
             # worst-case bounds), deduplicated per target like the
             # optimistic one
-            worst_space += est.s_space_worst
+            worst_resident += est.s_space_worst * frac
             paid[est.s_target] = est.s_space
         time += S_PROBE_COST
         routed[est.rule] = est.routed("S")
-    if space_budget is not None and (space > space_budget
-                                     or worst_space > space_budget):
+    if per_shard_budget is not None and (resident > per_shard_budget
+                                         or worst_resident
+                                         > per_shard_budget):
         over = True
     blocked = False
     for est in optional:
         worth = est.s_target is not None and S_PROBE_COST <= est.t_time
         shared = worth and est.s_target in paid
-        fits = (space_budget is None
-                or space + est.s_space <= space_budget)
+        frac = (shard_fraction(est.s_target, access, shards)
+                if est.s_target is not None else 1.0)
+        fits = (per_shard_budget is None
+                or resident + est.s_space * frac <= per_shard_budget)
         if worth and (shared or (not blocked and fits)):
             if not shared:
                 space += est.s_space
+                resident += est.s_space * frac
                 paid[est.s_target] = est.s_space
             time += S_PROBE_COST
             routed[est.rule] = est.routed("S")
@@ -244,10 +289,12 @@ class _Candidate:
 
 def _evaluate_subset(indices: FrozenSet[int], pool: Sequence[PMTD],
                      model: CostModel,
-                     space_budget: Optional[float]) -> _Candidate:
+                     space_budget: Optional[float],
+                     shards: int = 1) -> _Candidate:
     pmtds = [pool[i] for i in sorted(indices)]
     rules = list(stream_rules_from_pmtds(pmtds))
-    space, time, estimates, over = evaluate_rules(rules, model, space_budget)
+    space, time, estimates, over = evaluate_rules(rules, model, space_budget,
+                                                  shards=shards)
     time += PMTD_OVERHEAD * len(pmtds)
     order_key = tuple(sorted(model.pmtd_order_key(p) for p in pmtds))
     return _Candidate(indices, pmtds, rules, estimates, space, time, over,
@@ -255,10 +302,11 @@ def _evaluate_subset(indices: FrozenSet[int], pool: Sequence[PMTD],
 
 
 def _reprice(candidate: _Candidate, model: CostModel,
-             space_budget: Optional[float]) -> _Candidate:
+             space_budget: Optional[float],
+             shards: int = 1) -> _Candidate:
     """The same subset re-priced under a (differently clamped) model."""
     space, time, estimates, over = evaluate_rules(candidate.rules, model,
-                                                  space_budget)
+                                                  space_budget, shards=shards)
     time += PMTD_OVERHEAD * len(candidate.pmtds)
     return _Candidate(candidate.indices, candidate.pmtds, candidate.rules,
                       estimates, space, time, over, candidate.order_key)
@@ -269,7 +317,8 @@ def select_rules(pmtds: Sequence[PMTD], model: CostModel,
                  beam_width: int = 3,
                  max_selected: Optional[int] = None,
                  require_online_fallback: bool = False,
-                 lp_oracle=None) -> SelectionResult:
+                 lp_oracle=None,
+                 shards: int = 1) -> SelectionResult:
     """Beam-select the PMTD subset whose rule set probes fastest in budget.
 
     Seeds with every single PMTD, then grows the ``beam_width`` best
@@ -288,7 +337,12 @@ def select_rules(pmtds: Sequence[PMTD], model: CostModel,
     polymatroid bounds and re-ranked, so a finalist whose estimates
     contradict a provable bound loses.  Only finalist targets are solved
     (cached, capped by the oracle), keeping the LP out of the search loop.
+
+    ``shards`` prices every candidate for a ``shards``-worker fleet (see
+    :func:`evaluate_rules`): replicated S-targets must fit each worker's
+    ``space_budget / shards`` slice whole, partitionable ones split.
     """
+    shards = max(1, int(shards))
     pool = list(pmtds)
     if not pool:
         raise ValueError("need at least one PMTD to select from")
@@ -301,7 +355,7 @@ def select_rules(pmtds: Sequence[PMTD], model: CostModel,
     def evaluate(indices: FrozenSet[int]) -> _Candidate:
         if indices not in seen:
             seen[indices] = _evaluate_subset(indices, pool, model,
-                                             space_budget)
+                                             space_budget, shards=shards)
         return seen[indices]
 
     def admissible(candidate: _Candidate) -> bool:
@@ -344,7 +398,8 @@ def select_rules(pmtds: Sequence[PMTD], model: CostModel,
     lp_blend = None
     if lp_oracle is not None:
         blended_model = model.with_bound_oracle(lp_oracle)
-        finalists = [_reprice(c, blended_model, space_budget) for c in beam]
+        finalists = [_reprice(c, blended_model, space_budget, shards=shards)
+                     for c in beam]
         finalists.sort(key=lambda c: c.rank)
         winner = finalists[0]
         lp_blend = {
@@ -367,20 +422,24 @@ def select_rules(pmtds: Sequence[PMTD], model: CostModel,
         candidate_pmtds=len(pool),
         considered_subsets=len(seen),
         over_budget=best.over_budget,
+        shards=shards,
         lp_blend=lp_blend,
     )
 
 
 def keep_all_rules(pmtds: Sequence[PMTD], rules: Sequence[TwoPhaseRule],
                    model: CostModel,
-                   space_budget: Optional[float] = None) -> SelectionResult:
+                   space_budget: Optional[float] = None,
+                   shards: int = 1) -> SelectionResult:
     """A :class:`SelectionResult` for the keep-everything mode.
 
     Used when the PMTD set is small enough to plan outright; the estimates
     are still computed so lifecycle counters always expose the predicted
     space/time of whatever rule set is being served.
     """
-    space, time, estimates, over = evaluate_rules(rules, model, space_budget)
+    shards = max(1, int(shards))
+    space, time, estimates, over = evaluate_rules(rules, model, space_budget,
+                                                  shards=shards)
     return SelectionResult(
         mode="all",
         pmtds=list(pmtds),
@@ -392,4 +451,5 @@ def keep_all_rules(pmtds: Sequence[PMTD], rules: Sequence[TwoPhaseRule],
         candidate_pmtds=len(pmtds),
         considered_subsets=1,
         over_budget=over,
+        shards=shards,
     )

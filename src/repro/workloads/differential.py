@@ -2,7 +2,7 @@
 
 For each workload (seeded random query + database + probe stream) the
 harness computes the exact per-binding answers with ``repro.oracle`` and
-then diffs seven checks across the repo's answer stacks against them:
+then diffs eight checks across the repo's answer stacks against them:
 
 * ``from_scratch``   — ``CQAP.answer_from_scratch`` (textbook join path);
 * ``index_lean``     — ``CQAPIndex.answer`` at a tiny space budget, so the
@@ -17,11 +17,16 @@ then diffs seven checks across the repo's answer stacks against them:
 * ``engine_probe`` / ``engine_probe_many`` — the serving engine
   (``PreparedQuery``) over the prepared indexes, cache and batch dedupe
   included;
-* ``serving_sharded`` — the sharded serving layer (``repro.serving``):
-  the same prepared index hash-partitioned across every shard count in
-  ``SHARD_SWEEP`` and probed in batches through the ``BatchScheduler``;
-  beyond the oracle diff this path asserts *shard-count invariance* —
-  answers must be bit-identical across shard counts.
+* ``serving_sharded`` / ``serving_process`` — the serving layer
+  (``repro.serving``) through the one public entry point
+  ``serve(prepared, backend=...)``: the same prepared index
+  hash-partitioned across every shard count in ``SHARD_SWEEP``
+  (``PROCESS_SHARD_SWEEP`` for the process fleet, whose workers rebuild
+  their shard state in their own processes) and probed in batches.  The
+  two paths differ *only* in the ``backend=`` argument — exactly the
+  drop-in contract the API promises — and beyond the oracle diff each
+  asserts *shard-count invariance*: answers must be bit-identical across
+  shard counts.
 
 The three index paths sweep ``space_budget`` ∈ {tight, medium, ∞} per
 scenario, and every index is built through the budget-aware rule-selection
@@ -72,6 +77,7 @@ PATHS: Tuple[str, ...] = (
     "engine_probe",
     "engine_probe_many",
     "serving_sharded",
+    "serving_process",
 )
 
 LEAN_BUDGET = 2
@@ -80,6 +86,10 @@ RICH_BUDGET = 10 ** 7
 #: shard counts the sharded serving path must agree across (1 = unsharded
 #: reference; 4 and 7 exercise even and non-divisor partition shapes)
 SHARD_SWEEP: Tuple[int, ...] = (1, 4, 7)
+
+#: shard counts for the process fleet — worker start-up costs real time
+#: per scenario, so the sweep is the acceptance pair {1, 4}
+PROCESS_SHARD_SWEEP: Tuple[int, ...] = (1, 4)
 
 #: batch width the sharded path chunks each probe stream into
 SHARD_BATCH = 3
@@ -360,32 +370,28 @@ def run_scenario(workload: Workload,
 
         run("engine_probe_many", engine_probe_many)
 
-    # -- path 7: the sharded serving layer, invariant across shard counts
-    if batch_index is None:
-        outcome.skips.append(("serving_sharded", "no preprocessed index"))
-    else:
-        def serving_sharded() -> Dict[Row, AnswerSet]:
-            from repro.serving import BatchScheduler, ShardedIndex
+    # -- paths 7-8: the serving layer behind serve(backend=...), invariant
+    # across shard counts; the two paths differ only in the backend arg
+    def serving_path(backend: str, shard_sweep: Tuple[int, ...]):
+        def thunk() -> Dict[Row, AnswerSet]:
+            from repro.serving import serve
 
-            batches = [workload.probes[i:i + SHARD_BATCH]
-                       for i in range(0, len(workload.probes), SHARD_BATCH)]
             per_count: Dict[int, Dict[Row, AnswerSet]] = {}
-            for n_shards in SHARD_SWEEP:
-                sharded = ShardedIndex(batch_index, n_shards=n_shards)
-                # inline_threshold=0 forces every multi-shard batch through
-                # the concurrent pool dispatch, so the riskiest branch
-                # (parallel shard groups over shared read-only plan state)
-                # is the one the oracle fuzzes
-                with BatchScheduler(
-                        sharded, cache_size=workload.cache_size,
-                        inline_threshold=0) as sched:
+            for n_shards in shard_sweep:
+                # inline_threshold=0 forces every multi-shard batch of the
+                # thread backend through the concurrent pool dispatch, so
+                # the riskiest branch (parallel shard groups over shared
+                # read-only plan state) is the one the oracle fuzzes; the
+                # process backend always dispatches to its workers
+                with serve(batch_index, backend=backend,
+                           shards=n_shards, batch_size=SHARD_BATCH,
+                           cache_size=workload.cache_size,
+                           inline_threshold=0) as server:
                     answers: Dict[Row, AnswerSet] = {}
-                    for batch in batches:
-                        keys, rels = sched.run_keyed(batch)
-                        for key, rel in zip(keys, rels):
-                            answers[key] = answer_rows(rel, head)
+                    for key, rel in server.serve(workload.probes):
+                        answers[key] = answer_rows(rel, head)
                 per_count[n_shards] = answers
-            reference = per_count[SHARD_SWEEP[0]]
+            reference = per_count[shard_sweep[0]]
             for n_shards, answers in per_count.items():
                 if answers != reference:
                     changed = sorted(
@@ -394,12 +400,18 @@ def run_scenario(workload: Workload,
                     )
                     raise AssertionError(
                         f"shard-count invariance violated: {n_shards} "
-                        f"shards disagree with {SHARD_SWEEP[0]} at "
+                        f"shards disagree with {shard_sweep[0]} at "
                         f"bindings {changed}"
                     )
             return reference
+        return thunk
 
-        run("serving_sharded", serving_sharded)
+    if batch_index is None:
+        outcome.skips.append(("serving_sharded", "no preprocessed index"))
+        outcome.skips.append(("serving_process", "no preprocessed index"))
+    else:
+        run("serving_sharded", serving_path("thread", SHARD_SWEEP))
+        run("serving_process", serving_path("process", PROCESS_SHARD_SWEEP))
 
     return outcome
 

@@ -148,7 +148,7 @@ class TestStatisticsAndEstimateErrorBlocks:
     def test_stats_surface_catalog_statistics(self):
         cqap, db = reach3_setup(n_edges=200, domain=40)
         pq = prepare(cqap, db, space_budget=db.size)
-        block = pq.stats()["statistics"]
+        block = pq.stats()["engine"]["statistics"]
         assert block["atoms"] == 3
         assert block["single_degree_keys"] == 6
         assert block["join_samples"] == 2
@@ -159,7 +159,7 @@ class TestStatisticsAndEstimateErrorBlocks:
         # a rich budget so at least one S-target actually materializes
         pq = prepare(cqap, db, space_budget=db.size ** 2 + 1,
                      rule_selection="budget")
-        block = pq.stats()["estimate_error"]
+        block = pq.stats()["engine"]["estimate_error"]
         assert block["checks"] >= 1
         assert block["median_relative_error"] >= 0
         for entry in block["targets"]:
@@ -170,7 +170,7 @@ class TestStatisticsAndEstimateErrorBlocks:
     def test_no_materialization_means_no_checks(self):
         cqap, db = reach3_setup(n_edges=200, domain=40)
         pq = prepare(cqap, db, space_budget=2)  # nothing fits
-        block = pq.stats()["estimate_error"]
+        block = pq.stats()["engine"]["estimate_error"]
         assert block["checks"] == len(block["targets"])
         assert block["checks"] == 0 or block["median_relative_error"] >= 0
 

@@ -359,6 +359,70 @@ class TestForcedWorstCaseLedger:
         assert not over
 
 
+class _AccessStubModel(_StubModel):
+    """Stub model with the cqap.access hook per-shard pricing reads."""
+
+    def __init__(self, estimates, access):
+        super().__init__(estimates)
+        self.cqap = __import__("types").SimpleNamespace(access=access)
+
+
+def _optional_rule(tag_vars, space, t_time):
+    target = frozenset(tag_vars)
+    rule = TwoPhaseRule(frozenset({target}), frozenset({target}))
+    return rule, RuleEstimate(rule, target, space, target, t_time,
+                              s_space_worst=space)
+
+
+class TestPerShardPricing:
+    """Sharded fleets price replicated vs partitioned state honestly."""
+
+    def test_shard_fraction_partitions_only_full_access_targets(self):
+        from repro.tradeoff.selection import shard_fraction
+        access = ("x1", "x4")
+        # access-complete target: split 4 ways
+        assert shard_fraction(frozenset({"x1", "x2", "x4"}),
+                              access, 4) == pytest.approx(0.25)
+        # access-incomplete target: replicated whole to every shard
+        assert shard_fraction(frozenset({"x1", "x2"}), access, 4) == 1.0
+        # single shard / no access: no sharding, full price
+        assert shard_fraction(frozenset({"x1", "x4"}), access, 1) == 1.0
+        assert shard_fraction(frozenset({"x1"}), (), 4) == 1.0
+
+    def test_replicated_target_pays_full_price_per_shard(self):
+        # P partitions by the access var "a"; R does not and replicates.
+        (p, ep) = _optional_rule(("a", "b"), space=40.0, t_time=200.0)
+        (r, er) = _optional_rule(("c",), space=40.0, t_time=100.0)
+        model = _AccessStubModel([ep, er], access=("a",))
+        # Globally both fit a budget of 100 (40 + 40).
+        _, _, routed, over = evaluate_rules([p, r], model, 100.0)
+        assert [est.route for est in routed] == ["S", "S"]
+        assert not over
+        # Per shard (budget 100/4 = 25) P costs 40/4 = 10 and fits, but
+        # replicated R still costs its full 40 on every worker: T-routed.
+        _, _, routed, over = evaluate_rules([p, r], model, 100.0,
+                                            shards=4)
+        assert [est.route for est in routed] == ["S", "T"]
+        assert not over
+
+    def test_estimated_space_stays_global_under_sharding(self):
+        # The ledger reports the *total* materialized footprint, not the
+        # per-shard slice — stats stay comparable across shard counts.
+        (p, ep) = _optional_rule(("a", "b"), space=40.0, t_time=200.0)
+        model = _AccessStubModel([ep], access=("a",))
+        space, _, routed, _ = evaluate_rules([p], model, 100.0, shards=4)
+        assert routed[0].route == "S"
+        assert space == pytest.approx(40.0)
+
+    def test_index_threads_shards_into_selection(self):
+        cqap = k_path_cqap(3)
+        db = path_database(3, 200, 40, seed=7)
+        index = CQAPIndex(cqap, db, int(db.size ** 1.2), shards=4)
+        index.preprocess()
+        assert index.selection.shards == 4
+        assert index.selection.snapshot()["shards"] == 4
+
+
 @lru_cache(maxsize=None)
 def ledger_fixture(query_name: str):
     """(rules, model) for the faithful-ledger property tests."""
@@ -552,12 +616,25 @@ class TestIndexSelectionModes:
         assert snap["estimated_space"] >= 0
         pq = prepare(self.cqap, self.db, space_budget=self.db.size)
         stats = pq.stats()
-        assert stats["selection"]["selected_rules"] == \
+        assert stats["engine"]["selection"]["selected_rules"] == \
             len(pq.selection.rules)
-        assert stats["selection"]["routes"]
+        assert stats["engine"]["selection"]["routes"]
         assert "selection[" in pq.describe()
 
     def test_deprecation_not_raised_without_max_pmtds(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             CQAPIndex(self.cqap, self.db, self.db.size)
+
+    def test_max_pmtds_warning_fires_exactly_once_per_call(self):
+        # the deprecation arc's contract: one constructor call, one
+        # warning — not one per selection retry or internal re-entry
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            CQAPIndex(self.cqap, self.db, self.db.size, max_pmtds=2)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)
+                        and "max_pmtds" in str(w.message)]
+        assert len(deprecations) == 1
+        # and the message documents the removal timeline
+        assert "removed" in str(deprecations[0].message)

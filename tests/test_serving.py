@@ -2,15 +2,18 @@
 
 The load-bearing property is shard-count invariance: a probe routed to its
 home shard must see exactly the answer the unsharded index would give, for
-every shard count.  The differential harness fuzzes this against the
-oracle; here it is pinned down deterministically, together with the
-scheduler's ordering/dedupe contract, the server's backpressure, and the
-budget-split accounting.
+every shard count and either backend.  The differential harness fuzzes
+this against the oracle; here it is pinned down deterministically,
+together with the scheduler's ordering/dedupe contract, the server's
+backpressure, the ``serve()`` facade and its deprecation shims, the stats
+envelope shape, and the budget-split accounting.  (The process fleet's own
+failure modes live in ``tests/test_fleet.py``.)
 """
 
 import json
 import random
 import threading
+import warnings
 
 import pytest
 
@@ -21,9 +24,12 @@ from repro.query.catalog import k_path_cqap
 from repro.serving import (
     BatchScheduler,
     ProbeServer,
+    Server,
     ShardedIndex,
     access_hash,
     prepare_sharded,
+    serve,
+    validate_stats,
 )
 from repro.util.counters import Counters
 
@@ -130,10 +136,10 @@ class TestShardedIndex:
 
     def test_selection_snapshot_records_budget_split(self, prepared):
         sharded = ShardedIndex(prepared, n_shards=3)
-        stats = sharded.stats()
-        selection = stats["selection"]
+        stats = validate_stats(sharded.stats())
+        selection = stats["engine"]["selection"]
         assert selection["budget_split"]["shards"] == 3
-        assert selection["budget_split"] == stats["budget_split"]
+        assert selection["budget_split"] == stats["engine"]["budget_split"]
         # the unsharded snapshot stays split-free
         assert "budget_split" not in prepared.selection.snapshot()
         json.dumps(stats)  # the whole snapshot is JSON-serializable
@@ -149,13 +155,16 @@ class TestShardedIndex:
             assert shard.online_phases == shard.probes_served
             assert shard.executor.online_runs == shard.online_phases
 
-    def test_prepare_sharded_convenience(self):
+    def test_prepare_sharded_still_works_but_warns(self):
         cqap = k_path_cqap(2)
         db = path_database(2, 120, 40, seed=3)
-        sharded = prepare_sharded(cqap, db, space_budget=db.size,
-                                  n_shards=3)
+        with pytest.warns(DeprecationWarning, match="serve"):
+            sharded = prepare_sharded(cqap, db, space_budget=db.size,
+                                      n_shards=3)
         assert sharded.n_shards == 3
         assert sharded.index.ready
+        # the deprecated path prices selection for its shard count too
+        assert sharded.index.selection.shards == 3
 
 
 class TestSelectionKeyExposure:
@@ -212,7 +221,8 @@ class TestBatchScheduler:
             assert sched.cache_served == 2
             assert sched.shard_phases == phases
             assert sched.dedupe_ratio == pytest.approx(8 / 4)
-            assert sched.stats()["cache"]["hits"] == 2
+            stats = validate_stats(sched.stats())
+            assert stats["scheduler"]["cache"]["hits"] == 2
 
     def test_counters_forwarded(self, prepared):
         sharded = ShardedIndex(prepared, n_shards=2)
@@ -234,27 +244,56 @@ class TestBatchScheduler:
         sched.close()
 
 
-class TestProbeServer:
+class TestServeFacade:
     def test_serves_stream_in_order(self, prepared, pairs):
-        sharded = ShardedIndex(prepared, n_shards=4)
-        with ProbeServer(sharded, batch_size=4) as server:
+        with serve(prepared, backend="thread", shards=4,
+                   batch_size=4) as server:
             served = list(server.serve(iter(pairs)))
+            normalize = server.backend.normalize
         assert [key for key, _ in served] == \
-            [sharded.normalize(p) for p in pairs]
+            [normalize(p) for p in pairs]
         for key, rel in served:
             assert frozenset(rel.tuples) == \
                 frozenset(prepared.answer(key).tuples)
         assert server.probes_served == len(pairs)
 
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backends_drop_in_interchangeable(self, prepared, pairs,
+                                              backend):
+        # the acceptance contract: the ONLY difference between a thread
+        # and a process deployment is the backend= argument
+        with serve(prepared, backend=backend, shards=3,
+                   batch_size=8) as server:
+            served = server.serve_all(iter(pairs))
+        for key, rel in served.items():
+            assert frozenset(rel.tuples) == \
+                frozenset(prepared.answer(key).tuples)
+
+    def test_rejects_unknown_backend(self, prepared):
+        with pytest.raises(ValueError, match="backend"):
+            serve(prepared, backend="greenlet")
+
+    def test_rejects_unprepared_input(self, prepared):
+        with pytest.raises(TypeError, match="prepare"):
+            serve("not a prepared query")
+
+    def test_accepts_prepared_query_handle(self, pairs):
+        cqap = k_path_cqap(2)
+        db = path_database(2, 120, 40, seed=3)
+        pq = prepare(cqap, db, space_budget=db.size)
+        with serve(pq, backend="thread", shards=2) as server:
+            (_, rel), = list(server.serve([(1, 2)]))
+        assert frozenset(rel.tuples) == \
+            frozenset(pq.probe((1, 2)).tuples)
+
     def test_accepts_pre_batched_streams(self, prepared):
-        sharded = ShardedIndex(prepared, n_shards=2)
         batches = [[(1, 2), (3, 4)], [(5, 6)]]
-        with ProbeServer(sharded, batch_size=2) as server:
+        with serve(prepared, backend="thread", shards=2,
+                   batch_size=2) as server:
             served = list(server.serve(batches))
         assert [key for key, _ in served] == [(1, 2), (3, 4), (5, 6)]
 
     def test_backpressure_bounds_lookahead(self, prepared, pairs):
-        sharded = ShardedIndex(prepared, n_shards=2)
         produced = []
 
         def stream():
@@ -263,8 +302,8 @@ class TestProbeServer:
                 yield pair
 
         window = 2 * 2  # batch_size * max_pending_batches
-        with ProbeServer(sharded, batch_size=2,
-                         max_pending_batches=2) as server:
+        with serve(prepared, backend="thread", shards=2, batch_size=2,
+                   max_pending_batches=2) as server:
             consumed = 0
             for _ in server.serve(stream()):
                 consumed += 1
@@ -277,30 +316,70 @@ class TestProbeServer:
     def test_backpressure_holds_for_burst_batches(self, prepared, pairs):
         # one huge pre-formed batch must not blow past the pending window:
         # pre-batched items are unpacked lazily, one binding per pull
-        sharded = ShardedIndex(prepared, n_shards=2)
         window = 2 * 2
-        with ProbeServer(sharded, batch_size=2,
-                         max_pending_batches=2) as server:
+        with serve(prepared, backend="thread", shards=2, batch_size=2,
+                   max_pending_batches=2) as server:
             served = list(server.serve([list(pairs)]))
         assert len(served) == len(pairs)
         assert server.peak_pending <= window
 
-    def test_stats_shape(self, prepared, pairs):
-        sharded = ShardedIndex(prepared, n_shards=3)
-        with ProbeServer(sharded, batch_size=8) as server:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_stats_envelope_shape(self, prepared, pairs, backend):
+        with serve(prepared, backend=backend, shards=3,
+                   batch_size=8) as server:
             list(server.serve(iter(pairs)))
-            stats = server.stats()
+            stats = validate_stats(server.stats())
         json.dumps(stats)
-        assert stats["batches_served"] == (len(pairs) + 7) // 8
-        assert len(stats["sharded"]["per_shard"]) == 3
+        assert stats["backend"] == backend
+        assert stats["server"]["batches_served"] == (len(pairs) + 7) // 8
+        assert len(stats["shards"]) == 3
         assert stats["scheduler"]["probes_in"] == len(pairs)
+        assert stats["engine"]["budget_split"]["shards"] == 3
+
+    def test_envelope_shape_is_uniform_across_layers(self, prepared,
+                                                     pairs):
+        # satellite contract: one versioned schema for every stats()
+        pq = prepare(prepared.cqap, prepared.db,
+                     int(prepared.db.size ** 1.2))
+        sharded = ShardedIndex(prepared, n_shards=2)
+        with BatchScheduler(sharded) as sched:
+            sched.run(pairs[:4])
+            layers = [pq.stats(), sharded.stats(), sched.stats()]
+        with serve(prepared, backend="thread", shards=2) as server:
+            list(server.serve(pairs[:4]))
+            layers.append(server.stats())
+        versions = set()
+        for payload in layers:
+            validate_stats(payload)
+            versions.add(payload["schema_version"])
+            json.dumps(payload)
+        assert len(versions) == 1
 
     def test_parameter_validation(self, prepared):
+        with pytest.raises(ValueError):
+            serve(prepared, backend="thread", batch_size=0)
+        with pytest.raises(ValueError):
+            serve(prepared, backend="thread", max_pending_batches=0)
+
+    def test_probe_server_is_deprecated_alias(self, prepared, pairs):
         sharded = ShardedIndex(prepared, n_shards=2)
-        with pytest.raises(ValueError):
-            ProbeServer(sharded, batch_size=0)
-        with pytest.raises(ValueError):
-            ProbeServer(sharded, max_pending_batches=0)
+        with pytest.warns(DeprecationWarning, match="serve"):
+            server = ProbeServer(sharded, batch_size=4)
+        assert isinstance(server, Server)
+        with server:
+            served = list(server.serve(iter(pairs[:6])))
+        assert len(served) == 6
+        # the deprecated path never owned its backend, and still doesn't
+        assert server.owns_backend is False
+
+    def test_internal_layers_do_not_warn(self, prepared):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sharded = ShardedIndex(prepared, n_shards=2)
+            with BatchScheduler(sharded) as sched:
+                sched.run([(1, 2)])
+            with serve(prepared, backend="thread", shards=2) as server:
+                list(server.serve([(1, 2)]))
 
 
 class TestConcurrentEngineCounters:
