@@ -36,8 +36,10 @@ sys.path.insert(0, str(Path(__file__).parent))
 #: bumped with every incompatible payload change; v2 added the provenance
 #: stamp and the rule-selection estimator-accuracy section; v3 added the
 #: ``backend`` axis to the serving grid plus the process-fleet
-#: ``process_grid``/``process_scaling`` critical-path CPU sections
-SCHEMA_VERSION = 3
+#: ``process_grid``/``process_scaling`` critical-path CPU sections; v4
+#: added the ``relation_backends`` axis to the engine payload (warm
+#: uncached throughput per relation backend: set vs columnar)
+SCHEMA_VERSION = 4
 
 #: top-level keys every emitted payload must carry
 REQUIRED_KEYS = ("schema_version", "commit", "date", "benchmark",
@@ -46,7 +48,8 @@ REQUIRED_KEYS = ("schema_version", "commit", "date", "benchmark",
 #: required metrics sub-keys per benchmark name
 REQUIRED_METRICS = {
     "engine_serving": ("prepare_seconds", "warm_probes_per_sec",
-                       "cached_probes_per_sec", "cache_hit_rate"),
+                       "cached_probes_per_sec", "cache_hit_rate",
+                       "relation_backends"),
     "rule_selection": ("planning", "budget_sweep", "estimator_accuracy"),
     "serving": ("baseline_probes_per_sec", "throughput_grid",
                 "best_speedup", "single_shard_overhead",
@@ -107,6 +110,17 @@ def validate_payload(payload: dict) -> list:
     for key in REQUIRED_METRICS[benchmark]:
         if key not in metrics:
             problems.append(f"metrics missing {key!r} for {benchmark}")
+    if benchmark == "engine_serving":
+        backends = metrics.get("relation_backends")
+        if not isinstance(backends, dict):
+            problems.append("relation_backends is not an object")
+        else:
+            for name in ("set", "columnar"):
+                if "warm_probes_per_sec" not in backends.get(name, {}):
+                    problems.append(
+                        f"relation_backends[{name!r}] missing "
+                        "'warm_probes_per_sec'"
+                    )
     return problems
 
 
@@ -260,8 +274,11 @@ def main(argv=None) -> int:
                           (serving, args.serving_out)])
 
     m = payload["metrics"]
+    backends = m["relation_backends"]
     print(f"wrote {args.out}: prepare {m['prepare_seconds'] * 1e3:.0f} ms, "
-          f"{m['warm_probes_per_sec']:.0f} warm probes/s, "
+          f"{m['warm_probes_per_sec']:.0f} warm probes/s "
+          f"(set {backends['set']['warm_probes_per_sec']:.0f}/s, "
+          f"columnar {backends['columnar']['warm_probes_per_sec']:.0f}/s), "
           f"{m['cached_probes_per_sec']:.0f} cached probes/s, "
           f"cache hit rate {m['cache_hit_rate']:.0%}", flush=True)
 

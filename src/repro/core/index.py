@@ -43,6 +43,7 @@ from repro.core.two_phase import (
     TwoPhaseExecutor,
     TwoPhasePlanner,
 )
+from repro.data.columnar import relation_class
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.decomposition.enumeration import enumerate_pmtds
@@ -100,10 +101,17 @@ class CQAPIndex:
         max_selected_pmtds: Optional[int] = None,
         statistics: Optional[CatalogStatistics] = None,
         shards: int = 1,
+        relation_backend: str = "set",
     ) -> None:
         self.cqap = cqap
         self.db = db
         self.space_budget = float(space_budget)
+        #: relation class the executor materializes and probes with; the
+        #: name is validated here so a typo fails at construction, not at
+        #: first probe ("set" = row-at-a-time baseline, "columnar" =
+        #: batch kernels — answers are bit-identical across backends)
+        relation_class(relation_backend)
+        self.relation_backend = relation_backend
         # statistics depend only on (cqap, db): callers sweeping budgets
         # over one database should measure once and pass them in
         if statistics is None:
@@ -201,7 +209,10 @@ class CQAPIndex:
                 shards=self.shards,
             )
         self.rules: List[TwoPhaseRule] = self.selection.rules
-        self.executor = TwoPhaseExecutor(cqap, budget_slack=budget_slack)
+        self.executor = TwoPhaseExecutor(
+            cqap, budget_slack=budget_slack,
+            relation_backend=relation_backend,
+        )
         self.plans: List[RulePlan] = []
         self._s_targets: Dict[VarSet, Relation] = {}
         self._yannakakis: List[OnlineYannakakis] = []
@@ -329,7 +340,8 @@ class CQAPIndex:
             for rule, estimate in zip(self.rules, self.selection.estimates)
         ]
         self._s_targets = self.executor.preprocess(
-            self.plans, self.space_budget, counters=ctr
+            self.plans, self.space_budget, counters=ctr,
+            planner=self.planner,
         )
 
     @staticmethod
@@ -343,8 +355,11 @@ class CQAPIndex:
             if matching is None:
                 out[node] = Relation(view.label, schema, ())
             else:
-                out[node] = Relation(view.label, matching.schema,
-                                     matching.tuples)
+                # type-following relabel: the view shares the target's
+                # tuple set *and* backend class, so columnar targets stay
+                # columnar through the Yannakakis passes
+                out[node] = type(matching)._wrap(
+                    view.label, matching.schema, matching.tuples)
         return out
 
     # ------------------------------------------------------------------

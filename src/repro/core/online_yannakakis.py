@@ -52,15 +52,23 @@ class OnlineYannakakis:
                     f"{set(relation.variables)}, expected {set(schema)}"
                 )
             self.s_views[node] = relation
+        # probe-invariant tree state, hoisted out of the per-probe passes:
+        # parent/depth maps and the bottom-up/top-down node orders depend
+        # only on the decomposition, never on the probe
+        td, root = pmtd.td, pmtd.root
+        self._parents = td.parent_map(root)
+        self._depths = td.depths(root)
+        all_nodes = set(pmtd.s_views) | set(pmtd.t_views)
+        self._bottom_up = sorted(all_nodes,
+                                 key=lambda n: -self._depths[n])
+        self._top_down = sorted(all_nodes, key=lambda n: self._depths[n])
         self._preprocess()
 
     # ------------------------------------------------------------------
     def _preprocess(self) -> None:
         """SS-edge bottom-up semijoin pass + index warm-up (space-linear)."""
-        td, root = self.pmtd.td, self.pmtd.root
-        parents = td.parent_map(root)
-        depths = td.depths(root)
-        order = sorted(self.s_views, key=lambda n: -depths[n])
+        parents = self._parents
+        order = [n for n in self._bottom_up if n in self.s_views]
         for node in order:
             parent = parents[node]
             if parent is None or parent not in self.pmtd.mat_set:
@@ -116,14 +124,12 @@ class OnlineYannakakis:
                counters: Optional[Counters] = None) -> Relation:
         """Run both passes; returns ψ over the PMTD's head variables."""
         ctr = counters or global_counters
-        pmtd, td, root = self.pmtd, self.pmtd.td, self.pmtd.root
+        pmtd, root = self.pmtd, self.pmtd.root
         head = pmtd.head
-        parents = td.parent_map(root)
-        depths = td.depths(root)
 
         # working copies: node -> (kind, relation); schemas shrink in pass 1
         working = self._working_views(t_views)
-        removed = self._reduce_bottom_up(working, parents, depths, head, ctr)
+        removed = self._reduce_bottom_up(working, self._parents, head, ctr)
 
         root_kind, root_rel = working[root]
         if root_kind != S_VIEW:
@@ -133,14 +139,14 @@ class OnlineYannakakis:
         reduced_request = request.semijoin(root_rel, counters=ctr)
 
         return self._join_top_down(working, removed, reduced_request,
-                                   depths, head, ctr)
+                                   head, ctr)
 
     def _reduce_bottom_up(self, working: Dict[NodeId, Tuple[str, Relation]],
-                          parents: Dict, depths: Dict, head,
+                          parents: Dict, head,
                           ctr: Counters) -> set:
         """Pass 1: semijoin-reduce child-before-parent; returns dropped nodes."""
         removed: set = set()
-        for node in sorted(working, key=lambda n: -depths[n]):
+        for node in self._bottom_up:
             parent = parents[node]
             if parent is None:
                 continue
@@ -169,13 +175,10 @@ class OnlineYannakakis:
 
     def _join_top_down(self, working: Dict[NodeId, Tuple[str, Relation]],
                        removed: set, reduced_request: Relation,
-                       depths: Dict, head, ctr: Counters) -> Relation:
+                       head, ctr: Counters) -> Relation:
         """Pass 2: join kept views parent-to-child; costs output time."""
         result = reduced_request
-        order = sorted(
-            (n for n in working if n not in removed),
-            key=lambda n: depths[n],
-        )
+        order = [n for n in self._top_down if n not in removed]
         for node in order:
             _, relation = working[node]
             result = result.join(relation, counters=ctr)

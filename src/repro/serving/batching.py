@@ -177,9 +177,14 @@ class BatchScheduler:
     # ------------------------------------------------------------------
     @property
     def dedupe_ratio(self) -> float:
-        """Incoming probes per unique probe (1.0 = no redundancy)."""
+        """Incoming probes per unique probe (1.0 = no redundancy).
+
+        An idle scheduler has seen no redundancy yet, so it reports the
+        neutral 1.0 — never 0.0, which dashboards would read as an
+        impossible "fewer incoming than unique" state.
+        """
         return self.probes_in / self.unique_probes if self.unique_probes \
-            else 0.0
+            else 1.0
 
     def scheduler_section(self) -> Dict:
         """The envelope's ``scheduler`` section (counters + cache)."""

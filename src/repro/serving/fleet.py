@@ -110,7 +110,10 @@ def _init_worker(payload_bytes: bytes) -> None:
         head=tuple(cqap.head),
         answer_name=f"{cqap.name}_answer",
         steps=payload.steps,
-        executor=TwoPhaseExecutor(cqap, budget_slack=payload.budget_slack),
+        executor=TwoPhaseExecutor(
+            cqap, budget_slack=payload.budget_slack,
+            relation_backend=payload.relation_backend,
+        ),
         yannakakis=yannakakis,
         preprocess_seconds=time.process_time() - t0,
     )

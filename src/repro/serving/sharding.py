@@ -148,6 +148,9 @@ class ShardPayload:
     pmtds: List
     pmtd_views: List[Dict]
     partitioned_tuples: int
+    #: relation backend the worker's executor must rebuild with, so a
+    #: columnar-prepared index serves columnar in every worker process
+    relation_backend: str = "set"
 
 
 def shard_payloads(index: CQAPIndex, n_shards: int) -> List[ShardPayload]:
@@ -187,6 +190,7 @@ def shard_payloads(index: CQAPIndex, n_shards: int) -> List[ShardPayload]:
             pmtds=list(index.pmtds),
             pmtd_views=pmtd_views,
             partitioned_tuples=part_tuples,
+            relation_backend=index.relation_backend,
         ))
     return payloads
 
@@ -311,9 +315,11 @@ class ShardedIndex:
                 part_tuples += len(parts[shard_id])
             self.shards.append(ShardState(
                 shard_id=shard_id,
-                executor=TwoPhaseExecutor(index.cqap,
-                                          budget_slack=index.executor
-                                          .budget_slack),
+                executor=TwoPhaseExecutor(
+                    index.cqap,
+                    budget_slack=index.executor.budget_slack,
+                    relation_backend=index.relation_backend,
+                ),
                 yannakakis=yannakakis,
                 partitioned_tuples=part_tuples,
             ))

@@ -17,6 +17,13 @@ then diffs eight checks across the repo's answer stacks against them:
 * ``engine_probe`` / ``engine_probe_many`` — the serving engine
   (``PreparedQuery``) over the prepared indexes, cache and batch dedupe
   included;
+* ``*_columnar`` — the same index/engine/serving stacks re-run with
+  ``relation_backend="columnar"`` (batch-kernel relations); each columnar
+  path diffs against the oracle *and* must be bit-identical to its
+  set-backend sibling (the drop-in contract of the backend swap).  The
+  columnar process path uses a single partitioned shard count — its job
+  is to fuzz columnar payload pickling and worker-side cache rebuilds,
+  not to re-sweep shard counts;
 * ``serving_sharded`` / ``serving_process`` — the serving layer
   (``repro.serving``) through the one public entry point
   ``serve(prepared, backend=...)``: the same prepared index
@@ -78,6 +85,13 @@ PATHS: Tuple[str, ...] = (
     "engine_probe_many",
     "serving_sharded",
     "serving_process",
+    "index_lean_columnar",
+    "index_medium_columnar",
+    "index_rich_columnar",
+    "engine_probe_columnar",
+    "engine_probe_many_columnar",
+    "serving_sharded_columnar",
+    "serving_process_columnar",
 )
 
 LEAN_BUDGET = 2
@@ -90,6 +104,12 @@ SHARD_SWEEP: Tuple[int, ...] = (1, 4, 7)
 #: shard counts for the process fleet — worker start-up costs real time
 #: per scenario, so the sweep is the acceptance pair {1, 4}
 PROCESS_SHARD_SWEEP: Tuple[int, ...] = (1, 4)
+
+#: the columnar process path exists to fuzz one specific risk — columnar
+#: payloads pickling to workers and rebuilding their caches there — so a
+#: single partitioned shard count keeps per-scenario fleet start-up cost
+#: bounded (shard-count invariance is already swept on the other paths)
+PROCESS_SHARD_SWEEP_COLUMNAR: Tuple[int, ...] = (2,)
 
 #: batch width the sharded path chunks each probe stream into
 SHARD_BATCH = 3
@@ -233,7 +253,11 @@ def run_scenario(workload: Workload,
     expected = oracle_probe_many(cqap, db, workload.probes)
     unique: List[Row] = list(expected)
 
+    #: path -> its produced answers; feeds the cross-backend identity diff
+    produced: Dict[str, Dict[Row, AnswerSet]] = {}
+
     def check(path: str, actual: Dict[Row, AnswerSet]) -> None:
+        produced[path] = actual
         report = compare_answers(expected, actual, path=path,
                                  context={"seed": seed})
         outcome.comparisons += report.bindings_checked
@@ -253,51 +277,55 @@ def run_scenario(workload: Workload,
     # -- path 1: the textbook from-scratch evaluator --------------------
     run("from_scratch", lambda: _scratch_answers(workload, unique))
 
-    # -- paths 2-4: CQAPIndex across the budget sweep -------------------
+    # -- paths 2-4 (x2 backends): CQAPIndex across the budget sweep -----
     # catalog statistics depend only on (cqap, db): measure once, share
-    # across the three budget points
+    # across the three budget points and both relation backends
     from repro.tradeoff.cost import CatalogStatistics
 
     statistics = CatalogStatistics.from_database(cqap, db)
     indexes: Dict[str, CQAPIndex] = {}
-    for path, budget in scenario_budgets(db).items():
-        try:
-            indexes[path] = CQAPIndex(
-                cqap, db, budget,
-                auto_select_threshold=AUTO_SELECT_THRESHOLD,
-                statistics=statistics,
-            ).preprocess()
-        except PlanningError as exc:
-            # legitimately infeasible at this budget (S-only rules)
-            outcome.skips.append((path, f"PlanningError: {exc}"))
-            continue
-        except Exception as exc:
-            outcome.disagreements.append(
-                Disagreement(seed, path, f"preprocess raised {exc!r}", repro)
-            )
-            continue
-        index = indexes[path]
-        run(path, lambda index=index: {
-            b: answer_rows(index.answer(b), head) for b in unique
-        })
-        if path == "index_rich":
-            # batching must equal the union of the per-binding answers
+    for backend, suffix in (("set", ""), ("columnar", "_columnar")):
+        for base_path, budget in scenario_budgets(db).items():
+            path = base_path + suffix
             try:
-                batch = answer_rows(index.answer_batch(unique), head)
-                union = frozenset().union(*expected.values()) \
-                    if expected else frozenset()
-                outcome.comparisons += 1
-                if batch != union:
-                    outcome.disagreements.append(Disagreement(
-                        seed, "index_rich.answer_batch",
-                        f"missing {sorted(union - batch)} "
-                        f"extra {sorted(batch - union)}", repro,
-                    ))
+                indexes[path] = CQAPIndex(
+                    cqap, db, budget,
+                    auto_select_threshold=AUTO_SELECT_THRESHOLD,
+                    statistics=statistics,
+                    relation_backend=backend,
+                ).preprocess()
+            except PlanningError as exc:
+                # legitimately infeasible at this budget (S-only rules)
+                outcome.skips.append((path, f"PlanningError: {exc}"))
+                continue
             except Exception as exc:
-                outcome.disagreements.append(Disagreement(
-                    seed, "index_rich.answer_batch",
-                    f"raised {exc!r}", repro,
-                ))
+                outcome.disagreements.append(
+                    Disagreement(seed, path,
+                                 f"preprocess raised {exc!r}", repro)
+                )
+                continue
+            index = indexes[path]
+            run(path, lambda index=index: {
+                b: answer_rows(index.answer(b), head) for b in unique
+            })
+            if base_path == "index_rich":
+                # batching must equal the union of the per-binding answers
+                try:
+                    batch = answer_rows(index.answer_batch(unique), head)
+                    union = frozenset().union(*expected.values()) \
+                        if expected else frozenset()
+                    outcome.comparisons += 1
+                    if batch != union:
+                        outcome.disagreements.append(Disagreement(
+                            seed, f"{path}.answer_batch",
+                            f"missing {sorted(union - batch)} "
+                            f"extra {sorted(batch - union)}", repro,
+                        ))
+                except Exception as exc:
+                    outcome.disagreements.append(Disagreement(
+                        seed, f"{path}.answer_batch",
+                        f"raised {exc!r}", repro,
+                    ))
 
     # -- route-stability invariant of the selection ledger --------------
     # re-route each preprocessed index's selected rule set across the
@@ -307,6 +335,8 @@ def run_scenario(workload: Workload,
 
     sweep = sorted(scenario_budgets(db).values())
     for path, index in indexes.items():
+        if path.endswith("_columnar"):
+            continue  # planning is backend-independent; check once
         try:
             previous = None
             for budget in sweep:
@@ -329,13 +359,10 @@ def run_scenario(workload: Workload,
                 seed, f"{path}.route_stability", f"raised {exc!r}", repro,
             ))
 
-    # -- paths 5-6: the serving engine over the prepared indexes --------
-    probe_index = (indexes.get("index_lean") or indexes.get("index_medium")
-                   or indexes.get("index_rich"))
-    if probe_index is None:
-        outcome.skips.append(("engine_probe", "no preprocessed index"))
-    else:
-        def engine_probe() -> Dict[Row, AnswerSet]:
+    # -- paths 5-6 (x2 backends): the serving engine over the prepared
+    # indexes
+    def engine_probe_path(probe_index):
+        def thunk() -> Dict[Row, AnswerSet]:
             pq = PreparedQuery(probe_index,
                                cache_size=workload.cache_size)
             out: Dict[Row, AnswerSet] = {}
@@ -344,15 +371,10 @@ def run_scenario(workload: Workload,
             if pq.replanned:
                 raise AssertionError("probe path re-planned")
             return out
+        return thunk
 
-        run("engine_probe", engine_probe)
-
-    batch_index = (indexes.get("index_rich") or indexes.get("index_medium")
-                   or indexes.get("index_lean"))
-    if batch_index is None:
-        outcome.skips.append(("engine_probe_many", "no preprocessed index"))
-    else:
-        def engine_probe_many() -> Dict[Row, AnswerSet]:
+    def engine_probe_many_path(batch_index):
+        def thunk() -> Dict[Row, AnswerSet]:
             pq = PreparedQuery(batch_index,
                                cache_size=workload.cache_size)
             first = pq.probe_many(workload.probes)
@@ -367,12 +389,13 @@ def run_scenario(workload: Workload,
             if pq.replanned:
                 raise AssertionError("probe_many path re-planned")
             return {b: answer_rows(rel, head) for b, rel in first.items()}
+        return thunk
 
-        run("engine_probe_many", engine_probe_many)
-
-    # -- paths 7-8: the serving layer behind serve(backend=...), invariant
-    # across shard counts; the two paths differ only in the backend arg
-    def serving_path(backend: str, shard_sweep: Tuple[int, ...]):
+    # -- paths 7-8 (x2 backends): the serving layer behind
+    # serve(backend=...), invariant across shard counts; the thread and
+    # process paths differ only in the backend arg
+    def serving_path(batch_index, backend: str,
+                     shard_sweep: Tuple[int, ...]):
         def thunk() -> Dict[Row, AnswerSet]:
             from repro.serving import serve
 
@@ -406,13 +429,145 @@ def run_scenario(workload: Workload,
             return reference
         return thunk
 
-    if batch_index is None:
-        outcome.skips.append(("serving_sharded", "no preprocessed index"))
-        outcome.skips.append(("serving_process", "no preprocessed index"))
-    else:
-        run("serving_sharded", serving_path("thread", SHARD_SWEEP))
-        run("serving_process", serving_path("process", PROCESS_SHARD_SWEEP))
+    for suffix, process_sweep in (("", PROCESS_SHARD_SWEEP),
+                                  ("_columnar",
+                                   PROCESS_SHARD_SWEEP_COLUMNAR)):
+        probe_index = (indexes.get("index_lean" + suffix)
+                       or indexes.get("index_medium" + suffix)
+                       or indexes.get("index_rich" + suffix))
+        if probe_index is None:
+            outcome.skips.append(("engine_probe" + suffix,
+                                  "no preprocessed index"))
+        else:
+            run("engine_probe" + suffix, engine_probe_path(probe_index))
 
+        batch_index = (indexes.get("index_rich" + suffix)
+                       or indexes.get("index_medium" + suffix)
+                       or indexes.get("index_lean" + suffix))
+        if batch_index is None:
+            for path in ("engine_probe_many", "serving_sharded",
+                         "serving_process"):
+                outcome.skips.append((path + suffix,
+                                      "no preprocessed index"))
+        else:
+            run("engine_probe_many" + suffix,
+                engine_probe_many_path(batch_index))
+            run("serving_sharded" + suffix,
+                serving_path(batch_index, "thread", SHARD_SWEEP))
+            run("serving_process" + suffix,
+                serving_path(batch_index, "process", process_sweep))
+
+    # -- cross-backend bit-identity -------------------------------------
+    # oracle agreement already implies identical answer *sets*; this diff
+    # additionally pins the two backends to each other even on paths
+    # where both disagreed with the oracle the same way, and documents
+    # the drop-in contract as an explicit invariant
+    for base in ("index_lean", "index_medium", "index_rich",
+                 "engine_probe", "engine_probe_many",
+                 "serving_sharded", "serving_process"):
+        variant = base + "_columnar"
+        if base in produced and variant in produced:
+            outcome.comparisons += 1
+            if produced[base] != produced[variant]:
+                changed = sorted(
+                    key for key in set(produced[base])
+                    | set(produced[variant])
+                    if produced[base].get(key)
+                    != produced[variant].get(key)
+                )
+                outcome.disagreements.append(Disagreement(
+                    seed, f"{variant}.bit_identity",
+                    f"columnar answers differ from set-backend answers "
+                    f"at bindings {changed}", repro,
+                ))
+
+    return outcome
+
+
+#: a slack this small turns the abort limit into ~1 tuple, so any
+#: designated S-target that materializes at all outgrows it
+ABORT_SLACK = 1e-9
+
+
+def run_abort_scenario(workload: Workload,
+                       pins: Optional[Dict[str, str]] = None,
+                       ) -> ScenarioOutcome:
+    """Force the preprocess budget-abort fallback and oracle-check it.
+
+    ``budget_slack`` is driven to ~0 at an ample ``space_budget``, so the
+    planner happily designates S-targets and then every materialization
+    outgrows the slack limit: Algorithm 1's abort flips each decision to
+    the online phase with the planner's re-priced T-target.  The aborted
+    index must (a) record ``budget_aborts``, (b) carry *finite* re-priced
+    ``predicted_log_size`` on every decision — the selection-ledger wart
+    this scenario pins — and (c) still answer every probe correctly,
+    checked against the oracle through **both** ``serve()`` backends.
+
+    Scenarios whose plans designate no S-target (nothing to abort) or
+    whose rules are S-only (legitimate ``PlanningError``) are skips, not
+    failures; the fixed-seed CI block picks seeds where the abort fires.
+    """
+    import math
+
+    outcome = ScenarioOutcome(workload)
+    cqap, db = workload.cqap, workload.db
+    head = tuple(cqap.head)
+    seed = workload.seed
+    repro = _repro_command(seed, pins)
+    expected = oracle_probe_many(cqap, db, workload.probes)
+
+    try:
+        index = CQAPIndex(
+            cqap, db, RICH_BUDGET,
+            auto_select_threshold=AUTO_SELECT_THRESHOLD,
+            budget_slack=ABORT_SLACK,
+        ).preprocess()
+    except PlanningError as exc:
+        outcome.skips.append(("abort", f"PlanningError: {exc}"))
+        return outcome
+    except Exception as exc:
+        outcome.disagreements.append(Disagreement(
+            seed, "abort", f"preprocess raised {exc!r}", repro))
+        return outcome
+    if index.executor.budget_aborts == 0:
+        outcome.skips.append(
+            ("abort", "no S-target designated, nothing to abort"))
+        return outcome
+
+    infinite = [
+        decision.describe()
+        for plan in index.plans for decision in plan.decisions
+        if not math.isfinite(decision.predicted_log_size)
+    ]
+    outcome.comparisons += 1
+    if infinite:
+        outcome.disagreements.append(Disagreement(
+            seed, "abort.repricing",
+            f"aborted decisions kept infinite predictions: {infinite}",
+            repro,
+        ))
+
+    from repro.serving import serve
+
+    for backend in ("thread", "process"):
+        path = f"abort.serving_{backend}"
+        try:
+            with serve(index, backend=backend, shards=2,
+                       batch_size=SHARD_BATCH,
+                       cache_size=workload.cache_size,
+                       inline_threshold=0) as server:
+                actual: Dict[Row, AnswerSet] = {}
+                for key, rel in server.serve(workload.probes):
+                    actual[key] = answer_rows(rel, head)
+            report = compare_answers(expected, actual, path=path,
+                                     context={"seed": seed})
+            outcome.comparisons += report.bindings_checked
+            for diff in report.diffs:
+                outcome.disagreements.append(
+                    Disagreement(seed, path, diff.describe(), repro))
+        except Exception as exc:
+            outcome.disagreements.append(Disagreement(
+                seed, path, f"raised {exc!r}", repro))
     return outcome
 
 

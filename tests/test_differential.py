@@ -64,18 +64,26 @@ class TestDifferentialHarness:
     def test_scenario_reports_per_path_comparisons(self):
         outcome = run_scenario(make_workload(TIER1_SEED))
         assert outcome.ok
-        # every non-skipped path checked every unique binding, plus the
-        # one answer_batch union check on the rich index, plus the
-        # 3-budget route-stability sweep on every preprocessed index
+        # every non-skipped path checked every unique binding, plus one
+        # answer_batch union check per rich index (both backends), plus
+        # the 3-budget route-stability sweep on every set-backend index,
+        # plus one cross-backend bit-identity diff per path pair
         unique = len({tuple(b) for b in outcome.workload.probes})
         skipped = {path for path, _ in outcome.skips}
         ran = len(PATHS) - len(skipped)
-        batch_checks = 0 if "index_rich" in skipped else 1
+        batch_checks = sum(
+            1 for p in ("index_rich", "index_rich_columnar")
+            if p not in skipped)
         index_paths = ("index_lean", "index_medium", "index_rich")
         stability_checks = 3 * sum(1 for p in index_paths
                                    if p not in skipped)
-        assert outcome.comparisons == \
-            ran * unique + batch_checks + stability_checks
+        identity_checks = sum(
+            1 for p in PATHS
+            if p.endswith("_columnar")
+            and p not in skipped and p[:-len("_columnar")] not in skipped)
+        assert outcome.comparisons == (ran * unique + batch_checks
+                                       + stability_checks
+                                       + identity_checks)
 
     def test_harness_catches_injected_corruption(self):
         """The tester is itself tested: a corrupted path must be flagged."""
@@ -207,3 +215,48 @@ class TestEngineOracleSelfCheck:
                                frozenset({bogus})))
         with pytest.raises(OracleMismatch):
             pq.verify_against_oracle([binding])
+
+
+class TestAbortScenario:
+    """Budget-abort forcing: the fallback path vs the oracle, both backends."""
+
+    def test_abort_fires_and_agrees_on_both_serve_backends(self):
+        from repro.workloads.differential import run_abort_scenario
+
+        # seeds picked so the rich-budget plans designate S-targets and
+        # the ~zero slack aborts them (see run_abort_scenario docstring)
+        fired = 0
+        for seed in (3000, 3004, 3006):
+            outcome = run_abort_scenario(make_workload(seed))
+            assert outcome.ok, "\n".join(
+                d.describe() for d in outcome.disagreements)
+            if not outcome.skips:
+                fired += 1
+                assert outcome.comparisons > 0
+        assert fired > 0, "no seed exercised the abort path"
+
+    def test_sweep_skips_are_not_failures(self):
+        from repro.workloads.differential import run_abort_scenario
+
+        # a scenario with nothing to abort reports a skip and stays ok
+        for seed in range(3001, 3004):
+            outcome = run_abort_scenario(make_workload(seed))
+            assert outcome.ok
+
+
+class TestColumnarPathsInGate:
+    def test_columnar_paths_are_part_of_the_gate(self):
+        assert "index_rich_columnar" in PATHS
+        assert "engine_probe_columnar" in PATHS
+        assert "serving_process_columnar" in PATHS
+
+    def test_columnar_block_bit_identical(self):
+        # a focused fixed-seed block: every columnar path must both agree
+        # with the oracle and be bit-identical to its set sibling (the
+        # cross-backend diff inside run_scenario raises otherwise)
+        summary = run_differential(3, TIER1_SEED + 7000)
+        assert summary.ok, summary.describe()
+        for path in PATHS:
+            if path.endswith("_columnar"):
+                assert summary.path_runs.get(path, 0) >= 2, \
+                    summary.describe()

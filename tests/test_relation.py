@@ -338,3 +338,39 @@ class TestPartitionViews:
     def test_partition_names_mark_the_shard(self):
         parts = self.sample().partition_by_hash(("a",), 2)
         assert [p.name for p in parts] == ["R@0", "R@1"]
+
+
+class TestCounterHygiene:
+    """Equality and union bookkeeping must not leak into global counters."""
+
+    def test_eq_across_column_orders_charges_nothing_globally(self):
+        from repro.util.counters import global_counters
+
+        r1 = rel("R", ("a", "b"), [(1, 2), (3, 4)])
+        r2 = rel("S", ("b", "a"), [(2, 1), (4, 3)])
+        before = global_counters.scans
+        assert r1 == r2
+        assert global_counters.scans == before
+
+    def test_union_reorder_charges_nothing_globally(self):
+        from repro.util.counters import global_counters
+
+        r1 = rel("R", ("a", "b"), [(1, 2)])
+        r2 = rel("S", ("b", "a"), [(5, 6)])
+        before = global_counters.scans
+        out = r1.union(r2)
+        assert out.tuples == {(1, 2), (6, 5)}
+        assert global_counters.scans == before
+
+
+class TestSelectEqualsValidation:
+    def test_unknown_binding_variable_raises(self):
+        r = rel("R", ("a", "b"), [(1, 2)])
+        with pytest.raises(SchemaError, match="z"):
+            r.select_equals({"z": 1})
+
+    def test_mixed_known_and_unknown_raises_not_filters(self):
+        # a typo must never silently return unfiltered rows
+        r = rel("R", ("a", "b"), [(1, 2), (3, 4)])
+        with pytest.raises(SchemaError):
+            r.select_equals({"a": 1, "typo": 2})

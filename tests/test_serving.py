@@ -412,3 +412,39 @@ class TestConcurrentEngineCounters:
         assert pq.probes_served == 1 + n_threads * per_thread
         cache = pq.cache.snapshot()
         assert cache["hits"] + cache["misses"] == pq.probes_served
+
+
+class TestSchedulerIdleStats:
+    def test_idle_dedupe_ratio_is_neutral_one(self, prepared):
+        sharded = ShardedIndex(prepared, n_shards=2)
+        with BatchScheduler(sharded) as scheduler:
+            # no batch has run: ratio must read 1.0 (no redundancy seen),
+            # never the impossible 0.0
+            assert scheduler.dedupe_ratio == 1.0
+            section = scheduler.scheduler_section()
+            assert section["dedupe_ratio"] == 1.0
+            assert section["probes_in"] == 0
+
+
+class TestColumnarServing:
+    def test_thread_backend_serves_columnar_identically(self, prepared,
+                                                        pairs):
+        cqap, db = prepared.cqap, prepared.db
+        columnar = CQAPIndex(cqap, db, prepared.space_budget,
+                             relation_backend="columnar").preprocess()
+        with serve(prepared, backend="thread", shards=3) as ref, \
+                serve(columnar, backend="thread", shards=3) as col:
+            want = {k: rel.tuples for k, rel in ref.serve(pairs)}
+            got = {k: rel.tuples for k, rel in col.serve(pairs)}
+        assert got == want
+
+    def test_shard_payloads_carry_backend(self, prepared):
+        from repro.serving.sharding import shard_payloads
+
+        cqap, db = prepared.cqap, prepared.db
+        columnar = CQAPIndex(cqap, db, prepared.space_budget,
+                             relation_backend="columnar").preprocess()
+        for payload in shard_payloads(columnar, n_shards=2):
+            assert payload.relation_backend == "columnar"
+        for payload in shard_payloads(prepared, n_shards=2):
+            assert payload.relation_backend == "set"

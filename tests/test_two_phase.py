@@ -154,3 +154,51 @@ class TestExecutor:
                                       counters=ctr)
         stored = sum(len(r) for r in targets.values())
         assert ctr.stores >= stored
+
+
+class TestBudgetAbortRepricing:
+    """The abort fallback must re-price, not punt to inf (satellite fix)."""
+
+    def _aborting_plan(self):
+        cqap, db = two_reach_setup(n_edges=300, domain=20, skew=0)
+        planner = TwoPhasePlanner(cqap, db, space_budget=db.size ** 2)
+        rule = TwoPhaseRule(frozenset({v(1, 3)}), frozenset({v(1, 2, 3)}))
+        plan = planner.plan_rule(rule)
+        assert plan.preprocess_decisions
+        before = {id(d) for d in plan.preprocess_decisions}
+        return planner, rule, plan, before
+
+    def test_with_planner_aborts_get_finite_repriced_bounds(self):
+        planner, rule, plan, before = self._aborting_plan()
+        executor = TwoPhaseExecutor(planner.cqap, budget_slack=1e-9)
+        executor.preprocess([plan], space_budget=1, planner=planner)
+        assert executor.budget_aborts > 0
+        aborted = [d for d in plan.decisions
+                   if id(d) in before and d.phase == T_PHASE]
+        assert aborted
+        for decision in aborted:
+            assert math.isfinite(decision.predicted_log_size)
+            assert decision.target in rule.t_targets
+
+    def test_without_planner_falls_back_lexicographically(self):
+        planner, rule, plan, before = self._aborting_plan()
+        executor = TwoPhaseExecutor(planner.cqap, budget_slack=1e-9)
+        executor.preprocess([plan], space_budget=1)
+        assert executor.budget_aborts > 0
+        lexi_first = min(rule.t_targets, key=lambda t: tuple(sorted(t)))
+        aborted = [d for d in plan.decisions
+                   if id(d) in before and d.phase == T_PHASE]
+        assert aborted
+        for decision in aborted:
+            assert decision.target == lexi_first
+            assert decision.predicted_log_size == math.inf
+
+    def test_best_online_target_prefers_cheapest_bound(self):
+        planner, rule, plan, _ = self._aborting_plan()
+        target, bound = planner.best_online_target(rule.t_targets)
+        assert target in rule.t_targets
+        assert math.isfinite(bound)
+        # the public wrapper agrees with what planning itself would pick
+        singles = [planner.best_online_target(frozenset({t}))[1]
+                   for t in rule.t_targets]
+        assert bound == min(singles)
