@@ -108,6 +108,37 @@ def experiment():
     assert backend_answers["set"] == backend_answers["columnar"], \
         "relation backends disagree on warm-probe answers"
 
+    # updates axis: single-tuple delta maintenance vs paying the full
+    # prepare again.  Insert/delete pairs of fresh rows keep the database
+    # stable across the timed loop; each delta runs the exact
+    # affected-key maintenance pass (repro.updates) where the
+    # pre-incremental alternative was a from-scratch re-prepare.
+    upd_pq = prepare(cqap, db.copy(), space_budget=budget, cache_size=0)
+    upd_index = upd_pq.index
+    seen = set(db["R2"].tuples)
+    fresh_rows = []
+    while len(fresh_rows) < 20:
+        row = (rng.randrange(DOMAIN), rng.randrange(DOMAIN))
+        if row not in seen:
+            fresh_rows.append(row)
+            seen.add(row)
+    t0 = time.perf_counter()
+    for row in fresh_rows:
+        upd_index.apply_delta("insert", "R2", row)
+        upd_index.apply_delta("delete", "R2", row)
+    delta_seconds = (time.perf_counter() - t0) / (2 * len(fresh_rows))
+    t0 = time.perf_counter()
+    prepare(cqap, db.copy(), space_budget=budget, cache_size=0)
+    reprepare_seconds = time.perf_counter() - t0
+    updates = {
+        "delta_seconds_avg": delta_seconds,
+        "deltas_per_sec": 1.0 / max(delta_seconds, 1e-9),
+        "reprepare_seconds": reprepare_seconds,
+        "delta_speedup_vs_reprepare":
+            reprepare_seconds / max(delta_seconds, 1e-9),
+        "deltas_applied": upd_index.update_counts["deltas_applied"],
+    }
+
     stats = pq.stats()["engine"]
     return {
         "db_size": db.size,
@@ -123,6 +154,7 @@ def experiment():
         "one_by_one_ops": single_ctr.online_work,
         "batched_ops": batched_ctr.online_work,
         "relation_backends": relation_backends,
+        "updates": updates,
         "plan_calls_cold": plan_calls_cold,
         "plan_calls_final": stats["plan_calls"],
         "preprocess_runs": stats["preprocess_runs"],
@@ -153,6 +185,11 @@ def report():
              f"{b['warm_ops_per_probe']:.0f} ops/probe",
              f"{b['warm_probes_per_sec']:.0f} probes/s"]
             for name, b in r["relation_backends"].items()
+        ] + [
+            ["single-tuple delta",
+             f"{r['updates']['delta_seconds_avg'] * 1e6:.0f} us/delta",
+             f"{r['updates']['delta_speedup_vs_reprepare']:.0f}x cheaper "
+             "than re-prepare"],
         ],
     )
     return r
@@ -176,6 +213,11 @@ def test_engine_serving(benchmark):
     # intrinsic work per probe (the bulk kernels charge exactly what the
     # per-row loops would), answers already asserted bit-identical inside
     # experiment()
+    # the updates axis: a single-tuple delta must be at least an order of
+    # magnitude cheaper than paying the prepare phase again — that gap is
+    # the whole point of incremental maintenance
+    assert r["updates"]["delta_speedup_vs_reprepare"] >= 10
+    assert r["updates"]["deltas_applied"] == 40
     backends = r["relation_backends"]
     assert set(backends) == {"set", "columnar"}
     assert backends["set"]["warm_ops_per_probe"] == pytest.approx(

@@ -38,8 +38,10 @@ sys.path.insert(0, str(Path(__file__).parent))
 #: ``backend`` axis to the serving grid plus the process-fleet
 #: ``process_grid``/``process_scaling`` critical-path CPU sections; v4
 #: added the ``relation_backends`` axis to the engine payload (warm
-#: uncached throughput per relation backend: set vs columnar)
-SCHEMA_VERSION = 4
+#: uncached throughput per relation backend: set vs columnar); v5 added
+#: the ``updates`` axis (single-tuple delta maintenance cost vs a full
+#: re-prepare)
+SCHEMA_VERSION = 5
 
 #: top-level keys every emitted payload must carry
 REQUIRED_KEYS = ("schema_version", "commit", "date", "benchmark",
@@ -49,7 +51,7 @@ REQUIRED_KEYS = ("schema_version", "commit", "date", "benchmark",
 REQUIRED_METRICS = {
     "engine_serving": ("prepare_seconds", "warm_probes_per_sec",
                        "cached_probes_per_sec", "cache_hit_rate",
-                       "relation_backends"),
+                       "relation_backends", "updates"),
     "rule_selection": ("planning", "budget_sweep", "estimator_accuracy"),
     "serving": ("baseline_probes_per_sec", "throughput_grid",
                 "best_speedup", "single_shard_overhead",
@@ -121,6 +123,14 @@ def validate_payload(payload: dict) -> list:
                         f"relation_backends[{name!r}] missing "
                         "'warm_probes_per_sec'"
                     )
+        updates = metrics.get("updates")
+        if not isinstance(updates, dict):
+            problems.append("updates is not an object")
+        else:
+            for key in ("delta_seconds_avg", "reprepare_seconds",
+                        "delta_speedup_vs_reprepare"):
+                if key not in updates:
+                    problems.append(f"updates missing {key!r}")
     return problems
 
 
@@ -280,7 +290,9 @@ def main(argv=None) -> int:
           f"(set {backends['set']['warm_probes_per_sec']:.0f}/s, "
           f"columnar {backends['columnar']['warm_probes_per_sec']:.0f}/s), "
           f"{m['cached_probes_per_sec']:.0f} cached probes/s, "
-          f"cache hit rate {m['cache_hit_rate']:.0%}", flush=True)
+          f"cache hit rate {m['cache_hit_rate']:.0%}, single-tuple delta "
+          f"{m['updates']['delta_speedup_vs_reprepare']:.0f}x cheaper "
+          f"than re-prepare", flush=True)
 
     planning = selection["metrics"]["planning"][-1]
     sweep = selection["metrics"]["budget_sweep"]

@@ -31,7 +31,7 @@ The pipeline is §4.2/§4.3 verbatim:
 from __future__ import annotations
 
 import math
-import warnings
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -51,7 +51,7 @@ from repro.decomposition.pmtd import PMTD, trivial_pmtds
 from repro.query.constraints import ConstraintSet
 from repro.query.cq import CQAP
 from repro.query.hypergraph import VarSet
-from repro.tradeoff.cost import CatalogStatistics, CostModel, order_pmtds_by_cost
+from repro.tradeoff.cost import CatalogStatistics, CostModel
 from repro.tradeoff.joint_flow import SizeBoundOracle
 from repro.tradeoff.rules import TwoPhaseRule, rules_from_pmtds
 from repro.tradeoff.selection import SelectionResult, keep_all_rules, select_rules
@@ -90,7 +90,6 @@ class CQAPIndex:
         ac: Optional[ConstraintSet] = None,
         request_size: float = 1,
         max_bags: int = 3,
-        max_pmtds: Optional[int] = None,
         max_splits: int = 4,
         budget_slack: float = 8.0,
         measure_degrees: bool = False,
@@ -102,6 +101,7 @@ class CQAPIndex:
         statistics: Optional[CatalogStatistics] = None,
         shards: int = 1,
         relation_backend: str = "set",
+        staleness_threshold: float = 0.5,
     ) -> None:
         self.cqap = cqap
         self.db = db
@@ -112,17 +112,36 @@ class CQAPIndex:
         #: batch kernels — answers are bit-identical across backends)
         relation_class(relation_backend)
         self.relation_backend = relation_backend
-        # statistics depend only on (cqap, db): callers sweeping budgets
-        # over one database should measure once and pass them in
-        if statistics is None:
-            statistics = CatalogStatistics.from_database(cqap, db)
-        if dc is None and measure_degrees:
-            from repro.query.constraints import constraints_from_statistics
-
-            # the catalog already measured every single- and multi-variable
-            # degree key: feed exactly those to the planner's LP instead of
-            # re-scanning the relations
-            dc = constraints_from_statistics(statistics)
+        if rule_selection not in ("auto", "all", "budget"):
+            raise ValueError(
+                f"rule_selection must be 'auto', 'all', or 'budget', "
+                f"got {rule_selection!r}"
+            )
+        if staleness_threshold <= 0:
+            raise ValueError(
+                f"staleness_threshold must be positive, got "
+                f"{staleness_threshold}"
+            )
+        # knobs retained verbatim so drift-triggered re-selection
+        # (repro.updates) can redo the whole configuration pipeline
+        # against freshly measured statistics
+        self._dc_given = dc
+        self._ac = ac
+        self._request_size = request_size
+        self._max_splits = max_splits
+        self._measure_degrees = measure_degrees
+        self._threshold_scale = threshold_scale
+        self._rule_selection = rule_selection
+        self._auto_select_threshold = auto_select_threshold
+        self._beam_width = beam_width
+        self._max_selected_pmtds = max_selected_pmtds
+        #: relative cardinality drift past which a delta triggers full
+        #: re-selection instead of incremental view maintenance
+        self.staleness_threshold = float(staleness_threshold)
+        #: worker count the selection ledger prices for — the serving fleet
+        #: passes its shard count so replicated S-targets must fit every
+        #: per-shard budget slice whole (see selection.shard_fraction)
+        self.shards = max(1, int(shards))
         if pmtds is None:
             try:
                 pmtds = enumerate_pmtds(cqap, max_bags=max_bags)
@@ -130,74 +149,77 @@ class CQAPIndex:
                 pmtds = trivial_pmtds(cqap)
             if not pmtds:
                 pmtds = trivial_pmtds(cqap)
-        self.pmtds: List[PMTD] = list(pmtds)
+        #: full candidate pool, kept for preprocess()'s re-selection
+        #: backstop and for drift-triggered re-selection
+        self._pmtd_pool: List[PMTD] = list(pmtds)
+        self.executor = TwoPhaseExecutor(
+            cqap, budget_slack=budget_slack,
+            relation_backend=relation_backend,
+        )
+        #: delta listeners (PreparedQuery, ShardedIndex, fleets, servers);
+        #: weak so dropping a serving layer unregisters it automatically
+        self._listeners: "weakref.WeakSet" = weakref.WeakSet()
+        #: update-path accounting surfaced through the stats envelope's
+        #: ``updates`` section
+        self.update_counts: Dict[str, int] = {
+            "inserts": 0, "deletes": 0, "deltas_applied": 0,
+            "reselections": 0,
+        }
+        self._configure(statistics)
+        self.plans: List[RulePlan] = []
+        self._s_targets: Dict[VarSet, Relation] = {}
+        self._yannakakis: List[OnlineYannakakis] = []
+        self._compiled_online: List[CompiledOnlineStep] = []
+        self.stats = IndexStats()
+        self._ready = False
+
+    def _configure(self, statistics: Optional[CatalogStatistics]) -> None:
+        """Measure statistics, build the planner stack, select rules.
+
+        Runs at construction and again on drift-triggered re-selection
+        (with ``statistics=None`` to force a re-measure of the mutated
+        database).
+        """
+        # statistics depend only on (cqap, db): callers sweeping budgets
+        # over one database should measure once and pass them in
+        if statistics is None:
+            statistics = CatalogStatistics.from_database(self.cqap, self.db)
+        self.statistics = statistics
+        dc = self._dc_given
+        if dc is None and self._measure_degrees:
+            from repro.query.constraints import constraints_from_statistics
+
+            # the catalog already measured every single- and multi-variable
+            # degree key: feed exactly those to the planner's LP instead of
+            # re-scanning the relations
+            dc = constraints_from_statistics(statistics)
+        self.pmtds: List[PMTD] = list(self._pmtd_pool)
         self.cost_model = CostModel(
-            cqap, statistics, request_size=request_size,
+            self.cqap, statistics, request_size=self._request_size,
         )
         # the planner exists before selection so budgeted selection can
         # blend the planner's own degree-constraint LP bounds into its
         # final ranking (SizeBoundOracle caches per-target solves)
         self.planner = TwoPhasePlanner(
-            cqap, db, space_budget, dc=dc, ac=ac,
-            request_size=request_size, max_splits=max_splits,
-            threshold_scale=threshold_scale,
+            self.cqap, self.db, self.space_budget,
+            dc=dc, ac=self._ac,
+            request_size=self._request_size, max_splits=self._max_splits,
+            threshold_scale=self._threshold_scale,
         )
         self._lp_oracle = SizeBoundOracle(self.planner.program)
-        if rule_selection not in ("auto", "all", "budget"):
-            raise ValueError(
-                f"rule_selection must be 'auto', 'all', or 'budget', "
-                f"got {rule_selection!r}"
-            )
-        if max_pmtds is not None:
-            # Deprecated since PR 3; scheduled for removal two releases
-            # after the serving facade landed (PR 6) — i.e. the parameter
-            # disappears in PR 8.  Internal callers all pass
-            # ``rule_selection=`` already; only external callers can still
-            # reach this branch.
-            warnings.warn(
-                "max_pmtds is deprecated and will be removed two releases "
-                "after the repro.serving facade (use rule_selection='budget' "
-                "with max_selected_pmtds, or 'auto' which beam-selects "
-                "large PMTD sets against the space_budget)",
-                DeprecationWarning, stacklevel=2,
-            )
-            # Any subset of PMTDs is sound (answering unions the per-PMTD
-            # ψ_i, each of which is complete), so the alias layers on the
-            # budgeted selection: cap its subset size at max_pmtds and let
-            # the beam pick the estimated-cheapest feasible subset —
-            # deterministic, unlike the old enumeration-order truncation.
-            if len(self.pmtds) > max_pmtds:
-                if rule_selection == "all":
-                    # legacy escape hatch: plain deterministic truncation
-                    self.pmtds = order_pmtds_by_cost(
-                        self.pmtds, self.cost_model)[:max_pmtds]
-                else:
-                    rule_selection = "budget"
-                    max_selected_pmtds = (
-                        max_pmtds if max_selected_pmtds is None
-                        else min(max_selected_pmtds, max_pmtds)
-                    )
-            # a non-binding cap stays a no-op (beyond the warning), as it
-            # always was
-        mode = rule_selection
+        mode = self._rule_selection
         if mode == "auto":
-            mode = ("all" if len(self.pmtds) <= auto_select_threshold
+            mode = ("all" if len(self.pmtds) <= self._auto_select_threshold
                     else "budget")
-        #: full candidate pool + knobs, kept for preprocess()'s re-selection
-        #: backstop when the planner refutes an estimated-feasible rule
+        #: candidate pool for preprocess()'s re-selection backstop when
+        #: the planner refutes an estimated-feasible rule
         self._selection_pool: List[PMTD] = list(self.pmtds)
-        self._beam_width = beam_width
-        self._max_selected_pmtds = max_selected_pmtds
-        #: worker count the selection ledger prices for — the serving fleet
-        #: passes its shard count so replicated S-targets must fit every
-        #: per-shard budget slice whole (see selection.shard_fraction)
-        self.shards = max(1, int(shards))
         if mode == "budget":
             self.selection: SelectionResult = select_rules(
                 self.pmtds, self.cost_model,
                 space_budget=self.space_budget,
-                beam_width=beam_width,
-                max_selected=max_selected_pmtds,
+                beam_width=self._beam_width,
+                max_selected=self._max_selected_pmtds,
                 lp_oracle=self._lp_oracle,
                 shards=self.shards,
             )
@@ -209,16 +231,6 @@ class CQAPIndex:
                 shards=self.shards,
             )
         self.rules: List[TwoPhaseRule] = self.selection.rules
-        self.executor = TwoPhaseExecutor(
-            cqap, budget_slack=budget_slack,
-            relation_backend=relation_backend,
-        )
-        self.plans: List[RulePlan] = []
-        self._s_targets: Dict[VarSet, Relation] = {}
-        self._yannakakis: List[OnlineYannakakis] = []
-        self._compiled_online: List[CompiledOnlineStep] = []
-        self.stats = IndexStats()
-        self._ready = False
 
     # ------------------------------------------------------------------
     # preprocessing phase
@@ -413,6 +425,59 @@ class CQAPIndex:
                      counters: Optional[Counters] = None) -> Relation:
         """Answer many single-tuple requests in one online pass (§2.1)."""
         return self.answer(list(requests), counters=counters)
+
+    # ------------------------------------------------------------------
+    # incremental updates (repro.updates drives these)
+    # ------------------------------------------------------------------
+    def register_delta_listener(self, listener) -> None:
+        """Subscribe a serving layer to delta events (weakly referenced).
+
+        ``listener`` must expose ``on_index_delta(event)`` taking a
+        :class:`repro.updates.UpdateEvent`.  Registration is weak: a
+        dropped server disappears from the set without an explicit
+        unregister.
+        """
+        self._listeners.add(listener)
+
+    def unregister_delta_listener(self, listener) -> None:
+        """Unsubscribe a listener (no-op if absent)."""
+        self._listeners.discard(listener)
+
+    def notify_delta(self, event) -> None:
+        """Fan one update event out to every registered listener."""
+        for listener in list(self._listeners):
+            listener.on_index_delta(event)
+
+    def apply_delta(self, op: str, name: str, row: tuple,
+                    counters: Optional[Counters] = None):
+        """Apply one single-tuple delta through the index (and listeners).
+
+        Thin delegate to :func:`repro.updates.apply_delta` — see there
+        for the maintenance algorithm and the event contract.
+        """
+        from repro.updates import apply_delta
+
+        return apply_delta(self, op, name, row, counters=counters)
+
+    def reselect(self, counters: Optional[Counters] = None) -> None:
+        """Full re-selection + re-preprocess against the mutated database.
+
+        The drift escape hatch: once measured statistics moved past
+        ``staleness_threshold``, incremental maintenance keeps answers
+        correct but the *chosen rules* may no longer be the cheapest (or
+        even budget-feasible) ones, so the whole configuration pipeline
+        reruns against freshly measured statistics.  Answers are
+        preserved (every selection is sound), so listeners only need to
+        rebind structures, not flush answer caches beyond what the
+        triggering delta already evicted.
+        """
+        self._configure(None)
+        self.preprocess(counters=counters)
+        self.update_counts["reselections"] += 1
+
+    def updates_section(self) -> Dict[str, int]:
+        """The stats envelope's ``updates`` payload (always present)."""
+        return dict(self.update_counts)
 
     # ------------------------------------------------------------------
     @property

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.data.relation import Relation
+
+Tuple_ = Tuple[object, ...]
 
 
 class Database:
@@ -52,6 +54,29 @@ class Database:
     def total_tuples(self) -> int:
         """Sum of all relation cardinalities (storage accounting)."""
         return sum(len(rel) for rel in self._relations.values())
+
+    # ------------------------------------------------------------------
+    # single-tuple deltas (the repro.updates entry points)
+    # ------------------------------------------------------------------
+    def insert(self, name: str, row: Tuple_, counters=None) -> bool:
+        """Insert ``row`` into relation ``name``.
+
+        Returns ``True`` iff the database changed (the row was new).
+        Unknown relation names raise ``KeyError``; arity mismatches raise
+        :class:`~repro.data.relation.SchemaError` — a delta must never
+        silently no-op.  Indexes over this database do *not* see the
+        change automatically: route the delta through
+        :func:`repro.updates.apply_delta` to keep materialized S-targets
+        and answer caches coherent.
+        """
+        return self._relations[name].add(row, counters=counters)
+
+    def delete(self, name: str, row: Tuple_, counters=None) -> bool:
+        """Delete ``row`` from relation ``name`` (symmetric to insert).
+
+        Returns ``True`` iff the database changed (the row was present).
+        """
+        return self._relations[name].discard(row, counters=counters)
 
     def get(self, name: str, default: Optional[Relation] = None):
         return self._relations.get(name, default)

@@ -13,6 +13,7 @@ use ints and strings).
 from __future__ import annotations
 
 import hashlib
+import weakref
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.util.counters import Counters, global_counters
@@ -65,6 +66,19 @@ class SchemaError(ValueError):
     """Raised when an operation references variables absent from a schema."""
 
 
+class StalePartitionError(RuntimeError):
+    """Raised when a mutation would desynchronize live partition views.
+
+    Partition views from :meth:`Relation.partition_by_hash` each hold an
+    independent row set: mutating the base (or a view) through the plain
+    :meth:`Relation.add`/:meth:`Relation.discard` API cannot keep the
+    other side coherent, and probing a view whose base has moved on would
+    return wrong answers.  The coordinated update path
+    (:mod:`repro.updates`) routes deltas into the right view explicitly
+    and re-marks views fresh; everything else fails fast here.
+    """
+
+
 class Relation:
     """A named set of tuples with an ordered schema of variable names.
 
@@ -77,7 +91,8 @@ class Relation:
     (``tests/test_relation.py::TestIndexInvalidation`` pins this down).
     """
 
-    __slots__ = ("name", "schema", "tuples", "_variables", "_indexes")
+    __slots__ = ("name", "schema", "tuples", "_variables", "_indexes",
+                 "version", "_views", "_view_of", "__weakref__")
 
     def __init__(self, name: str, schema: Sequence[str],
                  tuples: Iterable[Tuple_] = ()) -> None:
@@ -96,6 +111,7 @@ class Relation:
                     f"expects {width}"
                 )
             self.tuples.add(row)
+        self._init_epoch()
         self._reset_derived()
 
     # ------------------------------------------------------------------
@@ -110,6 +126,15 @@ class Relation:
         points.
         """
         self._indexes: Dict[Tuple[str, ...], Dict[Tuple_, list]] = {}
+
+    def _init_epoch(self) -> None:
+        """Start the mutation epoch: fresh version, no partition links."""
+        self.version = 0
+        # weakrefs to live partition views (a plain list: relations are
+        # deliberately unhashable, so WeakSet cannot hold them); dead
+        # refs are pruned on the guard checks
+        self._views: Optional[List["weakref.ref[Relation]"]] = None
+        self._view_of: Optional[Tuple["weakref.ref[Relation]", int]] = None
 
     @classmethod
     def _wrap(cls, name: str, schema: Sequence[str],
@@ -129,6 +154,7 @@ class Relation:
         self.schema = tuple(schema)
         self._variables = frozenset(self.schema)
         self.tuples = tuples
+        self._init_epoch()
         self._reset_derived()
         return self
 
@@ -152,6 +178,9 @@ class Relation:
         self.schema = schema
         self._variables = frozenset(schema)
         self.tuples = tuples
+        # partition links are process-local bookkeeping: a relation
+        # unpickled in a shard worker starts a fresh epoch of its own
+        self._init_epoch()
         self._reset_derived()
 
     # ------------------------------------------------------------------
@@ -201,20 +230,113 @@ class Relation:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def add(self, row: Tuple_, counters: Optional[Counters] = None) -> None:
-        """Insert one tuple, invalidating cached indexes."""
+    def _check_mutable(self) -> None:
+        """Fail fast when a plain mutation would desynchronize partitions."""
+        if self._view_of is not None and self._view_of[0]() is not None:
+            raise StalePartitionError(
+                f"{self.name!r} is a partition view of "
+                f"{self._view_of[0]().name!r}; mutate the base through the "
+                f"coordinated update path (repro.updates) instead"
+            )
+        if self._views is not None:
+            self._views = [ref for ref in self._views if ref() is not None]
+            if self._views:
+                raise StalePartitionError(
+                    f"{self.name!r} has live partition views; a plain "
+                    f"mutation would leave them silently stale — route the "
+                    f"delta through the coordinated update path "
+                    f"(repro.updates) instead"
+                )
+
+    def _check_fresh(self) -> None:
+        """Fail fast when probing a partition view whose base moved on."""
+        if self._view_of is None:
+            return
+        ref, recorded = self._view_of
+        base = ref()
+        if base is not None and base.version != recorded:
+            raise StalePartitionError(
+                f"partition view {self.name!r} is stale: base {base.name!r} "
+                f"mutated since the partition was taken (version "
+                f"{base.version} != {recorded}); rebuild the partition or "
+                f"route deltas through the coordinated update path"
+            )
+
+    def add(self, row: Tuple_, counters: Optional[Counters] = None) -> bool:
+        """Insert one tuple, invalidating cached indexes.
+
+        Returns ``True`` iff the row was new (counters are only charged
+        for actual state changes).
+        """
         row = tuple(row)
         if len(row) != len(self.schema):
             raise SchemaError(f"arity mismatch adding {row} to {self.schema}")
-        if row not in self.tuples:
-            self.tuples.add(row)
-            (counters or global_counters).stores += 1
-            self._reset_derived()
-
-    def discard(self, row: Tuple_) -> None:
-        """Remove one tuple if present, invalidating cached indexes."""
-        self.tuples.discard(tuple(row))
+        self._check_mutable()
+        if row in self.tuples:
+            return False
+        self.tuples.add(row)
+        (counters or global_counters).stores += 1
+        self.version += 1
         self._reset_derived()
+        return True
+
+    def discard(self, row: Tuple_,
+                counters: Optional[Counters] = None) -> bool:
+        """Remove one tuple if present, invalidating cached indexes.
+
+        Mirrors :meth:`add` exactly: arity-mismatched rows raise
+        :class:`SchemaError` (they can never be present, and silently
+        accepting them hides caller bugs), counters charge one store per
+        *actual* removal, and the return value says whether state changed.
+        """
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"arity mismatch discarding {row} from {self.schema}"
+            )
+        self._check_mutable()
+        if row not in self.tuples:
+            return False
+        self.tuples.discard(row)
+        (counters or global_counters).stores += 1
+        self.version += 1
+        self._reset_derived()
+        return True
+
+    # ------------------------------------------------------------------
+    # coordinated delta primitives (repro.updates) — these skip the
+    # partition-view guard because the caller takes responsibility for
+    # routing the same delta into the affected views and re-marking them
+    # fresh via _sync_with_base()
+    # ------------------------------------------------------------------
+    def _delta_add(self, row: Tuple_) -> bool:
+        """Unchecked insert for the coordinated update path."""
+        row = tuple(row)
+        if row in self.tuples:
+            return False
+        self.tuples.add(row)
+        self.version += 1
+        self._reset_derived()
+        return True
+
+    def _delta_discard(self, row: Tuple_) -> bool:
+        """Unchecked removal for the coordinated update path."""
+        row = tuple(row)
+        if row not in self.tuples:
+            return False
+        self.tuples.discard(row)
+        self.version += 1
+        self._reset_derived()
+        return True
+
+    def _sync_with_base(self) -> None:
+        """Re-mark this partition view fresh after a coordinated delta."""
+        if self._view_of is None:
+            return
+        ref, _ = self._view_of
+        base = ref()
+        if base is not None:
+            self._view_of = (ref, base.version)
 
     # ------------------------------------------------------------------
     # positions and indexes
@@ -238,6 +360,8 @@ class Relation:
         identical one — never a half-built dict.  Mutation remains
         single-threaded-only, as per the class contract above.
         """
+        if self._view_of is not None:
+            self._check_fresh()
         key = tuple(key)
         cached = self._indexes.get(key)
         if cached is not None:
@@ -279,6 +403,13 @@ class Relation:
         payloads — and re-unioning them reproduces this relation exactly.
         Each partition starts with an empty index cache of its own, so
         mutating one partition invalidates only that partition's indexes.
+
+        Views are epoch-guarded: mutating this relation (or a view) through
+        the plain :meth:`add`/:meth:`discard` API while views are alive
+        raises :class:`StalePartitionError`, as does probing a view after
+        its base mutated through the coordinated delta path without the
+        view being resynced.  Registration is by weak reference, so
+        dropping every handle to the views lifts the guard.
         """
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
@@ -287,8 +418,16 @@ class Relation:
         buckets: List[set] = [set() for _ in range(n_shards)]
         for row in self.tuples:
             buckets[hash_(tuple(row[p] for p in pos)) % n_shards].add(row)
-        return [type(self)._wrap(f"{self.name}@{i}", self.schema, bucket)
-                for i, bucket in enumerate(buckets)]
+        parts = [type(self)._wrap(f"{self.name}@{i}", self.schema, bucket)
+                 for i, bucket in enumerate(buckets)]
+        if self._views is None:
+            self._views = []
+        else:
+            self._views = [ref for ref in self._views if ref() is not None]
+        for part in parts:
+            part._view_of = (weakref.ref(self), self.version)
+            self._views.append(weakref.ref(part))
+        return parts
 
     # ------------------------------------------------------------------
     # relational operators
@@ -296,6 +435,8 @@ class Relation:
     def project(self, onto: Sequence[str], name: Optional[str] = None,
                 counters: Optional[Counters] = None) -> "Relation":
         """Duplicate-eliminating projection onto ``onto`` (ordered)."""
+        if self._view_of is not None:
+            self._check_fresh()
         ctr = counters or global_counters
         onto = tuple(onto)
         pos = self.positions(onto)
@@ -309,6 +450,8 @@ class Relation:
                name: Optional[str] = None,
                counters: Optional[Counters] = None) -> "Relation":
         """Filter by an arbitrary predicate over a var->value mapping."""
+        if self._view_of is not None:
+            self._check_fresh()
         ctr = counters or global_counters
         out = set()
         for row in self.tuples:
@@ -381,6 +524,8 @@ class Relation:
         ``self`` — never a scan of ``other`` (this is what makes Online
         Yannakakis independent of S-view sizes).
         """
+        if self._view_of is not None:
+            self._check_fresh()
         ctr = counters or global_counters
         shared = tuple(v for v in self.schema if v in other.variables)
         if not shared:
@@ -408,6 +553,8 @@ class Relation:
 
         Builds the hash side on ``other`` and streams ``self``.
         """
+        if self._view_of is not None:
+            self._check_fresh()
         ctr = counters or global_counters
         shared = tuple(v for v in self.schema if v in other.variables)
         extra = tuple(v for v in other.schema if v not in self.variables)

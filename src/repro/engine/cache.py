@@ -35,6 +35,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -71,6 +72,20 @@ class LRUCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    def invalidate(self, key: Hashable) -> bool:
+        """Surgically drop one entry (a delta made it stale).
+
+        Returns ``True`` iff the key was cached.  Counted separately from
+        capacity ``evictions`` so stats can distinguish pressure from
+        staleness.
+        """
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self.invalidations += 1
+            return True
+
     def clear(self) -> None:
         """Drop every entry; counters are preserved."""
         with self._lock:
@@ -93,5 +108,6 @@ class LRUCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "invalidations": self.invalidations,
                 "hit_rate": self.hits / total if total else 0.0,
             }

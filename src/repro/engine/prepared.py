@@ -95,10 +95,13 @@ class PreparedQuery:
         self.probes_served = 0
         self.batch_calls = 0
         self.online_phases = 0
+        self.updates_seen = 0
+        self.keys_invalidated = 0
         # lifecycle counters are bumped under this lock so concurrent
         # probes (the sharded serving layer runs a worker pool) never lose
         # increments; the answer cache carries its own lock
         self._stats_lock = threading.Lock()
+        index.register_delta_listener(self)
 
     # ------------------------------------------------------------------
     # binding plumbing
@@ -200,6 +203,45 @@ class PreparedQuery:
                                                 counters=counters).items()}
 
     # ------------------------------------------------------------------
+    # incremental updates (repro.updates delta events)
+    # ------------------------------------------------------------------
+    def on_index_delta(self, event) -> None:
+        """Keep the answer cache coherent after an index delta.
+
+        Eviction is *surgical*: the event carries the exact set of access
+        keys whose answers could have changed (computed by pinning the
+        delta row into one join occurrence at a time), so only those
+        entries are dropped — hot unaffected keys keep serving from
+        cache.  ``affected_keys is None`` is the conservative signal
+        ("anything may have moved") and flushes everything.
+
+        A drift-triggered re-selection re-runs the planner and the
+        executor's preprocess; re-snapshotting the lifecycle counters
+        here keeps the :attr:`replanned` invariant meaningful — it still
+        flags *probe-triggered* planning, not sanctioned update-path
+        replans (those are counted in the ``updates`` stats section).
+        """
+        if not event.changed:
+            return
+        with self._stats_lock:
+            self.updates_seen += 1
+        if event.affected_keys is None:
+            self.cache.clear()
+        else:
+            dropped = 0
+            for key in event.affected_keys:
+                if self.cache.invalidate(key):
+                    dropped += 1
+            if dropped:
+                with self._stats_lock:
+                    self.keys_invalidated += dropped
+        if event.reselected:
+            with self._stats_lock:
+                self.plan_calls_at_prepare = self._index.planner.plan_calls
+                self.preprocess_runs_at_prepare = (
+                    self._index.executor.preprocess_runs)
+
+    # ------------------------------------------------------------------
     # differential self-check
     # ------------------------------------------------------------------
     def verify_against_oracle(self, bindings: Iterable):
@@ -297,6 +339,18 @@ class PreparedQuery:
             "cache": self.cache.snapshot(),
         }
 
+    def updates_section(self) -> Dict:
+        """The stats envelope's ``updates`` section for this layer.
+
+        Index-level delta accounting plus this layer's cache-coherence
+        counters (events observed, cache keys surgically dropped).
+        """
+        return {
+            **self._index.updates_section(),
+            "events_seen": self.updates_seen,
+            "keys_invalidated": self.keys_invalidated,
+        }
+
     def stats(self) -> Dict:
         """Serving statistics in the versioned stats envelope.
 
@@ -308,4 +362,5 @@ class PreparedQuery:
         from repro.serving.stats import stats_envelope
 
         return stats_envelope(query=self.cqap.name,
-                              engine=self.engine_section())
+                              engine=self.engine_section(),
+                              updates=self.updates_section())

@@ -28,19 +28,21 @@ Quickstart::
             ...
     server.stats()   # versioned envelope: engine/scheduler/server/shards
 
-``ProbeServer`` and ``prepare_sharded`` are the pre-facade entry points;
-both still work and raise ``DeprecationWarning``.
+Every layer of the stack is also a delta listener: routing a mutation
+through :func:`repro.updates.apply_delta` (or ``index.apply_delta``)
+keeps shard partitions, worker processes and answer caches coherent —
+see :mod:`repro.updates`.
 """
 
 from repro.serving.api import serve
 from repro.serving.batching import BatchScheduler
 from repro.serving.fleet import FleetError, ProcessShardFleet
-from repro.serving.server import ProbeServer, Server
+from repro.serving.server import Server
 from repro.serving.sharding import (
     ShardedIndex,
     ShardState,
     access_hash,
-    prepare_sharded,
+    partition_prefixes,
     shard_payloads,
 )
 from repro.serving.stats import (
@@ -52,14 +54,13 @@ from repro.serving.stats import (
 __all__ = [
     "BatchScheduler",
     "FleetError",
-    "ProbeServer",
     "ProcessShardFleet",
     "STATS_SCHEMA_VERSION",
     "Server",
     "ShardState",
     "ShardedIndex",
     "access_hash",
-    "prepare_sharded",
+    "partition_prefixes",
     "serve",
     "shard_payloads",
     "stats_envelope",

@@ -79,6 +79,35 @@ class BatchScheduler:
         self.unique_probes = 0
         self.cache_served = 0
         self.shard_phases = 0
+        self.updates_seen = 0
+        self.keys_invalidated = 0
+        # subscribe the answer cache to the backing index's delta feed so
+        # a mutation surgically evicts exactly the stale keys (both shard
+        # backends expose the index they front)
+        index = getattr(backend, "index", None)
+        if index is not None and hasattr(index, "register_delta_listener"):
+            index.register_delta_listener(self)
+
+    # ------------------------------------------------------------------
+    # incremental updates (repro.updates delta events)
+    # ------------------------------------------------------------------
+    def on_index_delta(self, event) -> None:
+        """Evict exactly the cached answers an index delta made stale.
+
+        Cache keys are normalized access bindings — the same tuples the
+        event's ``affected_keys`` carries — so eviction is per-key;
+        ``affected_keys is None`` is the conservative flush-everything
+        signal.
+        """
+        if not event.changed:
+            return
+        self.updates_seen += 1
+        if event.affected_keys is None:
+            self.cache.clear()
+            return
+        for key in event.affected_keys:
+            if self.cache.invalidate(key):
+                self.keys_invalidated += 1
 
     # ------------------------------------------------------------------
     # pool lifecycle
@@ -198,15 +227,19 @@ class BatchScheduler:
             "max_workers": self.max_workers,
             "native_dispatch": self._submit_group is not None,
             "cache": self.cache.snapshot(),
+            "updates_seen": self.updates_seen,
+            "keys_invalidated": self.keys_invalidated,
         }
 
     def stats(self) -> Dict:
         """Versioned stats envelope (scheduler + backend shard sections)."""
         backend = self.backend_obj
         shard_sections = getattr(backend, "shard_sections", None)
+        updates_section = getattr(backend, "updates_section", None)
         return stats_envelope(
             query=backend.cqap.name,
             backend=getattr(backend, "backend", None),
             scheduler=self.scheduler_section(),
+            updates=updates_section() if updates_section else None,
             shards=shard_sections() if shard_sections else (),
         )

@@ -54,6 +54,7 @@ from repro.serving.sharding import (
     Binding,
     ShardPayload,
     access_hash,
+    partition_prefixes,
     shard_payloads,
     split_by_binding,
 )
@@ -76,12 +77,19 @@ _WORKER: Optional["_WorkerState"] = None
 @dataclass
 class _WorkerState:
     shard_id: int
+    cqap: object
     access: Tuple[str, ...]
     head: Tuple[str, ...]
     answer_name: str
     steps: List
     executor: TwoPhaseExecutor
     yannakakis: List[OnlineYannakakis]
+    #: the payload's *raw* per-PMTD view dicts, retained past the initial
+    #: Yannakakis builds: a delta mutates these in place and rebuilds the
+    #: affected passes from them (the passes themselves snapshot
+    #: semijoin-reduced views, so they cannot be patched)
+    pmtds: List
+    pmtd_views: List[Dict]
     preprocess_seconds: float
     probes_served: int = 0
     online_phases: int = 0
@@ -106,6 +114,7 @@ def _init_worker(payload_bytes: bytes) -> None:
     ]
     _WORKER = _WorkerState(
         shard_id=payload.shard_id,
+        cqap=cqap,
         access=tuple(cqap.access),
         head=tuple(cqap.head),
         answer_name=f"{cqap.name}_answer",
@@ -115,6 +124,8 @@ def _init_worker(payload_bytes: bytes) -> None:
             relation_backend=payload.relation_backend,
         ),
         yannakakis=yannakakis,
+        pmtds=list(payload.pmtds),
+        pmtd_views=list(payload.pmtd_views),
         preprocess_seconds=time.process_time() - t0,
     )
 
@@ -163,6 +174,94 @@ def _serve_group(keys: Sequence[Binding],
     state.online_phases += 1
     return (batched.schema, per_key, ctr,
             time.process_time() - t0)
+
+
+@dataclass
+class _WorkerDelta:
+    """One routed delta message, parent → worker (picklable).
+
+    ``view_rows`` is already routed: for a partitioned target it carries
+    only the rows whose access-prefix hash lands on this shard; for a
+    replicated target every worker receives all rows.  ``step_slots``
+    indexes the worker's copy of the compiled T-phase steps (same list,
+    same order as the parent's — both came from one payload).
+    """
+
+    op: str
+    relation: str
+    row: tuple
+    step_slots: Tuple[int, ...]
+    #: (target variable set, added rows, removed rows) per touched S-view
+    view_rows: List[Tuple[frozenset, frozenset, frozenset]]
+
+
+def _apply_worker_delta(delta_bytes: bytes) -> Dict:
+    """Apply one routed delta to this worker's serving state.
+
+    Mirrors the parent-side maintenance on the worker's own copies: the
+    touched steps' piece relations take the row delta (once per distinct
+    tuple set — backend re-wraps share sets — with derived caches reset
+    on every member) and their probe plans recompile; the raw S-view
+    slices take their routed row deltas and the affected Online-
+    Yannakakis passes are rebuilt from them.
+    """
+    state = _WORKER
+    assert state is not None, "worker initializer did not run"
+    delta: _WorkerDelta = pickle.loads(delta_bytes)
+    insert = delta.op == "insert"
+    rows_applied = 0
+    if delta.step_slots:
+        members = []
+        for slot in delta.step_slots:
+            step = state.steps[slot]
+            for atom, rel in zip(state.cqap.atoms, step.relations):
+                if atom.relation == delta.relation:
+                    members.append(rel)
+        seen: set = set()
+        for rel in members:
+            set_id = id(rel.tuples)
+            if set_id in seen:
+                rel.version += 1
+                rel._reset_derived()
+                continue
+            seen.add(set_id)
+            if insert:
+                rel._delta_add(delta.row)
+            else:
+                rel._delta_discard(delta.row)
+        for slot in delta.step_slots:
+            plan = state.steps[slot].plan
+            if plan is not None:
+                plan._compile()
+    changed_targets = {target for target, added, removed in delta.view_rows
+                       if added or removed}
+    if changed_targets:
+        seen = set()
+        for target, added, removed in delta.view_rows:
+            if not (added or removed):
+                continue
+            for views in state.pmtd_views:
+                for rel in views.values():
+                    if rel.variables != target:
+                        continue
+                    set_id = id(rel.tuples)
+                    if set_id in seen:
+                        rel.version += 1
+                        rel._reset_derived()
+                        continue
+                    seen.add(set_id)
+                    for r in added:
+                        if rel._delta_add(r):
+                            rows_applied += 1
+                    for r in removed:
+                        if rel._delta_discard(r):
+                            rows_applied += 1
+        for p, views in enumerate(state.pmtd_views):
+            if any(rel.variables in changed_targets
+                   for rel in views.values()):
+                state.yannakakis[p] = OnlineYannakakis(state.pmtds[p],
+                                                       views)
+    return {"shard": state.shard_id, "rows_applied": rows_applied}
 
 
 def _crash() -> None:
@@ -247,41 +346,62 @@ class ProcessShardFleet:
         self.cqap = index.cqap
         self.access: Tuple[str, ...] = tuple(index.cqap.access)
         self.n_shards = int(n_shards)
-        ctx = (multiprocessing.get_context(mp_context) if mp_context
-               else _pick_context())
+        self._ctx = (multiprocessing.get_context(mp_context) if mp_context
+                     else _pick_context())
+        self.shards: List[FleetShardState] = []
+        self._pools: List[ProcessPoolExecutor] = []
+        self._closed = False
+        #: update-path accounting (stats envelope ``updates`` section)
+        self.rebuilds = 0
+        self.routed_rows = 0
+        try:
+            self._spawn_workers()
+        except BaseException:
+            self.close()
+            raise
+        index.register_delta_listener(self)
+
+    def _spawn_workers(self) -> None:
+        """Build payloads and start one warm single-worker pool per shard.
+
+        Runs at construction and again wholesale after a drift
+        re-selection replaced the index's frozen plan state (there is no
+        delta message that can describe "everything you hold is gone").
+        Parent-side :class:`FleetShardState` ledgers are kept across a
+        respawn so lifecycle counters survive.
+        """
+        index = self.index
         payloads = shard_payloads(index, self.n_shards)
         # shard slices are disjoint and cover each partitioned target, so
         # their sizes sum to the global partitioned total
         self.partitioned_tuples = sum(p.partitioned_tuples for p in payloads)
         self.replicated_tuples = index.stored_tuples - self.partitioned_tuples
-        self.shards: List[FleetShardState] = []
-        self._pools: List[ProcessPoolExecutor] = []
-        self._closed = False
-        try:
-            for payload in payloads:
-                self.shards.append(FleetShardState(
-                    shard_id=payload.shard_id,
-                    partitioned_tuples=payload.partitioned_tuples,
-                ))
-                self._pools.append(ProcessPoolExecutor(
-                    max_workers=1,
-                    mp_context=ctx,
-                    initializer=_init_worker,
-                    initargs=(pickle.dumps(payload),),
-                ))
-            # warm-up ping: forces every worker to start (and run its
-            # shard preprocessing) now, so initializer failures surface
-            # here rather than on the first probe, and records the pids
-            # close() must reap
-            for shard_id, pool in enumerate(self._pools):
-                info = self._guard(shard_id,
-                                   pool.submit(_worker_ping).result)
-                self.shards[shard_id].pid = info["pid"]
-                self.shards[shard_id].preprocess_seconds = \
-                    info["preprocess_seconds"]
-        except BaseException:
-            self.close()
-            raise
+        self._partition_prefix = partition_prefixes(index, self.n_shards)
+        previous = {state.shard_id: state for state in self.shards}
+        self.shards = []
+        self._pools = []
+        for payload in payloads:
+            state = previous.get(payload.shard_id)
+            if state is None:
+                state = FleetShardState(shard_id=payload.shard_id)
+            state.partitioned_tuples = payload.partitioned_tuples
+            self.shards.append(state)
+            self._pools.append(ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=self._ctx,
+                initializer=_init_worker,
+                initargs=(pickle.dumps(payload),),
+            ))
+        # warm-up ping: forces every worker to start (and run its
+        # shard preprocessing) now, so initializer failures surface
+        # here rather than on the first probe, and records the pids
+        # close() must reap
+        for shard_id, pool in enumerate(self._pools):
+            info = self._guard(shard_id,
+                               pool.submit(_worker_ping).result)
+            self.shards[shard_id].pid = info["pid"]
+            self.shards[shard_id].preprocess_seconds = \
+                info["preprocess_seconds"]
 
     # ------------------------------------------------------------------
     # routing (parent-side, identical to the thread backend)
@@ -360,11 +480,87 @@ class ProcessShardFleet:
         return answered[key]
 
     # ------------------------------------------------------------------
+    # incremental updates (repro.updates delta events)
+    # ------------------------------------------------------------------
+    def on_index_delta(self, event) -> None:
+        """Ship one index delta to the worker processes that need it.
+
+        The parent routes each S-target delta row exactly like a probe —
+        by :func:`access_hash` of the row's access prefix — so a
+        partitioned target's row crosses one process boundary, not
+        ``n_shards``; replicated-target rows and T-phase step patches go
+        to every worker.  Per-shard pools are single-worker and FIFO, so
+        a delta submitted here is ordered after every in-flight probe
+        group and before every later one — no worker can ever serve a
+        half-applied update.  A drift re-selection replaced the frozen
+        plan state wholesale, so the workers are respawned from fresh
+        payloads instead.
+        """
+        if self._closed or not event.changed:
+            return
+        if event.reselected:
+            for pool in self._pools:
+                pool.shutdown(wait=True)
+            self._spawn_workers()
+            self.rebuilds += 1
+            return
+        if not (event.step_slots or event.targets_changed):
+            return
+        view_rows: List[List] = [[] for _ in range(self.n_shards)]
+        for target, (added, removed) in event.target_deltas.items():
+            if not (added or removed):
+                continue
+            prefix = self._partition_prefix.get(target)
+            if prefix is None:
+                self.replicated_tuples += len(added) - len(removed)
+                for shard_id in range(self.n_shards):
+                    view_rows[shard_id].append((target, added, removed))
+                continue
+            self.partitioned_tuples += len(added) - len(removed)
+            schema = tuple(sorted(target))
+            pos = tuple(schema.index(v) for v in prefix)
+            added_by: List[set] = [set() for _ in range(self.n_shards)]
+            removed_by: List[set] = [set() for _ in range(self.n_shards)]
+            for row in added:
+                shard_id = (access_hash(tuple(row[p] for p in pos))
+                            % self.n_shards)
+                added_by[shard_id].add(row)
+            for row in removed:
+                shard_id = (access_hash(tuple(row[p] for p in pos))
+                            % self.n_shards)
+                removed_by[shard_id].add(row)
+            for shard_id in range(self.n_shards):
+                gained, lost = added_by[shard_id], removed_by[shard_id]
+                if gained or lost:
+                    view_rows[shard_id].append(
+                        (target, frozenset(gained), frozenset(lost)))
+                    self.shards[shard_id].partitioned_tuples += \
+                        len(gained) - len(lost)
+        pending = []
+        for shard_id, pool in enumerate(self._pools):
+            if not (event.step_slots or view_rows[shard_id]):
+                continue
+            payload = pickle.dumps(_WorkerDelta(
+                op=event.op,
+                relation=event.relation,
+                row=event.row,
+                step_slots=event.step_slots,
+                view_rows=view_rows[shard_id],
+            ))
+            pending.append((shard_id, self._guard(
+                shard_id,
+                lambda p=pool, b=payload: p.submit(_apply_worker_delta, b))))
+        for shard_id, future in pending:
+            ack = self._guard(shard_id, future.result)
+            self.routed_rows += ack["rows_applied"]
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut every worker pool down and reap the processes (idempotent)."""
         self._closed = True
+        self.index.unregister_delta_listener(self)
         for pool in self._pools:
             pool.shutdown(wait=True)
 
@@ -423,11 +619,20 @@ class ProcessShardFleet:
         """The envelope's per-shard ``shards`` entries (pid, CPU, counters)."""
         return [s.snapshot() for s in self.shards]
 
+    def updates_section(self) -> Dict:
+        """The envelope's ``updates`` section for this layer."""
+        return {
+            **self.index.updates_section(),
+            "rebuilds": self.rebuilds,
+            "routed_rows": self.routed_rows,
+        }
+
     def stats(self) -> Dict:
         """Versioned stats envelope (engine + per-worker sections)."""
         return stats_envelope(
             query=self.cqap.name,
             backend=self.backend,
             engine=self.engine_section(),
+            updates=self.updates_section(),
             shards=self.shard_sections(),
         )

@@ -23,16 +23,10 @@ relation).  :meth:`Server.stats` returns the serving stack's versioned
 envelope (:mod:`repro.serving.stats`) with every section filled: engine
 (the backend's partitioning/selection state), scheduler (dedupe/cache),
 server (stream/backpressure), and the per-shard lifecycle snapshots.
-
-:class:`ProbeServer` — the pre-facade name that took a
-:class:`~repro.serving.sharding.ShardedIndex` directly — still works but
-warns: it is now a deprecated alias for a thread-backend :class:`Server`
-that does not own its backend.
 """
 
 from __future__ import annotations
 
-import warnings
 from collections import deque
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
@@ -152,33 +146,13 @@ class Server:
         backend = self.backend
         engine_section = getattr(backend, "engine_section", None)
         shard_sections = getattr(backend, "shard_sections", None)
+        updates_section = getattr(backend, "updates_section", None)
         return stats_envelope(
             query=backend.cqap.name,
             backend=getattr(backend, "backend", None),
             engine=engine_section() if engine_section else None,
             scheduler=self.scheduler.scheduler_section(),
             server=self.server_section(),
+            updates=updates_section() if updates_section else None,
             shards=shard_sections() if shard_sections else (),
         )
-
-
-class ProbeServer(Server):
-    """Deprecated pre-facade name; use :func:`repro.serving.serve`.
-
-    Kept as a thin :class:`Server` subclass (thread semantics, backend not
-    owned) so existing call sites keep working one release longer.
-    """
-
-    def __init__(self, sharded, batch_size: int = 32,
-                 max_pending_batches: int = 4, cache_size: int = 256,
-                 max_workers: Optional[int] = None) -> None:
-        warnings.warn(
-            "ProbeServer is deprecated: use repro.serving.serve(prepared, "
-            "backend='thread'|'process', shards=N), which returns the same "
-            "Server protocol and owns the backend lifecycle",
-            DeprecationWarning, stacklevel=2,
-        )
-        super().__init__(sharded, batch_size=batch_size,
-                         max_pending_batches=max_pending_batches,
-                         cache_size=cache_size, max_workers=max_workers,
-                         owns_backend=False)

@@ -43,7 +43,6 @@ reproducible across processes (Python's builtin string hash is salted).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -85,6 +84,36 @@ def split_by_binding(batched: Relation, access: Tuple[str, ...],
     }
 
 
+def partition_prefixes(index: CQAPIndex, n_shards: int,
+                       ) -> Dict[VarSet, Tuple[str, ...]]:
+    """The access prefix each partitionable S-target is hash-routed on.
+
+    The routing half of :func:`partition_s_targets`, without the data
+    movement — what a parent process needs to send probe bindings *and
+    delta rows* to the shard whose slice holds (or must gain) them.
+    Empty when ``n_shards <= 1`` (nothing is partitioned).
+    """
+    if n_shards <= 1:
+        return {}
+    access = tuple(index.cqap.access)
+    declared = {
+        frozenset(entry["s_target"]): tuple(entry["access_prefix"])
+        for entry in index.selection.s_view_keys(access)
+        if entry["partitionable"]
+    }
+    prefixes: Dict[VarSet, Tuple[str, ...]] = {}
+    for target in index.s_targets:
+        prefix = declared.get(target)
+        if prefix is None and access and set(access) <= set(target):
+            # materialized by a planner decision the selection ledger
+            # didn't route (e.g. a post-abort re-target): the schema
+            # test is the same invariant the declaration encodes
+            prefix = access
+        if prefix:
+            prefixes[target] = prefix
+    return prefixes
+
+
 def partition_s_targets(index: CQAPIndex, n_shards: int,
                         ) -> Tuple[Dict[VarSet, List[Relation]],
                                    Dict[VarSet, Tuple[str, ...]], int, int]:
@@ -98,24 +127,12 @@ def partition_s_targets(index: CQAPIndex, n_shards: int,
     process fleet's :func:`shard_payloads` — partition through here, so
     shard contents can never depend on the backend.
     """
-    access = tuple(index.cqap.access)
-    declared = {
-        frozenset(entry["s_target"]): tuple(entry["access_prefix"])
-        for entry in index.selection.s_view_keys(access)
-        if entry["partitionable"]
-    }
+    partition_prefix = partition_prefixes(index, n_shards)
     target_parts: Dict[VarSet, List[Relation]] = {}
-    partition_prefix: Dict[VarSet, Tuple[str, ...]] = {}
     partitioned = replicated = 0
     for target, relation in index.s_targets.items():
-        prefix = declared.get(target)
-        if prefix is None and access and set(access) <= set(target):
-            # materialized by a planner decision the selection ledger
-            # didn't route (e.g. a post-abort re-target): the schema
-            # test is the same invariant the declaration encodes
-            prefix = access
-        if prefix and n_shards > 1:
-            partition_prefix[target] = prefix
+        prefix = partition_prefix.get(target)
+        if prefix:
             target_parts[target] = relation.partition_by_hash(
                 prefix, n_shards, hasher=access_hash,
             )
@@ -260,6 +277,26 @@ class ShardedIndex:
         self.cqap = index.cqap
         self.access: Tuple[str, ...] = tuple(index.cqap.access)
         self.n_shards = int(n_shards)
+        self.shards: List[ShardState] = []
+        #: update-path accounting (stats envelope ``updates`` section)
+        self.rebuilds = 0
+        self.routed_rows = 0
+        self._build()
+        index.register_delta_listener(self)
+
+    def _build(self) -> None:
+        """(Re)derive every shard's serving state from the index.
+
+        Runs at construction, and wholesale again when a delta event
+        reports state this class shares by reference was replaced — a
+        drift re-selection (new plans, new S-targets) or a delta to a
+        *replicated* target (one relation object visible to every shard,
+        so there is no cheaper per-shard patch).  Partitioned-target
+        deltas never come through here; :meth:`on_index_delta` routes
+        those rows surgically.  Existing :class:`ShardState` objects are
+        kept across a rebuild so lifecycle counters survive.
+        """
+        index = self.index
         # shared read-only plan state (T-route state, in the distributed
         # reading: replicated to every shard)
         self._steps = index.compiled_online
@@ -284,6 +321,7 @@ class ShardedIndex:
             for node, view in pmtd.s_views.items():
                 if view.variables not in self._target_parts:
                     shared_views[(p, node)] = assembled[node]
+        self._shared_views = shared_views
         # a PMTD none of whose views are partitioned serves identical state
         # on every shard: build its (read-only at probe time) Yannakakis
         # pass once and share it, instead of redoing the same SS-reductions
@@ -295,34 +333,117 @@ class ShardedIndex:
                 shared_oy[p] = OnlineYannakakis(
                     pmtd, {node: shared_views[(p, node)]
                            for node in pmtd.s_views})
-        self.shards: List[ShardState] = []
+        self._shared_oy = shared_oy
+        previous = {state.shard_id: state for state in self.shards}
+        self.shards = []
         for shard_id in range(self.n_shards):
-            yannakakis = []
-            part_tuples = 0
-            for p, pmtd in enumerate(index.pmtds):
-                if p in shared_oy:
-                    yannakakis.append(shared_oy[p])
-                    continue
-                s_views: Dict = {}
-                for node, view in pmtd.s_views.items():
-                    parts = self._target_parts.get(view.variables)
-                    if parts is None:
-                        s_views[node] = shared_views[(p, node)]
-                    else:
-                        s_views[node] = parts[shard_id]
-                yannakakis.append(OnlineYannakakis(pmtd, s_views))
-            for parts in self._target_parts.values():
-                part_tuples += len(parts[shard_id])
-            self.shards.append(ShardState(
-                shard_id=shard_id,
-                executor=TwoPhaseExecutor(
-                    index.cqap,
-                    budget_slack=index.executor.budget_slack,
-                    relation_backend=index.relation_backend,
-                ),
-                yannakakis=yannakakis,
-                partitioned_tuples=part_tuples,
-            ))
+            yannakakis = self._shard_yannakakis(shard_id)
+            part_tuples = sum(len(parts[shard_id])
+                              for parts in self._target_parts.values())
+            state = previous.get(shard_id)
+            if state is None:
+                state = ShardState(
+                    shard_id=shard_id,
+                    executor=TwoPhaseExecutor(
+                        index.cqap,
+                        budget_slack=index.executor.budget_slack,
+                        relation_backend=index.relation_backend,
+                    ),
+                    yannakakis=yannakakis,
+                    partitioned_tuples=part_tuples,
+                )
+            else:
+                state.yannakakis = yannakakis
+                state.partitioned_tuples = part_tuples
+            self.shards.append(state)
+
+    def _shard_yannakakis(self, shard_id: int) -> List[OnlineYannakakis]:
+        """One shard's per-PMTD Yannakakis passes over its current views.
+
+        Shared (fully-replicated) passes come from :attr:`_shared_oy` by
+        reference; the rest are built fresh against the shard's partition
+        slices — which is also how a delta refreshes a touched shard:
+        the Online-Yannakakis constructor snapshots semijoin-reduced
+        views, so after a slice changes the pass is *rebuilt*, never
+        patched.
+        """
+        out: List[OnlineYannakakis] = []
+        for p, pmtd in enumerate(self.index.pmtds):
+            if p in self._shared_oy:
+                out.append(self._shared_oy[p])
+                continue
+            s_views: Dict = {}
+            for node, view in pmtd.s_views.items():
+                parts = self._target_parts.get(view.variables)
+                if parts is None:
+                    s_views[node] = self._shared_views[(p, node)]
+                else:
+                    s_views[node] = parts[shard_id]
+            out.append(OnlineYannakakis(pmtd, s_views))
+        return out
+
+    # ------------------------------------------------------------------
+    # incremental updates (repro.updates delta events)
+    # ------------------------------------------------------------------
+    def on_index_delta(self, event) -> None:
+        """Route one index delta into the shard partitions.
+
+        Partitioned targets take the surgical path: each delta row is
+        hashed on the target's access prefix to its home shard's slice
+        (the same :func:`access_hash` routing probes use, so a row lands
+        exactly where the probes that can see it are answered), every
+        slice of the target re-synced against its mutated base relation,
+        and only the touched shards' Yannakakis passes rebuilt.  Deltas
+        to replicated targets — shared by reference across all shards —
+        and drift re-selections fall back to a full :meth:`_build`.
+        """
+        if not event.changed:
+            return
+        if event.reselected:
+            self._build()
+            self.rebuilds += 1
+            return
+        if not event.targets_changed:
+            return
+        if any((added or removed) and target not in self._target_parts
+               for target, (added, removed) in event.target_deltas.items()):
+            self._build()
+            self.rebuilds += 1
+            return
+        touched: set = set()
+        for target, (added, removed) in event.target_deltas.items():
+            if not (added or removed):
+                continue
+            parts = self._target_parts[target]
+            schema = parts[0].schema
+            pos = tuple(schema.index(v)
+                        for v in self._partition_prefix[target])
+            deltas = [(row, True) for row in added]
+            deltas += [(row, False) for row in removed]
+            for row, insert in deltas:
+                shard_id = (access_hash(tuple(row[p] for p in pos))
+                            % self.n_shards)
+                part = parts[shard_id]
+                if insert:
+                    changed = part._delta_add(row)
+                else:
+                    changed = part._delta_discard(row)
+                if changed:
+                    self.routed_rows += 1
+                touched.add(shard_id)
+            # the base target's epoch moved when the index applied its
+            # delta; every slice (touched or not) must re-agree with it
+            for part in parts:
+                part._sync_with_base()
+        for shard_id in touched:
+            shard = self.shards[shard_id]
+            shard.yannakakis = self._shard_yannakakis(shard_id)
+            shard.partitioned_tuples = sum(
+                len(parts[shard_id])
+                for parts in self._target_parts.values())
+        self.partitioned_tuples = sum(
+            len(part)
+            for parts in self._target_parts.values() for part in parts)
 
     # ------------------------------------------------------------------
     # routing
@@ -390,7 +511,8 @@ class ShardedIndex:
                                     counters=counters)
 
     def close(self) -> None:
-        """Backend-contract no-op: thread-shard state needs no teardown."""
+        """Detach from the index's delta feed (no other teardown needed)."""
+        self.index.unregister_delta_listener(self)
 
     # ------------------------------------------------------------------
     # introspection
@@ -436,29 +558,20 @@ class ShardedIndex:
         """The envelope's per-shard ``shards`` entries."""
         return [s.snapshot() for s in self.shards]
 
+    def updates_section(self) -> Dict:
+        """The envelope's ``updates`` section for this layer."""
+        return {
+            **self.index.updates_section(),
+            "rebuilds": self.rebuilds,
+            "routed_rows": self.routed_rows,
+        }
+
     def stats(self) -> Dict:
         """Versioned stats envelope (engine + per-shard sections)."""
         return stats_envelope(
             query=self.cqap.name,
             backend=self.backend,
             engine=self.engine_section(),
+            updates=self.updates_section(),
             shards=self.shard_sections(),
         )
-
-
-def prepare_sharded(cqap, db, space_budget: float, n_shards: int = 4,
-                    counters: Optional[Counters] = None,
-                    **index_kwargs) -> ShardedIndex:
-    """Deprecated one-call preprocess-and-shard (use :func:`repro.serving.
-    serve` on a prepared query instead)."""
-    warnings.warn(
-        "prepare_sharded is deprecated: prepare once with repro.prepare() "
-        "and front it with repro.serving.serve(prepared, backend='thread', "
-        "shards=N), which owns the backend lifecycle and serves both "
-        "backends through one API",
-        DeprecationWarning, stacklevel=2,
-    )
-    index_kwargs.setdefault("shards", n_shards)
-    index = CQAPIndex(cqap, db, space_budget, **index_kwargs)
-    index.preprocess(counters=counters)
-    return ShardedIndex(index, n_shards=n_shards)

@@ -9,14 +9,21 @@ server.Server` and :class:`~repro.serving.fleet.ProcessShardFleet` — now
 returns one envelope::
 
     {
-        "schema_version": 1,
+        "schema_version": 2,
         "query": <cqap name or None>,
         "backend": <"thread" | "process" | None>,
         "engine": <prepare/selection/planner section or None>,
         "scheduler": <dedupe/cache/dispatch section or None>,
         "server": <stream/backpressure section or None>,
+        "updates": <delta/reselection/eviction section or None>,
         "shards": [<per-shard lifecycle snapshot>, ...],
     }
+
+Schema version 2 (PR 8) added the ``updates`` section: every layer that
+fronts a :class:`~repro.core.index.CQAPIndex` reports the index's delta
+accounting (inserts/deletes/deltas_applied/reselections) merged with its
+own coherence counters (cache keys invalidated, shard rebuilds, rows
+routed to shard partitions).
 
 A layer fills the sections it owns and leaves the rest ``None`` (or ``[]``
 for ``shards``); the top-of-stack :meth:`Server.stats` fills all of them.
@@ -29,7 +36,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 #: bump when the envelope's required keys or their meaning change
-STATS_SCHEMA_VERSION = 1
+STATS_SCHEMA_VERSION = 2
 
 #: keys every envelope carries, whatever layer produced it
 REQUIRED_KEYS = (
@@ -39,6 +46,7 @@ REQUIRED_KEYS = (
     "engine",
     "scheduler",
     "server",
+    "updates",
     "shards",
 )
 
@@ -49,6 +57,7 @@ def stats_envelope(
     engine: Optional[Dict] = None,
     scheduler: Optional[Dict] = None,
     server: Optional[Dict] = None,
+    updates: Optional[Dict] = None,
     shards: Iterable[Dict] = (),
 ) -> Dict:
     """Assemble one schema-versioned stats payload."""
@@ -59,6 +68,7 @@ def stats_envelope(
         "engine": engine,
         "scheduler": scheduler,
         "server": server,
+        "updates": updates,
         "shards": list(shards),
     }
 
@@ -80,7 +90,7 @@ def validate_stats(payload: Dict) -> Dict:
         raise ValueError(
             f"stats schema_version {payload['schema_version']!r} != "
             f"{STATS_SCHEMA_VERSION} (regenerate the producer)")
-    for section in ("engine", "scheduler", "server"):
+    for section in ("engine", "scheduler", "server", "updates"):
         value = payload[section]
         if value is not None and not isinstance(value, dict):
             raise ValueError(f"stats section {section!r} must be a dict "

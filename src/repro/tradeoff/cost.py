@@ -295,6 +295,30 @@ class CatalogStatistics:
     def variables(self) -> FrozenSet[str]:
         return frozenset(v for atom in self.atoms for v in atom.variables)
 
+    def cardinality_drift(self, db) -> float:
+        """Max relative cardinality drift of ``db`` vs these statistics.
+
+        The staleness measure behind drift-triggered re-selection
+        (:mod:`repro.updates`): ``0.0`` means every base relation still
+        has the cardinality measured at statistics time, ``0.5`` means
+        some relation grew or shrank by half.  Only cardinalities are
+        compared — degrees and join samples move with them and a full
+        re-measure happens anyway once the threshold trips.
+        """
+        drift = 0.0
+        seen = set()
+        for atom in self.atoms:
+            if atom.relation in seen:
+                continue
+            seen.add(atom.relation)
+            relation = db.get(atom.relation)
+            if relation is None:
+                continue
+            recorded = max(1, atom.cardinality)
+            drift = max(drift,
+                        abs(len(relation) - recorded) / recorded)
+        return drift
+
     def snapshot(self) -> Dict:
         """JSON-friendly summary for ``stats()['statistics']``."""
         return {
@@ -540,8 +564,8 @@ class CostModel:
     def estimate_pmtd(self, pmtd: PMTD) -> Tuple[float, float]:
         """(S-space, T-time) totals over one PMTD's own views.
 
-        Used to order PMTDs deterministically (cheapest first) for the
-        deprecated ``max_pmtds`` truncation and for stable tie-breaking.
+        Used to order PMTDs deterministically (cheapest first) for
+        ``max_selected_pmtds`` capping and for stable tie-breaking.
         """
         space = 0.0
         time = 0.0

@@ -33,12 +33,26 @@ then diffs eight checks across the repo's answer stacks against them:
   two paths differ *only* in the ``backend=`` argument — exactly the
   drop-in contract the API promises — and beyond the oracle diff each
   asserts *shard-count invariance*: answers must be bit-identical across
-  shard counts.
+  shard counts;
+* ``update_replay`` / ``update_replay_columnar`` /
+  ``update_replay_process`` — seeded insert/delete scripts replayed
+  through ``index.apply_delta`` with a ``PreparedQuery`` *and* a full
+  ``serve()`` stack listening on the **same** index (the multi-listener
+  configuration production would run).  After every step both the
+  engine path and the serving path are diffed against the oracle on a
+  mirror database mutated in lockstep; probe keys rotate so the same
+  binding is asked before and after the mutations that affect it, which
+  turns a missed cache eviction into a visible stale answer.  After the
+  script, the replayed index must agree binding-for-binding with an
+  index rebuilt from scratch on the final database (replay == rebuild).
+  The thread path runs with a deliberately tight ``staleness_threshold``
+  so drift-triggered re-selection (and every listener's rebind-on-
+  reselect flow) is fuzzed too.
 
 The three index paths sweep ``space_budget`` ∈ {tight, medium, ∞} per
 scenario, and every index is built through the budget-aware rule-selection
-pipeline (``rule_selection="auto"``; no ``max_pmtds`` cap — large PMTD
-sets go through the beam selection instead of being truncated), so every
+pipeline (``rule_selection="auto"``; no PMTD truncation — large PMTD
+sets go through the beam selection instead of being cut off), so every
 budget setting of the selection subsystem is fuzzed against the oracle.
 The sweep additionally asserts the selection ledger's *route-stability*
 invariant: re-routing each preprocessed index's rule set across the
@@ -92,6 +106,9 @@ PATHS: Tuple[str, ...] = (
     "engine_probe_many_columnar",
     "serving_sharded_columnar",
     "serving_process_columnar",
+    "update_replay",
+    "update_replay_columnar",
+    "update_replay_process",
 )
 
 LEAN_BUDGET = 2
@@ -113,6 +130,24 @@ PROCESS_SHARD_SWEEP_COLUMNAR: Tuple[int, ...] = (2,)
 
 #: batch width the sharded path chunks each probe stream into
 SHARD_BATCH = 3
+
+#: update-replay script lengths: the thread paths replay a longer script
+#: (delta work is in-process, cheap); the process path pays a worker
+#: round-trip per step, so its script is shorter — its job is to fuzz
+#: the parent→worker delta shipping, not script length
+UPDATE_STEPS = 8
+UPDATE_STEPS_PROCESS = 4
+
+#: probes re-checked after every update step; the window slides through
+#: the workload's probe stream so keys repeat across steps
+UPDATE_PROBES_PER_STEP = 4
+
+#: drift threshold for the thread update path — tight enough that long
+#: scripts occasionally push measured statistics past it, so the
+#: reselect→listener-rebind flow gets fuzzed too (the process path keeps
+#: the 0.5 default: a reselect respawns every worker, too slow to pay
+#: per scenario)
+UPDATE_STALENESS = 0.15
 
 #: keep fuzz planning cheap: beyond this many PMTDs the index switches to
 #: budgeted beam selection (the default auto behavior, tightened so rule
@@ -235,6 +270,165 @@ def _scratch_answers(workload: Workload,
         # instead of silently dropped
         grouped.setdefault(key, set()).add(row)
     return {b: frozenset(s) for b, s in grouped.items()}
+
+
+def _run_update_replay(outcome: ScenarioOutcome, workload: Workload,
+                       repro: str, path: str, relation_backend: str,
+                       serve_backend: str, n_shards: int, steps: int,
+                       staleness_threshold: float = 0.5) -> None:
+    """Replay a seeded insert/delete script through one live stack.
+
+    One index carries several simultaneous delta listeners — a
+    ``PreparedQuery`` plus a ``serve()`` backend with its scheduler
+    cache — and after every step both the engine path and the serving
+    path are diffed against the brute-force oracle on a mirror database
+    mutated in lockstep.  The script deletes rows that are actually
+    present and inserts recombinations of the original column domains
+    (occasionally re-inserting a previously deleted row); probe keys
+    rotate so the same binding is asked before and after the mutations
+    that affect it, which turns a missed cache eviction into a visible
+    stale answer.  After the script, the replayed index must agree
+    binding-for-binding with an index rebuilt from scratch on the final
+    database.
+    """
+    import random
+
+    from repro.serving import serve, validate_stats
+
+    cqap = workload.cqap
+    head = tuple(cqap.head)
+    seed = workload.seed
+    budget = max(LEAN_BUDGET + 1, workload.db.size)
+    live = workload.db.copy()
+    mirror = workload.db.copy()
+    try:
+        index = CQAPIndex(
+            cqap, live, budget,
+            auto_select_threshold=AUTO_SELECT_THRESHOLD,
+            relation_backend=relation_backend,
+            staleness_threshold=staleness_threshold,
+        ).preprocess()
+    except PlanningError as exc:
+        outcome.skips.append((path, f"PlanningError: {exc}"))
+        return
+    except Exception as exc:
+        outcome.disagreements.append(Disagreement(
+            seed, path, f"preprocess raised {exc!r}", repro))
+        return
+
+    rng = random.Random(seed * 7919 + steps)
+    names = sorted({atom.relation for atom in cqap.atoms})
+    pools = {
+        name: [sorted({row[i] for row in mirror[name].tuples})
+               for i in range(len(mirror[name].schema))]
+        for name in names
+    }
+    insertable = [name for name in names if all(pools[name])]
+    probe_cycle = list(dict.fromkeys(workload.probes))
+    if not probe_cycle:
+        outcome.skips.append((path, "workload has no probes"))
+        return
+
+    deleted: List[Tuple[str, Row]] = []
+    pq = PreparedQuery(index, cache_size=workload.cache_size)
+    server = None
+    try:
+        server = serve(index, backend=serve_backend, shards=n_shards,
+                       batch_size=SHARD_BATCH,
+                       cache_size=workload.cache_size,
+                       inline_threshold=0)
+        for step in range(steps):
+            deletable = [name for name in names if mirror[name].tuples]
+            if deleted and rng.random() < 0.25:
+                # re-insert a previously deleted row: exercises the
+                # delete-then-insert round trip on the same tuple
+                name, row = deleted.pop(rng.randrange(len(deleted)))
+                op = "insert"
+            elif deletable and (not insertable or rng.random() < 0.45):
+                op = "delete"
+                name = rng.choice(deletable)
+                row = rng.choice(sorted(mirror[name].tuples))
+            elif insertable:
+                op = "insert"
+                name = rng.choice(insertable)
+                row = tuple(rng.choice(pool) for pool in pools[name])
+            else:
+                outcome.skips.append((path, "database has no usable rows"))
+                return
+            index.apply_delta(op, name, row)
+            if op == "insert":
+                mirror.insert(name, row)
+            else:
+                mirror.delete(name, row)
+                deleted.append((name, row))
+
+            lo = (step * UPDATE_PROBES_PER_STEP) % len(probe_cycle)
+            sample = list(dict.fromkeys(
+                probe_cycle[(lo + j) % len(probe_cycle)]
+                for j in range(UPDATE_PROBES_PER_STEP)
+            ))
+            want = oracle_probe_many(cqap, mirror, sample)
+            got = {b: answer_rows(rel, head)
+                   for b, rel in pq.probe_many(sample).items()}
+            report = compare_answers(want, got, path=path,
+                                     context={"seed": seed, "step": step})
+            outcome.comparisons += report.bindings_checked
+            for diff in report.diffs:
+                outcome.disagreements.append(Disagreement(
+                    seed, f"{path}.step{step}", diff.describe(), repro))
+            served = {key: answer_rows(rel, head)
+                      for key, rel in server.serve(sample)}
+            report = compare_answers(want, served, path=f"{path}.serving",
+                                     context={"seed": seed, "step": step})
+            outcome.comparisons += report.bindings_checked
+            for diff in report.diffs:
+                outcome.disagreements.append(Disagreement(
+                    seed, f"{path}.serving.step{step}", diff.describe(),
+                    repro))
+
+        # sanctioned update-path replans must not flip the anomaly flag
+        outcome.comparisons += 1
+        if pq.replanned:
+            outcome.disagreements.append(Disagreement(
+                seed, path,
+                "PreparedQuery.replanned flipped during update replay",
+                repro))
+        stats = server.stats()
+        validate_stats(stats)
+        outcome.comparisons += 1
+        if stats["updates"] is None:
+            outcome.disagreements.append(Disagreement(
+                seed, path, "stats envelope lost its updates section",
+                repro))
+
+        # -- replay == rebuild: the replayed index must be answer-
+        # equivalent to an index built from scratch on the final database
+        try:
+            rebuilt = CQAPIndex(
+                cqap, mirror.copy(), budget,
+                auto_select_threshold=AUTO_SELECT_THRESHOLD,
+                relation_backend=relation_backend,
+            ).preprocess()
+        except PlanningError as exc:
+            outcome.skips.append((f"{path}.rebuild",
+                                  f"PlanningError: {exc}"))
+            return
+        for binding in probe_cycle:
+            outcome.comparisons += 1
+            replayed = answer_rows(index.answer(binding), head)
+            fresh = answer_rows(rebuilt.answer(binding), head)
+            if replayed != fresh:
+                outcome.disagreements.append(Disagreement(
+                    seed, f"{path}.rebuild",
+                    f"replayed index disagrees with rebuilt index at "
+                    f"{binding}: replay-only {sorted(replayed - fresh)} "
+                    f"rebuild-only {sorted(fresh - replayed)}", repro))
+    except Exception as exc:
+        outcome.disagreements.append(Disagreement(
+            seed, path, f"raised {exc!r}", repro))
+    finally:
+        if server is not None:
+            server.close()
 
 
 def run_scenario(workload: Workload,
@@ -456,6 +650,18 @@ def run_scenario(workload: Workload,
                 serving_path(batch_index, "thread", SHARD_SWEEP))
             run("serving_process" + suffix,
                 serving_path(batch_index, "process", process_sweep))
+
+    # -- paths 16-18: seeded update replay ------------------------------
+    _run_update_replay(outcome, workload, repro, "update_replay",
+                       relation_backend="set", serve_backend="thread",
+                       n_shards=4, steps=UPDATE_STEPS,
+                       staleness_threshold=UPDATE_STALENESS)
+    _run_update_replay(outcome, workload, repro, "update_replay_columnar",
+                       relation_backend="columnar", serve_backend="thread",
+                       n_shards=4, steps=UPDATE_STEPS)
+    _run_update_replay(outcome, workload, repro, "update_replay_process",
+                       relation_backend="set", serve_backend="process",
+                       n_shards=2, steps=UPDATE_STEPS_PROCESS)
 
     # -- cross-backend bit-identity -------------------------------------
     # oracle agreement already implies identical answer *sets*; this diff

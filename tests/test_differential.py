@@ -62,15 +62,43 @@ class TestDifferentialHarness:
         assert summary.ok, summary.describe()
 
     def test_scenario_reports_per_path_comparisons(self):
+        from repro.workloads.differential import (
+            UPDATE_PROBES_PER_STEP,
+            UPDATE_STEPS,
+            UPDATE_STEPS_PROCESS,
+        )
+
         outcome = run_scenario(make_workload(TIER1_SEED))
         assert outcome.ok
-        # every non-skipped path checked every unique binding, plus one
-        # answer_batch union check per rich index (both backends), plus
-        # the 3-budget route-stability sweep on every set-backend index,
-        # plus one cross-backend bit-identity diff per path pair
+        # every non-skipped probe path checked every unique binding, plus
+        # one answer_batch union check per rich index (both backends),
+        # plus the 3-budget route-stability sweep on every set-backend
+        # index, plus one cross-backend bit-identity diff per path pair,
+        # plus the update-replay paths (two per-step oracle diffs over
+        # the sliding probe window, the replanned-flag and stats-envelope
+        # checks, and the final replay==rebuild diff per unique probe)
         unique = len({tuple(b) for b in outcome.workload.probes})
         skipped = {path for path, _ in outcome.skips}
-        ran = len(PATHS) - len(skipped)
+        update_steps = {"update_replay": UPDATE_STEPS,
+                        "update_replay_columnar": UPDATE_STEPS,
+                        "update_replay_process": UPDATE_STEPS_PROCESS}
+        probe_cycle = list(dict.fromkeys(outcome.workload.probes))
+
+        def update_checks(path, steps):
+            if path in skipped:
+                return 0
+            total = 2  # replanned flag + stats-envelope presence
+            for step in range(steps):
+                lo = (step * UPDATE_PROBES_PER_STEP) % len(probe_cycle)
+                window = {probe_cycle[(lo + j) % len(probe_cycle)]
+                          for j in range(UPDATE_PROBES_PER_STEP)}
+                total += 2 * len(window)  # engine diff + serving diff
+            if f"{path}.rebuild" not in skipped:
+                total += len(probe_cycle)
+            return total
+
+        ran = (len(PATHS) - len(skipped)
+               - sum(1 for p in update_steps if p not in skipped))
         batch_checks = sum(
             1 for p in ("index_rich", "index_rich_columnar")
             if p not in skipped)
@@ -79,11 +107,14 @@ class TestDifferentialHarness:
                                    if p not in skipped)
         identity_checks = sum(
             1 for p in PATHS
-            if p.endswith("_columnar")
+            if p.endswith("_columnar") and p not in update_steps
             and p not in skipped and p[:-len("_columnar")] not in skipped)
+        replay_checks = sum(update_checks(p, s)
+                            for p, s in update_steps.items())
         assert outcome.comparisons == (ran * unique + batch_checks
                                        + stability_checks
-                                       + identity_checks)
+                                       + identity_checks
+                                       + replay_checks)
 
     def test_harness_catches_injected_corruption(self):
         """The tester is itself tested: a corrupted path must be flagged."""

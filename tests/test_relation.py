@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.data.relation import Relation, SchemaError, singleton_request, stable_hash
+from repro.data.relation import (
+    Relation,
+    SchemaError,
+    StalePartitionError,
+    singleton_request,
+    stable_hash,
+)
 from repro.util.counters import Counters
 
 
@@ -328,7 +334,12 @@ class TestPartitionViews:
         part = r.partition_by_hash(("a",), 2)[0]
         index = part.index_on(("a",))
         row = next(iter(part.tuples))
-        part.add((99, 99, 99))
+        # plain add on a view is guarded while the base lives — it would
+        # silently desynchronize the partition cover; mutations reach
+        # views through the coordinated delta path (repro.updates)
+        with pytest.raises(StalePartitionError):
+            part.add((99, 99, 99))
+        part._delta_add((99, 99, 99))
         rebuilt = part.index_on(("a",))
         assert rebuilt is not index
         assert (99,) in rebuilt and (row[0],) in rebuilt

@@ -8,12 +8,11 @@ Three layers of protection for the §4.2 rule machinery:
   the Observation E.1 sense;
 * **regression**: the ROADMAP hang — the fuzz path4 query whose 21 PMTDs
   give a ~1e10-combination product — must now plan uncapped in under two
-  seconds and recover strictly more tradeoff points than the old
-  ``max_pmtds=10`` truncation;
+  seconds and recover strictly more tradeoff points than the removed
+  ``max_pmtds=10`` truncation used to;
 * **integration**: budget-mode ``CQAPIndex`` answers must match
-  from-scratch evaluation, the deprecated ``max_pmtds`` must warn and
-  truncate deterministically, and the engine must surface the selection
-  in its lifecycle stats.
+  from-scratch evaluation, and the engine must surface the selection in
+  its lifecycle stats.
 """
 
 import random
@@ -566,47 +565,19 @@ class TestIndexSelectionModes:
             CQAPIndex(self.cqap, self.db, self.db.size,
                       rule_selection="everything")
 
-    def test_invalid_mode_rejected_even_with_max_pmtds(self):
-        # the deprecated alias must not mask a rule_selection typo
-        with pytest.raises(ValueError):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                CQAPIndex(self.cqap, self.db, self.db.size,
-                          rule_selection="bugdet", max_pmtds=2)
+    def test_max_pmtds_is_gone(self):
+        # the PR 7 deprecation arc ended: the kwarg is rejected like any
+        # other typo instead of silently accepted
+        with pytest.raises(TypeError):
+            CQAPIndex(self.cqap, self.db, self.db.size, max_pmtds=2)
 
-    def test_max_pmtds_is_deprecated_and_deterministic(self):
-        with pytest.warns(DeprecationWarning, match="space_budget"):
-            index = CQAPIndex(self.cqap, self.db, self.db.size, max_pmtds=2)
-        with pytest.warns(DeprecationWarning):
-            again = CQAPIndex(self.cqap, self.db, self.db.size, max_pmtds=2)
-        kept = [tuple(p.labels) for p in index.pmtds]
-        assert kept == [tuple(p.labels) for p in again.pmtds]
-        # the alias layers on the budgeted selection: ≤ max_pmtds PMTDs,
-        # picked by estimated cost instead of enumeration-order luck
+    def test_max_selected_pmtds_caps_the_budget_selection(self):
+        index = CQAPIndex(self.cqap, self.db, self.db.size,
+                          rule_selection="budget", max_selected_pmtds=2)
         assert index.selection.mode == "budget"
-        assert 1 <= len(kept) <= 2
-        # and the capped index must still plan and answer at this budget
-        # (a plain cost-sorted prefix can strand an infeasible S-only rule)
+        assert 1 <= len(index.pmtds) <= 2
         index.preprocess()
         assert index.answer_boolean((10 ** 9, 10 ** 9)) is False
-
-    def test_non_binding_max_pmtds_is_noop_beyond_the_warning(self):
-        with pytest.warns(DeprecationWarning):
-            capped = CQAPIndex(self.cqap, self.db, self.db.size,
-                               max_pmtds=50)
-        plain = CQAPIndex(self.cqap, self.db, self.db.size)
-        assert capped.selection.mode == plain.selection.mode == "all"
-        assert [r.label for r in capped.rules] == \
-            [r.label for r in plain.rules]
-
-    def test_max_pmtds_with_explicit_all_mode_truncates_by_cost(self):
-        with pytest.warns(DeprecationWarning):
-            index = CQAPIndex(self.cqap, self.db, self.db.size,
-                              rule_selection="all", max_pmtds=2)
-        assert index.selection.mode == "all"
-        expected = [tuple(p.labels) for p in order_pmtds_by_cost(
-            enumerate_pmtds(self.cqap, max_bags=3), index.cost_model)[:2]]
-        assert [tuple(p.labels) for p in index.pmtds] == expected
 
     def test_stats_and_engine_expose_selection(self):
         index = CQAPIndex(self.cqap, self.db, self.db.size).preprocess()
@@ -621,20 +592,7 @@ class TestIndexSelectionModes:
         assert stats["engine"]["selection"]["routes"]
         assert "selection[" in pq.describe()
 
-    def test_deprecation_not_raised_without_max_pmtds(self):
+    def test_construction_is_deprecation_free(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             CQAPIndex(self.cqap, self.db, self.db.size)
-
-    def test_max_pmtds_warning_fires_exactly_once_per_call(self):
-        # the deprecation arc's contract: one constructor call, one
-        # warning — not one per selection retry or internal re-entry
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            CQAPIndex(self.cqap, self.db, self.db.size, max_pmtds=2)
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)
-                        and "max_pmtds" in str(w.message)]
-        assert len(deprecations) == 1
-        # and the message documents the removal timeline
-        assert "removed" in str(deprecations[0].message)

@@ -23,11 +23,9 @@ from repro.engine import prepare
 from repro.query.catalog import k_path_cqap
 from repro.serving import (
     BatchScheduler,
-    ProbeServer,
     Server,
     ShardedIndex,
     access_hash,
-    prepare_sharded,
     serve,
     validate_stats,
 )
@@ -155,16 +153,9 @@ class TestShardedIndex:
             assert shard.online_phases == shard.probes_served
             assert shard.executor.online_runs == shard.online_phases
 
-    def test_prepare_sharded_still_works_but_warns(self):
-        cqap = k_path_cqap(2)
-        db = path_database(2, 120, 40, seed=3)
-        with pytest.warns(DeprecationWarning, match="serve"):
-            sharded = prepare_sharded(cqap, db, space_budget=db.size,
-                                      n_shards=3)
-        assert sharded.n_shards == 3
-        assert sharded.index.ready
-        # the deprecated path prices selection for its shard count too
-        assert sharded.index.selection.shards == 3
+    def test_prepare_sharded_shim_is_gone(self):
+        import repro.serving as serving
+        assert not hasattr(serving, "prepare_sharded")
 
 
 class TestSelectionKeyExposure:
@@ -361,16 +352,9 @@ class TestServeFacade:
         with pytest.raises(ValueError):
             serve(prepared, backend="thread", max_pending_batches=0)
 
-    def test_probe_server_is_deprecated_alias(self, prepared, pairs):
-        sharded = ShardedIndex(prepared, n_shards=2)
-        with pytest.warns(DeprecationWarning, match="serve"):
-            server = ProbeServer(sharded, batch_size=4)
-        assert isinstance(server, Server)
-        with server:
-            served = list(server.serve(iter(pairs[:6])))
-        assert len(served) == 6
-        # the deprecated path never owned its backend, and still doesn't
-        assert server.owns_backend is False
+    def test_probe_server_shim_is_gone(self):
+        import repro.serving as serving
+        assert not hasattr(serving, "ProbeServer")
 
     def test_internal_layers_do_not_warn(self, prepared):
         with warnings.catch_warnings():

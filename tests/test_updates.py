@@ -1,0 +1,325 @@
+"""Tests for ``repro.updates``: single-tuple delta maintenance.
+
+Covers the delta driver itself (exact affected keys, S-target deltas,
+no-op detection, drift-triggered re-selection), the mutation-path
+guards it leans on (``SchemaError`` arity checks, the partition-view
+epoch guard), per-backend bit-identity of the maintained answers, the
+surgical answer-cache eviction in ``PreparedQuery``, the listener
+registry, and the hypothesis property that replaying any script leaves
+the index answer-equivalent to one rebuilt from scratch on the final
+database.  The seeded multi-layer replay (serving stacks, process
+fleet) lives in ``repro.workloads.differential``'s ``update_replay*``
+paths; these tests pin the unit-level contracts.
+"""
+
+import random
+import weakref
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import CQAPIndex
+from repro.data.database import Database
+from repro.data.relation import Relation, SchemaError, StalePartitionError
+from repro.engine.prepared import PreparedQuery
+from repro.oracle import answer_rows, oracle_probe
+from repro.query.catalog import k_path_cqap
+from repro.util.counters import Counters
+
+RICH = 10 ** 7
+
+
+def chain_db():
+    """Two disjoint 3-paths: 0→10→20→30 and 1→11→21→31."""
+    return Database([
+        Relation("R1", ("x1", "x2"), {(0, 10), (1, 11)}),
+        Relation("R2", ("x2", "x3"), {(10, 20), (11, 21)}),
+        Relation("R3", ("x3", "x4"), {(20, 30), (21, 31)}),
+    ])
+
+
+def build_index(db=None, backend="set", **kwargs):
+    cqap = k_path_cqap(3)
+    db = db or chain_db()
+    index = CQAPIndex(cqap, db, RICH, relation_backend=backend,
+                      **kwargs).preprocess()
+    return cqap, db, index
+
+
+class RecordingListener:
+    """Captures every UpdateEvent it is notified with."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_index_delta(self, event):
+        self.events.append(event)
+
+
+class TestApplyDelta:
+    @pytest.mark.parametrize("backend", ["set", "columnar"])
+    def test_insert_opens_a_path(self, backend):
+        cqap, db, index = build_index(backend=backend)
+        assert not index.answer_boolean((0, 31))
+        index.apply_delta("insert", "R3", (20, 31))
+        assert index.answer_boolean((0, 31))
+        assert answer_rows(index.answer((0, 31)), tuple(cqap.head)) == \
+            oracle_probe(cqap, db, (0, 31))
+
+    @pytest.mark.parametrize("backend", ["set", "columnar"])
+    def test_delete_closes_a_path(self, backend):
+        cqap, db, index = build_index(backend=backend)
+        assert index.answer_boolean((0, 30))
+        index.apply_delta("delete", "R2", (10, 20))
+        assert not index.answer_boolean((0, 30))
+        # the disjoint chain is untouched
+        assert index.answer_boolean((1, 31))
+
+    def test_noop_deltas_change_nothing(self):
+        cqap, db, index = build_index()
+        listener = RecordingListener()
+        index.register_delta_listener(listener)
+        before = {name: frozenset(db[name].tuples) for name in db.names}
+        index.apply_delta("insert", "R1", (0, 10))     # already present
+        index.apply_delta("delete", "R1", (99, 99))    # never present
+        # no-op deltas never disturb listeners or the stored state
+        assert listener.events == []
+        assert index.update_counts["deltas_applied"] == 0
+        assert {name: frozenset(db[name].tuples)
+                for name in db.names} == before
+
+    def test_update_counts_track_applied_deltas(self):
+        cqap, db, index = build_index()
+        index.apply_delta("insert", "R1", (2, 12))
+        index.apply_delta("insert", "R2", (12, 22))
+        index.apply_delta("delete", "R1", (2, 12))
+        counts = index.update_counts
+        assert counts["inserts"] == 2
+        assert counts["deletes"] == 1
+        assert counts["deltas_applied"] == 3
+        assert index.updates_section() == counts
+
+    def test_unknown_relation_raises(self):
+        cqap, db, index = build_index()
+        with pytest.raises(KeyError):
+            index.apply_delta("insert", "NoSuchRelation", (1, 2))
+
+    def test_affected_keys_are_exact(self):
+        """The event names exactly the access bindings whose answer moved."""
+        cqap, db, index = build_index()
+        listener = RecordingListener()
+        index.register_delta_listener(listener)
+        # deleting the first chain's last edge stales only (0, 30)
+        index.apply_delta("delete", "R3", (20, 30))
+        (event,) = listener.events
+        assert event.changed
+        assert event.affected_keys == frozenset({(0, 30)})
+        # inserting a cross edge 20→31 stales only (0, 31)
+        index.apply_delta("insert", "R3", (20, 31))
+        event = listener.events[-1]
+        assert event.affected_keys == frozenset({(0, 31)})
+
+    def test_delta_bit_identity_across_backends(self):
+        """The same script leaves set and columnar indexes identical."""
+        script = [("insert", "R1", (2, 10)), ("insert", "R3", (20, 31)),
+                  ("delete", "R2", (11, 21)), ("insert", "R2", (10, 21)),
+                  ("delete", "R3", (21, 31)), ("insert", "R3", (21, 30))]
+        cqap, _, set_index = build_index(backend="set")
+        _, _, col_index = build_index(backend="columnar")
+        for op, name, row in script:
+            set_index.apply_delta(op, name, row)
+            col_index.apply_delta(op, name, row)
+        head = tuple(cqap.head)
+        for x1 in (0, 1, 2, 99):
+            for x4 in (30, 31, 99):
+                assert (answer_rows(set_index.answer((x1, x4)), head)
+                        == answer_rows(col_index.answer((x1, x4)), head))
+
+
+class TestDriftReselection:
+    def test_drift_past_threshold_triggers_reselect(self):
+        cqap, db, index = build_index(staleness_threshold=0.01)
+        listener = RecordingListener()
+        index.register_delta_listener(listener)
+        for i in range(10):
+            index.apply_delta("insert", "R1", (100 + i, 10))
+        assert index.update_counts["reselections"] >= 1
+        assert any(e.reselected for e in listener.events)
+        # answers stay correct through the re-selection
+        assert answer_rows(index.answer((0, 30)), tuple(cqap.head)) == \
+            oracle_probe(cqap, db, (0, 30))
+
+    def test_default_threshold_tolerates_small_scripts(self):
+        cqap, db, index = build_index()   # staleness_threshold=0.5
+        index.apply_delta("insert", "R1", (2, 10))
+        assert index.update_counts["reselections"] == 0
+
+    def test_nonpositive_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CQAPIndex(k_path_cqap(3), chain_db(), RICH,
+                      staleness_threshold=0.0)
+
+
+class TestSurgicalCacheEviction:
+    def test_only_affected_keys_are_evicted(self):
+        cqap, db, index = build_index()
+        pq = PreparedQuery(index, cache_size=16)
+        key_a = pq._normalize_binding((0, 30))
+        key_b = pq._normalize_binding((1, 31))
+        assert len(pq.probe(key_a)) == 1
+        assert len(pq.probe(key_b)) == 1
+        assert pq.cache.peek(key_a) is not None
+        assert pq.cache.peek(key_b) is not None
+        # delete the first chain's last edge: only (0, 30) goes stale
+        index.apply_delta("delete", "R3", (20, 30))
+        assert pq.cache.peek(key_a) is None, "stale entry survived"
+        assert pq.cache.peek(key_b) is not None, "unaffected entry evicted"
+        assert pq.keys_invalidated == 1
+        assert pq.updates_seen == 1
+        # the evicted key re-probes to the fresh (now empty) answer
+        assert len(pq.probe(key_a)) == 0
+        assert len(pq.probe(key_b)) == 1
+        assert not pq.replanned
+
+    def test_flush_everything_contract(self):
+        """affected_keys=None means flush the whole cache (degraded path)."""
+        from repro.updates import UpdateEvent
+
+        cqap, db, index = build_index()
+        pq = PreparedQuery(index, cache_size=16)
+        pq.probe((0, 30))
+        pq.probe((1, 31))
+        assert len(pq.cache) == 2
+        pq.on_index_delta(UpdateEvent(
+            op="insert", relation="R1", row=(5, 5), changed=True,
+            in_query=True, affected_keys=None))
+        assert len(pq.cache) == 0
+
+    def test_updates_section_reaches_the_stats_envelope(self):
+        from repro.serving.stats import validate_stats
+
+        cqap, db, index = build_index()
+        pq = PreparedQuery(index, cache_size=16)
+        index.apply_delta("insert", "R1", (2, 10))
+        stats = pq.stats()
+        validate_stats(stats)
+        assert stats["updates"]["inserts"] == 1
+        assert stats["updates"]["events_seen"] == 1
+
+
+class TestServingListeners:
+    def test_sharded_backend_stays_coherent(self):
+        from repro.serving import serve
+
+        cqap, db, index = build_index()
+        with serve(index, backend="thread", shards=3,
+                   inline_threshold=0) as server:
+            index.apply_delta("insert", "R3", (20, 31))
+            index.apply_delta("delete", "R3", (21, 31))
+            answers = {k: answer_rows(rel, tuple(cqap.head))
+                       for k, rel in server.serve([(0, 31), (1, 31)])}
+            assert answers[(0, 31)] == oracle_probe(cqap, db, (0, 31))
+            assert answers[(1, 31)] == frozenset()
+            stats = server.stats()
+            assert stats["updates"] is not None
+            assert stats["updates"]["deltas_applied"] == 2
+
+    def test_listener_registry_is_weak_and_unregisterable(self):
+        cqap, db, index = build_index()
+        listener = RecordingListener()
+        index.register_delta_listener(listener)
+        index.apply_delta("insert", "R1", (2, 10))
+        assert len(listener.events) == 1
+        index.unregister_delta_listener(listener)
+        index.apply_delta("insert", "R1", (3, 10))
+        assert len(listener.events) == 1
+        # dead listeners drop out without an explicit unregister
+        transient = RecordingListener()
+        ref = weakref.ref(transient)
+        index.register_delta_listener(transient)
+        del transient
+        assert ref() is None   # registry holds no strong reference
+        index.apply_delta("insert", "R1", (4, 10))   # must not blow up
+
+
+class TestMutationPathGuards:
+    def test_add_and_discard_enforce_arity(self):
+        rel = Relation("R", ("a", "b"), {(1, 2)})
+        with pytest.raises(SchemaError):
+            rel.add((1, 2, 3))
+        with pytest.raises(SchemaError):
+            rel.discard((1,))
+
+    def test_discard_counts_symmetrically_with_add(self):
+        rel = Relation("R", ("a", "b"), set())
+        counters = Counters()
+        assert rel.add((1, 2), counters=counters)
+        assert not rel.add((1, 2), counters=counters)      # no-op: free
+        assert rel.discard((1, 2), counters=counters)
+        assert not rel.discard((1, 2), counters=counters)  # no-op: free
+        assert counters.stores == 2
+
+    def test_plain_mutation_with_live_views_raises(self):
+        rel = Relation("R", ("a", "b"), {(1, 2), (3, 4)})
+        parts = rel.partition_by_hash(("a",), 2)
+        with pytest.raises(StalePartitionError):
+            rel.add((5, 6))
+        with pytest.raises(StalePartitionError):
+            rel.discard((1, 2))
+        with pytest.raises(StalePartitionError):
+            parts[0].add((5, 6))
+        # dropping every view handle lifts the guard
+        del parts
+        assert rel.add((5, 6))
+
+    def test_stale_view_probe_raises_until_synced(self):
+        rel = Relation("R", ("a", "b"), {(1, 2), (3, 4)})
+        parts = rel.partition_by_hash(("a",), 2)
+        rel._delta_add((5, 6))   # coordinated path skips the guard
+        with pytest.raises(StalePartitionError):
+            parts[0].index_on(("a",))
+        for part in parts:
+            part._sync_with_base()
+        assert sum(len(part) for part in parts) >= 2  # readable again
+
+
+# -- the replay == rebuild property -----------------------------------
+
+PATH2 = k_path_cqap(2)
+DOMAIN = 4
+
+step_strategy = st.tuples(
+    st.sampled_from(["insert", "delete"]),
+    st.sampled_from(["R1", "R2"]),
+    st.tuples(st.integers(0, DOMAIN - 1), st.integers(0, DOMAIN - 1)),
+)
+
+
+class TestReplayEqualsRebuild:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows1=st.sets(st.tuples(st.integers(0, DOMAIN - 1),
+                                st.integers(0, DOMAIN - 1)), max_size=6),
+        rows2=st.sets(st.tuples(st.integers(0, DOMAIN - 1),
+                                st.integers(0, DOMAIN - 1)), max_size=6),
+        script=st.lists(step_strategy, max_size=12),
+    )
+    def test_replay_equals_rebuild(self, rows1, rows2, script):
+        """Any delta script == rebuilding from scratch on the final db."""
+        db = Database([Relation("R1", ("x1", "x2"), set(rows1)),
+                       Relation("R2", ("x2", "x3"), set(rows2))])
+        mirror = db.copy()
+        index = CQAPIndex(PATH2, db, RICH).preprocess()
+        for op, name, row in script:
+            index.apply_delta(op, name, row)
+            getattr(mirror, op)(name, row)
+        rebuilt = CQAPIndex(PATH2, mirror, RICH).preprocess()
+        head = tuple(PATH2.head)
+        for x1 in range(DOMAIN):
+            for x3 in range(DOMAIN):
+                binding = (x1, x3)
+                replayed = answer_rows(index.answer(binding), head)
+                assert replayed == answer_rows(rebuilt.answer(binding),
+                                               head)
+                assert replayed == oracle_probe(PATH2, mirror, binding)
