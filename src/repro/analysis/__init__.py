@@ -1,0 +1,47 @@
+"""Static analysis for the repro codebase: linter + plan verifier.
+
+Two halves:
+
+* :mod:`repro.analysis.lint` — an AST-based project linter with rules
+  REP001–REP005 derived from real past bugs (lock discipline, counter
+  hygiene, pickle safety, stats-envelope conformance, bare asserts).
+* :mod:`repro.analysis.verify_plan` — pure functions that statically
+  check a built ``CQAPIndex`` / ``SelectionResult`` /
+  ``CompiledProbePlan`` without executing a probe (§4.2 rule soundness,
+  ledger re-derivation, subset-minimality, compile-time index pinning).
+
+Run both from the command line::
+
+    python -m repro.analysis                 # lint src/repro
+    python -m repro.analysis --verify-plans  # + build-and-verify matrix
+"""
+
+from repro.analysis.lint import (
+    Finding,
+    all_rules,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.analysis.verify_plan import (
+    PlanVerificationError,
+    check_index,
+    verify_compiled_plans,
+    verify_index,
+    verify_selection,
+)
+
+__all__ = [
+    "Finding",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "PlanVerificationError",
+    "check_index",
+    "verify_compiled_plans",
+    "verify_index",
+    "verify_selection",
+]

@@ -1,0 +1,139 @@
+"""``python -m repro.analysis`` — lint the tree, then verify built plans.
+
+Exit status is 0 only when every requested check passes: the lint pass
+found no findings and (with ``--verify-plans``) every scenario in the
+fixed build-and-verify matrix passed static plan verification.  This is
+the command the ``static-analysis`` CI job runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.lint import all_rules, lint_paths, render_json, render_text
+
+
+def _default_lint_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _run_lint(paths: Sequence[Path], as_json: bool,
+              select: Optional[Sequence[str]]) -> int:
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        unknown = wanted - {r.code for r in rules}
+        if unknown:
+            print(f"unknown rule code(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [r for r in rules if r.code in wanted]
+    findings = lint_paths(paths, rules=rules)
+    if as_json:
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+def _scenario_matrix() -> List[Tuple[str, object, object]]:
+    """The fixed (label, cqap, db) scenarios ``--verify-plans`` builds."""
+    from repro import catalog, path_database, triangle_database
+    from repro.query.catalog import triangle_cqap
+
+    return [
+        ("2-path", catalog.k_path_cqap(2),
+         path_database(k=2, n_edges=240, domain=60, seed=11)),
+        ("3-path", catalog.k_path_cqap(3),
+         path_database(k=3, n_edges=240, domain=60, seed=12)),
+        ("triangle", triangle_cqap(),
+         triangle_database(n_edges=200, domain=40, seed=13)),
+    ]
+
+
+def _run_verify_plans() -> int:
+    """Build the fixed scenario matrix and statically verify every index.
+
+    Sweeps budget ∈ {lean, medium, rich} × backend ∈ {set, columnar} ×
+    shards ∈ {1, 4}, with a low ``auto_select_threshold`` so the
+    budgeted beam selection is exercised, mirroring the differential
+    harness's configuration axes.  Budget-infeasible cells (PlanningError)
+    are reported and skipped — infeasibility is a legitimate planner
+    outcome, not a verification failure.
+    """
+    from repro.core.index import CQAPIndex
+    from repro.core.two_phase import PlanningError
+    from repro.tradeoff.cost import CatalogStatistics
+
+    failures = 0
+    cells = 0
+    skipped = 0
+    for label, cqap, db in _scenario_matrix():
+        statistics = CatalogStatistics.from_database(cqap, db)
+        for budget in (2.0, float(db.total_tuples), 10.0 ** 7):
+            for backend in ("set", "columnar"):
+                for shards in (1, 4):
+                    cells += 1
+                    cell = (f"{label} budget={budget:g} backend={backend} "
+                            f"shards={shards}")
+                    try:
+                        index = CQAPIndex(
+                            cqap, db, space_budget=budget,
+                            auto_select_threshold=4,
+                            relation_backend=backend,
+                            shards=shards,
+                            statistics=statistics,
+                        ).preprocess(verify_plans=True)
+                    except PlanningError as exc:
+                        skipped += 1
+                        print(f"  skip  {cell}: infeasible ({exc})")
+                        continue
+                    except Exception as exc:  # verification failure included
+                        failures += 1
+                        print(f"  FAIL  {cell}: {exc}")
+                        continue
+                    print(f"  ok    {cell}: "
+                          f"{len(index.selection.rules)} rules, "
+                          f"{index.stats.stored_tuples} stored tuples")
+    print(f"verify-plans: {cells - failures - skipped} ok, "
+          f"{skipped} infeasible, {failures} failed, {cells} cells")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="project-invariant linter + static plan verifier",
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files/directories to lint "
+                             "(default: the installed repro package)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    parser.add_argument("--select", action="append", metavar="CODE",
+                        help="run only these rule codes (repeatable)")
+    parser.add_argument("--verify-plans", action="store_true",
+                        help="also build-and-verify the fixed scenario "
+                             "matrix with the static plan verifier")
+    parser.add_argument("--no-lint", action="store_true",
+                        help="skip the lint pass (verify plans only)")
+    args = parser.parse_args(argv)
+
+    status = 0
+    if not args.no_lint:
+        paths = list(args.paths) or [_default_lint_root()]
+        status = _run_lint(paths, args.json, args.select)
+        if status == 2:
+            return status
+    if args.verify_plans:
+        status = max(status, _run_verify_plans())
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""AST-based project-invariant linter (rules REP001–REP005)."""
+
+from repro.analysis.lint import rules as _rules  # noqa: F401  (registers rules)
+from repro.analysis.lint.framework import (
+    Finding,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

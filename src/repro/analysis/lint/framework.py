@@ -1,0 +1,352 @@
+"""Checker framework for the project-invariant linter.
+
+The linter is a thin, dependency-free layer over :mod:`ast`:
+
+* :class:`Rule` — one named check (``REP001`` …) over a parsed module,
+  with read access to the whole :class:`Project` so rules can resolve
+  cross-file inheritance (``ColumnarRelation`` inherits its
+  ``__getstate__`` from ``Relation`` in another module).
+* :class:`Finding` — one diagnostic, renderable as text or JSON.
+* ``# repro: noqa`` / ``# repro: noqa[REP001,REP005]`` on the flagged
+  line suppresses findings (all rules, or just the listed ones).
+
+Rules register themselves with :func:`register`; :func:`lint_paths` and
+:func:`lint_source` are the entry points the CLI and the test suite use.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Project",
+    "ModuleInfo",
+    "ClassInfo",
+    "register",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "render_text",
+    "render_json",
+]
+
+_NOQA = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: ``path:line:col: CODE message``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ClassInfo:
+    """Cross-file class model: bases by name, methods, slots."""
+
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    base_names: List[str]
+    methods: Dict[str, ast.FunctionDef]
+    slots: List[str]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus its suppression map."""
+
+    path: str
+    tree: ast.Module
+    #: line number -> set of suppressed rule codes; empty set = all rules
+    noqa: Dict[int, Set[str]]
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        codes = self.noqa.get(line)
+        if codes is None:
+            return False
+        return not codes or rule in codes
+
+
+@dataclass
+class Project:
+    """All modules under lint, with a project-wide class table."""
+
+    modules: List[ModuleInfo]
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: class names defined more than once — inheritance resolution for
+    #: these is skipped rather than guessed
+    ambiguous: Set[str] = field(default_factory=set)
+
+    def resolve_chain(self, cls: ClassInfo) -> List[ClassInfo]:
+        """``cls`` followed by its single-inheritance ancestor chain.
+
+        Multiple inheritance walks the first resolvable base only (no
+        project class in the tree uses diamond inheritance); unknown or
+        ambiguous base names end the chain.
+        """
+        chain = [cls]
+        seen = {cls.name}
+        cur = cls
+        while True:
+            nxt: Optional[ClassInfo] = None
+            for base in cur.base_names:
+                if base in self.ambiguous or base in seen:
+                    continue
+                cand = self.classes.get(base)
+                if cand is not None:
+                    nxt = cand
+                    break
+            if nxt is None:
+                return chain
+            chain.append(nxt)
+            seen.add(nxt.name)
+            cur = nxt
+
+
+class Rule:
+    """Base class for one lint rule; subclasses set ``code``/``name``."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.code,
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    _REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by code."""
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def _parse_noqa(source: str) -> Dict[int, Set[str]]:
+    noqa: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            noqa[lineno] = set()
+        else:
+            noqa[lineno] = {r.strip() for r in rules.split(",") if r.strip()}
+    return noqa
+
+
+def _class_slots(node: ast.ClassDef) -> List[str]:
+    slots: List[str] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                value = stmt.value
+                elts: Sequence[ast.expr]
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    elts = value.elts
+                elif isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    elts = [value]
+                else:
+                    continue
+                for elt in elts:
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                        slots.append(elt.value)
+    return slots
+
+
+def _index_module(module: ModuleInfo, project: Project) -> None:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        base_names: List[str] = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                base_names.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                base_names.append(base.attr)
+        methods = {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+        info = ClassInfo(
+            name=node.name,
+            module=module,
+            node=node,
+            base_names=base_names,
+            methods=methods,
+            slots=_class_slots(node),
+        )
+        if node.name in project.classes:
+            project.ambiguous.add(node.name)
+        else:
+            project.classes[node.name] = info
+
+
+def _load_module(path: Path, display: str) -> ModuleInfo:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=display)
+    return ModuleInfo(path=display, tree=tree, noqa=_parse_noqa(source))
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def load_project(paths: Sequence[Path]) -> Project:
+    """Parse every ``*.py`` under ``paths`` into one :class:`Project`."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        else:
+            files.append(path)
+    project = Project(modules=[])
+    for file in files:
+        module = _load_module(file, _display_path(file))
+        project.modules.append(module)
+    for module in project.modules:
+        _index_module(module, project)
+    return project
+
+
+def lint_project(project: Project, rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over every module."""
+    active = list(rules) if rules is not None else all_rules()
+    by_path = {module.path: module for module in project.modules}
+    findings: Set[Finding] = set()
+    for module in project.modules:
+        for rule in active:
+            for finding in rule.check(module, project):
+                # a rule may report into another module (cross-file
+                # inheritance); suppression follows the reported line
+                home = by_path.get(finding.path, module)
+                if not home.suppressed(finding.line, finding.rule):
+                    findings.add(finding)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def lint_paths(paths: Sequence[Path], rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint files/directories; the main entry point for the CLI."""
+    return lint_project(load_project(paths), rules=rules)
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one in-memory module (fixture tests use this)."""
+    tree = ast.parse(source, filename=path)
+    module = ModuleInfo(path=path, tree=tree, noqa=_parse_noqa(source))
+    project = Project(modules=[module])
+    _index_module(module, project)
+    return lint_project(project, rules=rules)
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    if not findings:
+        return "no findings"
+    lines = [f.render() for f in findings]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(
+        {"findings": [f.to_json() for f in findings], "count": len(findings)},
+        indent=2,
+    )
+
+
+def iter_self_reads(func: ast.FunctionDef) -> Iterator[Tuple[str, ast.Attribute]]:
+    """Yield ``(attr, node)`` for every ``self.attr`` read in ``func``."""
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            yield node.attr, node
+
+
+def iter_self_writes(func: ast.FunctionDef) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(attr, stmt)`` for every mutation of ``self.attr``.
+
+    Covers ``self.x = …``, ``self.x += …``, ``self.x: T = …`` and
+    ``del self.x``; subscript stores (``self.d[k] = v``) mutate the
+    *container*, not the attribute binding, and are not included.
+    """
+
+    def _is_self_attr(target: ast.expr) -> Optional[str]:
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return target.attr
+        return None
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                targets = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+                for t in targets:
+                    attr = _is_self_attr(t)
+                    if attr is not None:
+                        yield attr, node
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                continue
+            attr = _is_self_attr(node.target)
+            if attr is not None:
+                yield attr, node
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _is_self_attr(target)
+                if attr is not None:
+                    yield attr, node

@@ -1,0 +1,318 @@
+"""Static verification of built plans and selections — no probe executed.
+
+The paper's §4.2 soundness conditions, the selection ledger's arithmetic,
+and the compile-time index-pinning contract are all *checkable properties
+of the plan*, independent of any particular execution.  This module
+checks them on a built :class:`~repro.core.index.CQAPIndex` (or its
+parts) and reports every violation as a human-readable issue string:
+
+* **Rule soundness** — every selected rule's targets are schemas of the
+  selected PMTDs' views (matching kind), the union of each rule's S∪T
+  targets covers the query head, and every PMTD's views jointly cover
+  the head (so Online Yannakakis can produce ψ_i at all).
+* **Routing well-definedness** — the per-rule S-view key schemas agree
+  with :func:`~repro.tradeoff.selection.shard_fraction`: a view is
+  priced as partitioned iff its schema contains every access variable,
+  which is exactly when hash-routing a probe to one shard is sound.
+* **Ledger re-derivation** — re-running the pure routing core
+  (:func:`~repro.tradeoff.selection.route_estimates`) on the stored
+  estimates reproduces the stored routes, space/time totals (per-shard
+  pricing included) and the ``over_budget`` flag.
+* **Subset-minimality** — no selected rule is dominated by another
+  (:meth:`~repro.tradeoff.rules.TwoPhaseRule.no_easier_than`).
+* **Compile-time pinning** — every static participant of every
+  :class:`~repro.core.kernels.CompiledProbePlan` has its hash index
+  built (and its membership index, when it shares a level), and the
+  per-probe request slot has none.
+
+``check_index`` raises :class:`PlanVerificationError`;
+``verify_index`` returns the issue list for callers that want to report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence, Set, Tuple
+
+from repro.query.cq import CQAP
+from repro.tradeoff.selection import (
+    PMTD_OVERHEAD,
+    SelectionResult,
+    route_estimates,
+    shard_fraction,
+)
+
+__all__ = [
+    "PlanVerificationError",
+    "verify_selection",
+    "verify_compiled_plans",
+    "verify_index",
+    "check_index",
+]
+
+#: relative tolerance for re-derived ledger totals (the re-derivation
+#: replays the exact float operations, so this only absorbs noise from a
+#: snapshot round-tripped through JSON)
+_REL_TOL = 1e-9
+
+
+class PlanVerificationError(RuntimeError):
+    """A built plan/selection failed static verification."""
+
+    def __init__(self, issues: Sequence[str]) -> None:
+        self.issues: List[str] = list(issues)
+        lines = "\n  - ".join(self.issues)
+        super().__init__(
+            f"plan verification failed ({len(self.issues)} issue(s)):"
+            f"\n  - {lines}"
+        )
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _REL_TOL * max(1.0, abs(a), abs(b))
+
+
+def verify_selection(selection: SelectionResult, cqap: CQAP) -> List[str]:
+    """Statically check one selection against its query; returns issues."""
+    issues: List[str] = []
+    qvars = set(cqap.variables)
+    access = tuple(cqap.access)
+    # the per-probe request Q_A supplies the access binding, so views only
+    # need to cover the head variables the probe does not already carry
+    head = set(cqap.head) - set(access)
+
+    # --- structure: estimates parallel to rules --------------------------
+    if len(selection.estimates) != len(selection.rules):
+        issues.append(
+            f"estimates ({len(selection.estimates)}) not parallel to rules "
+            f"({len(selection.rules)})"
+        )
+        return issues  # everything downstream needs the pairing
+    for rule, est in zip(selection.rules, selection.estimates):
+        if est.rule is not rule and est.rule != rule:
+            issues.append(
+                f"estimate for {est.rule.label} paired with rule {rule.label}"
+            )
+
+    # --- §4.2 rule soundness --------------------------------------------
+    s_schemas: Set[frozenset] = set()
+    t_schemas: Set[frozenset] = set()
+    for pmtd in selection.pmtds:
+        covered: Set[str] = set()
+        for view in pmtd.s_views.values():
+            if view.variables:
+                s_schemas.add(frozenset(view.variables))
+            covered |= set(view.variables)
+        for view in pmtd.t_views.values():
+            if view.variables:
+                t_schemas.add(frozenset(view.variables))
+            covered |= set(view.variables)
+        if not head <= covered:
+            issues.append(
+                f"PMTD views cover {sorted(covered)} but not the non-access "
+                f"head {sorted(head)}: ψ cannot be produced"
+            )
+    filled_s: Set[frozenset] = set()
+    filled_t: Set[frozenset] = set()
+    for rule in selection.rules:
+        for target in rule.s_targets:
+            filled_s.add(frozenset(target))
+            if not set(target) <= qvars:
+                issues.append(
+                    f"rule {rule.label}: S-target {sorted(target)} uses "
+                    f"variables outside the query"
+                )
+            if frozenset(target) not in s_schemas:
+                issues.append(
+                    f"rule {rule.label}: S-target {sorted(target)} is not "
+                    f"an S-view schema of any selected PMTD"
+                )
+        for target in rule.t_targets:
+            filled_t.add(frozenset(target))
+            if not set(target) <= qvars:
+                issues.append(
+                    f"rule {rule.label}: T-target {sorted(target)} uses "
+                    f"variables outside the query"
+                )
+            if frozenset(target) not in t_schemas:
+                issues.append(
+                    f"rule {rule.label}: T-target {sorted(target)} is not "
+                    f"a T-view schema of any selected PMTD"
+                )
+    # completeness: a single rule fills *one* view per phase; the rule
+    # *set* must jointly fill every nonempty view of the selected PMTDs,
+    # otherwise Online Yannakakis joins against a silently-empty view and
+    # drops answers.  (An S-view can also be filled through a same-schema
+    # T-target: preprocessing unions same-schema targets into views.)
+    for schema in sorted(s_schemas, key=sorted):
+        if schema not in filled_s and schema not in filled_t:
+            issues.append(
+                f"S-view schema {sorted(schema)} of a selected PMTD is "
+                f"filled by no rule in the set"
+            )
+    for schema in sorted(t_schemas, key=sorted):
+        if schema not in filled_t and schema not in filled_s:
+            issues.append(
+                f"T-view schema {sorted(schema)} of a selected PMTD is "
+                f"filled by no rule in the set"
+            )
+
+    # --- subset-minimality ----------------------------------------------
+    for i, a in enumerate(selection.rules):
+        for j, b in enumerate(selection.rules):
+            if i == j:
+                continue
+            if (a.s_targets, a.t_targets) == (b.s_targets, b.t_targets):
+                if i < j:
+                    issues.append(f"duplicate rules {a.label} / {b.label}")
+                continue
+            if a.no_easier_than(b):
+                issues.append(
+                    f"rule {a.label} is dominated by {b.label} "
+                    f"(componentwise containment): rule set is not "
+                    f"subset-minimal"
+                )
+
+    # --- routing well-definedness ---------------------------------------
+    for entry in selection.s_view_keys(access):
+        target = set(entry["s_target"])
+        partitionable = bool(access) and set(access) <= target
+        if entry["partitionable"] != partitionable:
+            issues.append(
+                f"rule {entry['rule']}: s_view_keys says partitionable="
+                f"{entry['partitionable']} but access {access} ⊆ "
+                f"{sorted(target)} is {partitionable}"
+            )
+        expected_prefix = access if partitionable else ()
+        if tuple(entry["access_prefix"]) != expected_prefix:
+            issues.append(
+                f"rule {entry['rule']}: access_prefix "
+                f"{entry['access_prefix']} disagrees with partitionability "
+                f"(expected {expected_prefix})"
+            )
+        # the pricing fraction must agree with the routing key: a target
+        # priced as partitioned (fraction < 1) must be hash-routable
+        frac = shard_fraction(target, access, shards=max(2, selection.shards))
+        if (frac < 1.0) != partitionable:
+            issues.append(
+                f"rule {entry['rule']}: shard_fraction prices target "
+                f"{sorted(target)} as "
+                f"{'partitioned' if frac < 1.0 else 'replicated'} but the "
+                f"routing key says partitionable={partitionable}"
+            )
+
+    # --- ledger re-derivation -------------------------------------------
+    space, time, routed, over = route_estimates(
+        selection.estimates, selection.space_budget,
+        shards=selection.shards, access=access,
+    )
+    for est, re_est in zip(selection.estimates, routed):
+        if est.route != re_est.route:
+            issues.append(
+                f"rule {est.rule.label}: stored route {est.route!r} but "
+                f"re-derived route {re_est.route!r}"
+            )
+    if not _close(space, selection.estimated_space):
+        issues.append(
+            f"estimated_space {selection.estimated_space!r} does not "
+            f"re-derive (ledger gives {space!r})"
+        )
+    expected_time = time + PMTD_OVERHEAD * len(selection.pmtds)
+    if not _close(expected_time, selection.estimated_time):
+        issues.append(
+            f"estimated_time {selection.estimated_time!r} does not "
+            f"re-derive (ledger gives {expected_time!r})"
+        )
+    if over != selection.over_budget:
+        issues.append(
+            f"over_budget={selection.over_budget} but the ledger "
+            f"re-derives {over}"
+        )
+
+    # --- snapshot consistency -------------------------------------------
+    snap = selection.snapshot()
+    if snap["routes"] != [est.route for est in selection.estimates]:
+        issues.append("snapshot routes disagree with the routed estimates")
+    if snap["rules"] != [rule.label for rule in selection.rules]:
+        issues.append("snapshot rule labels disagree with the rule set")
+    if snap["selected_pmtds"] != len(selection.pmtds):
+        issues.append("snapshot selected_pmtds disagrees with the PMTD set")
+    return issues
+
+
+def verify_compiled_plans(steps: Iterable[Any]) -> List[str]:
+    """Check compile-time pinning on every step's compiled probe plan."""
+    issues: List[str] = []
+    for pos, step in enumerate(steps):
+        plan = getattr(step, "plan", None)
+        if plan is None:
+            continue
+        label = f"step {pos} ({getattr(step, 'name', '?')})"
+        if not set(plan.onto) <= set(plan.order):
+            issues.append(
+                f"{label}: output schema {plan.onto} not covered by the "
+                f"variable order {plan.order}"
+            )
+        for part in plan.iter_participants():
+            where = (f"{label}, depth {part.depth} ({part.var}), "
+                     f"slot {part.slot}")
+            if part.pinnable:
+                if part.index is None:
+                    issues.append(
+                        f"{where}: static participant has no hash index "
+                        f"pinned at compile time"
+                    )
+                if part.shares_level and part.membership_index is None:
+                    issues.append(
+                        f"{where}: static participant shares its level but "
+                        f"has no membership index pinned at compile time"
+                    )
+            else:
+                if part.index is not None or part.membership_index is not None:
+                    issues.append(
+                        f"{where}: per-probe request slot must never pin "
+                        f"an index (its relation changes every probe)"
+                    )
+    return issues
+
+
+def verify_index(index: Any) -> List[str]:
+    """All static checks on a preprocessed :class:`CQAPIndex`."""
+    if not getattr(index, "ready", False):
+        return ["index is not preprocessed (call preprocess() first)"]
+    issues = verify_selection(index.selection, index.cqap)
+
+    # materialized S-targets are keyed by their own schema
+    stored = 0
+    for target, relation in index.s_targets.items():
+        stored += len(relation)
+        if set(relation.schema) != set(target):
+            issues.append(
+                f"S-target keyed {sorted(target)} holds a relation with "
+                f"schema {relation.schema}"
+            )
+    if index.stats.stored_tuples != stored:
+        issues.append(
+            f"stats.stored_tuples={index.stats.stored_tuples} but the "
+            f"S-targets hold {stored} tuples"
+        )
+    expected_sizes = {
+        "|".join(sorted(schema)): len(rel)
+        for schema, rel in index.s_targets.items()
+    }
+    if index.stats.s_view_tuples != expected_sizes:
+        issues.append("stats.s_view_tuples disagrees with the S-targets")
+    if index.stats.selection != index.selection.snapshot():
+        issues.append(
+            "stats.selection snapshot is stale (does not match the live "
+            "selection)"
+        )
+
+    issues.extend(verify_compiled_plans(index.compiled_online))
+    return issues
+
+
+def check_index(index: Any) -> None:
+    """Raise :class:`PlanVerificationError` if ``verify_index`` finds issues."""
+    issues = verify_index(index)
+    if issues:
+        raise PlanVerificationError(issues)

@@ -235,12 +235,21 @@ class CQAPIndex:
     # ------------------------------------------------------------------
     # preprocessing phase
     # ------------------------------------------------------------------
-    def preprocess(self, counters: Optional[Counters] = None) -> "CQAPIndex":
+    def preprocess(self, counters: Optional[Counters] = None,
+                   verify_plans: bool = False) -> "CQAPIndex":
         """Plan every rule, materialize S-targets, build per-PMTD structures.
 
         Ends by compiling the T-phase into per-probe steps (after the
         executor's budget-abort pass, which may flip decisions online), so
         every subsequent :meth:`answer` re-plans nothing.
+
+        ``verify_plans=True`` additionally runs the static plan verifier
+        (:func:`repro.analysis.verify_plan.check_index`) on the finished
+        index — §4.2 rule soundness, ledger re-derivation, compile-time
+        index pinning — raising
+        :class:`~repro.analysis.verify_plan.PlanVerificationError` on any
+        violation.  The differential harness turns this on for every
+        index it builds.
         """
         ctr = counters or Counters()
         try:
@@ -305,6 +314,11 @@ class CQAPIndex:
         self.stats.estimate_error = self._measure_estimate_error()
         self.stats.preprocess_counters = ctr.snapshot()
         self._ready = True
+        if verify_plans:
+            # local import: analysis depends on core, never the reverse
+            from repro.analysis.verify_plan import check_index
+
+            check_index(self)
         return self
 
     def _measure_estimate_error(self) -> Dict:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.data.relation import Relation
+from repro.data.relation import Relation, SchemaError
 from repro.util.counters import Counters, global_counters
 
 
@@ -61,7 +61,13 @@ def choose_variable_order(relations: Sequence[Relation],
             if score > best_score:
                 best_score = score
                 best_var = var
-        assert best_var is not None
+        if best_var is None:
+            # unreachable while the loop guard holds (placed ⊂ all_vars
+            # guarantees a candidate), but the invariant must survive -O
+            raise SchemaError(
+                f"variable order stalled: no candidate among "
+                f"{sorted(all_vars - placed)}"
+            )
         order.append(best_var)
         placed.add(best_var)
     return order

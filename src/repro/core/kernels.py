@@ -33,7 +33,7 @@ against the step's own relations) — never runtime index caches.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.joins import choose_variable_order
 from repro.data.relation import Relation
@@ -41,6 +41,24 @@ from repro.util.counters import Counters
 
 #: sentinel schema stand-in value for the compile-time dummy request row
 _DUMMY = object()
+
+
+class ParticipantSpec(NamedTuple):
+    """Read-only view of one per-depth participant spec.
+
+    The compiled plan stores participants as raw 8-slot lists for speed;
+    this is the structured accessor introspection tools (the static plan
+    verifier, tests) use instead of indexing the lists by magic number.
+    """
+
+    depth: int
+    var: str
+    slot: int
+    bound_key: Tuple[str, ...]
+    pinnable: bool
+    shares_level: bool
+    index: Optional[dict]
+    membership_index: Optional[dict]
 
 
 class CompiledProbePlan:
@@ -115,6 +133,30 @@ class CompiledProbePlan:
                 part[6] = rel.index_on(part[1] if part[1] else (var,))
                 if len(parts) > 1:
                     part[7] = rel.index_on(part[4])
+
+    def iter_participants(self):
+        """Yield every participant spec as a :class:`ParticipantSpec`.
+
+        The contract the verifier checks rides on ``pinnable``: a static
+        (non-request) participant must have had its hash index built at
+        compile time (``index`` non-None, plus ``membership_index`` when
+        it shares its level), while the per-probe request slot must never
+        pin one — its relation changes every probe.
+        """
+        for depth, parts in enumerate(self.levels):
+            var = self.order[depth]
+            shares = len(parts) > 1
+            for part in parts:
+                yield ParticipantSpec(
+                    depth=depth,
+                    var=var,
+                    slot=part[0],
+                    bound_key=part[1],
+                    pinnable=part[5],
+                    shares_level=shares,
+                    index=part[6],
+                    membership_index=part[7],
+                )
 
     # ------------------------------------------------------------------
     # pickling: spec + relation references, no runtime caches

@@ -74,6 +74,11 @@ class BatchScheduler:
         self._submit_group = getattr(backend, "submit_group", None)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        # stats counters are mutated from the serving loop *and* from the
+        # index's delta feed (on_index_delta fires on whatever thread the
+        # mutator runs on), so bumps must hold the stats lock — an
+        # unguarded += is a lost-update race (REP001)
+        self._stats_lock = threading.Lock()
         self.batch_calls = 0
         self.probes_in = 0
         self.unique_probes = 0
@@ -101,13 +106,18 @@ class BatchScheduler:
         """
         if not event.changed:
             return
-        self.updates_seen += 1
+        with self._stats_lock:
+            self.updates_seen += 1
         if event.affected_keys is None:
             self.cache.clear()
             return
+        invalidated = 0
         for key in event.affected_keys:
             if self.cache.invalidate(key):
-                self.keys_invalidated += 1
+                invalidated += 1
+        if invalidated:
+            with self._stats_lock:
+                self.keys_invalidated += invalidated
 
     # ------------------------------------------------------------------
     # pool lifecycle
@@ -160,19 +170,22 @@ class BatchScheduler:
         backend = self.backend_obj
         keys = [backend.normalize(b) for b in bindings]
         unique = list(dict.fromkeys(keys))
-        self.batch_calls += 1
-        self.probes_in += len(keys)
-        self.unique_probes += len(unique)
         results: Dict[Binding, Relation] = {}
         groups: Dict[int, List[Binding]] = {}
+        hits = 0
         for key in unique:
             cached = self.cache.get(key)
             if cached is not None:
                 results[key] = cached
-                self.cache_served += 1
+                hits += 1
             else:
                 groups.setdefault(backend.shard_of(key),
                                   []).append(key)
+        with self._stats_lock:
+            self.batch_calls += 1
+            self.probes_in += len(keys)
+            self.unique_probes += len(unique)
+            self.cache_served += hits
         missing = sum(len(group) for group in groups.values())
         if self._submit_group is not None and groups:
             # process backend: submit every group before collecting any
@@ -190,7 +203,8 @@ class BatchScheduler:
                 lambda item: backend.answer_group(item[0], item[1]),
                 sorted(groups.items()),
             ))
-        self.shard_phases += len(groups)
+        with self._stats_lock:
+            self.shard_phases += len(groups)
         for answered, ctr in parts:
             if counters is not None:
                 merge_counters(counters, ctr)

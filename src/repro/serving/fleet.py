@@ -130,13 +130,20 @@ def _init_worker(payload_bytes: bytes) -> None:
     )
 
 
+def _worker_state() -> "_WorkerState":
+    """The process-local serving state, or a typed error before init."""
+    if _WORKER is None:
+        raise FleetError("worker initializer did not run")
+    return _WORKER
+
+
 def _worker_ping() -> Dict:
     """Warm-up probe: forces worker start-up, reports identity and cost."""
-    assert _WORKER is not None, "worker initializer did not run"
+    state = _worker_state()
     return {
-        "shard": _WORKER.shard_id,
+        "shard": state.shard_id,
         "pid": os.getpid(),
-        "preprocess_seconds": _WORKER.preprocess_seconds,
+        "preprocess_seconds": state.preprocess_seconds,
     }
 
 
@@ -149,8 +156,7 @@ def _serve_group(keys: Sequence[Binding],
     but returns plain ``frozenset`` row sets instead of Relations — the
     parent rebuilds Relations once, so no index caches ever cross back.
     """
-    state = _WORKER
-    assert state is not None, "worker initializer did not run"
+    state = _worker_state()
     t0 = time.process_time()
     ctr = Counters()
     q_a = Relation("Q_A", state.access, keys)
@@ -205,8 +211,7 @@ def _apply_worker_delta(delta_bytes: bytes) -> Dict:
     slices take their routed row deltas and the affected Online-
     Yannakakis passes are rebuilt from them.
     """
-    state = _WORKER
-    assert state is not None, "worker initializer did not run"
+    state = _worker_state()
     delta: _WorkerDelta = pickle.loads(delta_bytes)
     insert = delta.op == "insert"
     rows_applied = 0

@@ -68,16 +68,15 @@ def slack(hypergraph: Hypergraph, u: Dict[VarSet, object],
     remaining = hypergraph.vertices - access
     if not remaining:
         return Fraction(10**9)  # effectively unbounded slack
-    best: Optional[Fraction] = None
+    totals = []
     for var in sorted(remaining):
         total = Fraction(0)
         for edge, weight in u.items():
             if var in edge:
                 total += Fraction(weight)
-        if best is None or total < best:
-            best = total
-    assert best is not None
-    return best
+        totals.append(total)
+    # ``remaining`` is nonempty here, so ``totals`` is too
+    return min(totals)
 
 
 def theorem_6_1(cqap: CQAP, u: Optional[Dict[VarSet, object]] = None,

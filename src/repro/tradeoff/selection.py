@@ -206,9 +206,33 @@ def evaluate_rules(rules: Sequence[TwoPhaseRule], model: CostModel,
     # single-shard ledger never touches it (crafted-estimate stubs in the
     # ledger unit tests carry no cqap)
     access = tuple(model.cqap.access) if shards > 1 else ()
+    estimates = [model.estimate_rule(rule) for rule in rules]
+    return route_estimates(estimates, space_budget, shards=shards,
+                           access=access)
+
+
+def route_estimates(estimates: Sequence[RuleEstimate],
+                    space_budget: Optional[float],
+                    shards: int = 1,
+                    access: Sequence[str] = (),
+                    ) -> Tuple[float, float, List[RuleEstimate], bool]:
+    """The pure ledger core of :func:`evaluate_rules`.
+
+    Takes already-priced estimates instead of a cost model, so routing is
+    a deterministic function of ``(estimates, space_budget, shards,
+    access)`` alone.  This is what lets the static plan verifier
+    (:mod:`repro.analysis.verify_plan`) re-derive a stored selection's
+    routes and ledger totals from its snapshot without re-running the
+    estimator: both the live selection and the verifier call this one
+    implementation.
+
+    Returns ``(estimated_space, estimated_time, routed_estimates,
+    over_budget)`` with ``routed_estimates`` parallel to ``estimates``.
+    """
+    shards = max(1, int(shards))
+    access = tuple(access) if shards > 1 else ()
     per_shard_budget = (None if space_budget is None
                         else space_budget / shards)
-    estimates = [model.estimate_rule(rule) for rule in rules]
     forced = [e for e in estimates if e.t_target is None]
     optional = [e for e in estimates if e.t_target is not None]
     forced.sort(key=lambda e: (e.s_space, e.rule.label))
@@ -260,7 +284,7 @@ def evaluate_rules(rules: Sequence[TwoPhaseRule], model: CostModel,
                 blocked = True
             time += est.t_time
             routed[est.rule] = est.routed("T")
-    return space, time, [routed[rule] for rule in rules], over
+    return space, time, [routed[est.rule] for est in estimates], over
 
 
 @dataclass

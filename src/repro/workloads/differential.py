@@ -307,7 +307,7 @@ def _run_update_replay(outcome: ScenarioOutcome, workload: Workload,
             auto_select_threshold=AUTO_SELECT_THRESHOLD,
             relation_backend=relation_backend,
             staleness_threshold=staleness_threshold,
-        ).preprocess()
+        ).preprocess(verify_plans=True)
     except PlanningError as exc:
         outcome.skips.append((path, f"PlanningError: {exc}"))
         return
@@ -408,7 +408,7 @@ def _run_update_replay(outcome: ScenarioOutcome, workload: Workload,
                 cqap, mirror.copy(), budget,
                 auto_select_threshold=AUTO_SELECT_THRESHOLD,
                 relation_backend=relation_backend,
-            ).preprocess()
+            ).preprocess(verify_plans=True)
         except PlanningError as exc:
             outcome.skips.append((f"{path}.rebuild",
                                   f"PlanningError: {exc}"))
@@ -487,7 +487,7 @@ def run_scenario(workload: Workload,
                     auto_select_threshold=AUTO_SELECT_THRESHOLD,
                     statistics=statistics,
                     relation_backend=backend,
-                ).preprocess()
+                ).preprocess(verify_plans=True)
             except PlanningError as exc:
                 # legitimately infeasible at this budget (S-only rules)
                 outcome.skips.append((path, f"PlanningError: {exc}"))
@@ -727,7 +727,7 @@ def run_abort_scenario(workload: Workload,
             cqap, db, RICH_BUDGET,
             auto_select_threshold=AUTO_SELECT_THRESHOLD,
             budget_slack=ABORT_SLACK,
-        ).preprocess()
+        ).preprocess(verify_plans=True)
     except PlanningError as exc:
         outcome.skips.append(("abort", f"PlanningError: {exc}"))
         return outcome

@@ -1,0 +1,18 @@
+"""REP001 bad twin: a counter guarded in one method, bare in another."""
+
+import threading
+
+
+class Scheduler:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.phases = 0
+
+    def record(self):
+        with self._lock:
+            self.calls += 1
+            self.phases += 1
+
+    def record_fast(self):
+        self.calls += 1  # mutated lock-free: REP001

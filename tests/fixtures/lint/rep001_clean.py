@@ -1,0 +1,19 @@
+"""REP001 clean twin: every post-__init__ mutation holds the lock."""
+
+import threading
+
+
+class Scheduler:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.phases = 0
+
+    def record(self):
+        with self._lock:
+            self.calls += 1
+            self.phases += 1
+
+    def record_fast(self):
+        with self._lock:
+            self.calls += 1

@@ -1,0 +1,16 @@
+"""REP002 bad twin: __eq__ charges shared counters (the PR 7 bug class)."""
+
+
+class Relationish:
+    def __init__(self, rows, counters):
+        self.rows = rows
+        self.counters = counters
+
+    def project(self, schema, counters=None):
+        target = counters or self.counters
+        target.scans += len(self.rows)  # noqa-irrelevant: not a dunder
+        return self.rows
+
+    def __eq__(self, other):
+        self.counters.probes += 1  # bump on shared state: REP002
+        return self.project(()) == other.project(())  # default counters: REP002

@@ -1,0 +1,20 @@
+"""REP002 clean twin: __eq__ uses an explicit throwaway Counters."""
+
+from repro.util.counters import Counters
+
+
+class Relationish:
+    def __init__(self, rows, counters):
+        self.rows = rows
+        self.counters = counters
+
+    def project(self, schema, counters=None):
+        target = counters or self.counters
+        target.scans += len(self.rows)
+        return self.rows
+
+    def __eq__(self, other):
+        throwaway = Counters()
+        throwaway.probes += 1
+        return (self.project((), counters=throwaway)
+                == other.project((), counters=throwaway))

@@ -1,0 +1,17 @@
+"""REP003 bad twin: a cache dropped by __getstate__ is read after unpickle."""
+
+
+class Payload:
+    def __init__(self, rows):
+        self.rows = rows
+        self._index = {r[0]: r for r in rows}
+
+    def __getstate__(self):
+        return (self.rows,)
+
+    def __setstate__(self, state):
+        (self.rows,) = state
+        # _index is never rebuilt
+
+    def lookup(self, key):
+        return self._index.get(key)  # crashes in a worker: REP003

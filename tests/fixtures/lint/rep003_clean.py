@@ -1,0 +1,20 @@
+"""REP003 clean twin: __setstate__ rebuilds the cache through a helper."""
+
+
+class Payload:
+    def __init__(self, rows):
+        self.rows = rows
+        self._reset_derived()
+
+    def _reset_derived(self):
+        self._index = {r[0]: r for r in self.rows}
+
+    def __getstate__(self):
+        return (self.rows,)
+
+    def __setstate__(self, state):
+        (self.rows,) = state
+        self._reset_derived()
+
+    def lookup(self, key):
+        return self._index.get(key)

@@ -1,0 +1,21 @@
+"""REP004 bad twin: stats() invents keys the envelope never declared."""
+
+
+def stats_envelope(**sections):
+    return dict(sections)
+
+
+class Layer:
+    def stats(self):
+        return stats_envelope(
+            query="q",
+            latency_p99=1.5,  # undeclared section: REP004
+        )
+
+
+class DictLayer:
+    def stats(self):
+        return {
+            "schema_version": 2,
+            "queue_depth": 4,  # undeclared key: REP004
+        }

@@ -1,0 +1,21 @@
+"""REP004 clean twin: stats() sticks to declared envelope sections."""
+
+
+def stats_envelope(**sections):
+    return dict(sections)
+
+
+class Layer:
+    def stats(self):
+        return stats_envelope(
+            query="q",
+            scheduler={"batch_calls": 0},
+        )
+
+
+class DictLayer:
+    def stats(self):
+        return {
+            "schema_version": 2,
+            "query": "q",
+        }

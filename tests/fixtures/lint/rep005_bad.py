@@ -1,0 +1,7 @@
+"""REP005 bad twin: a bare assert guarding a library invariant."""
+
+
+def choose(options):
+    best = max(options, default=None)
+    assert best is not None  # vanishes under -O: REP005
+    return best

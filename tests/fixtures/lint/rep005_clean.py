@@ -1,0 +1,8 @@
+"""REP005 clean twin: the invariant raises a typed error."""
+
+
+def choose(options):
+    best = max(options, default=None)
+    if best is None:
+        raise ValueError("no options to choose from")
+    return best

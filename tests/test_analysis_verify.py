@@ -1,0 +1,202 @@
+"""Tests for the static plan verifier (repro.analysis.verify_plan)."""
+
+import dataclasses
+
+import pytest
+
+from repro import catalog, path_database
+from repro.analysis.verify_plan import (
+    PlanVerificationError,
+    check_index,
+    verify_compiled_plans,
+    verify_index,
+    verify_selection,
+)
+from repro.core.index import CQAPIndex
+from repro.query.hypergraph import varset
+from repro.tradeoff.cost import RuleEstimate
+from repro.tradeoff.rules import TwoPhaseRule
+
+
+@pytest.fixture(scope="module")
+def built():
+    cqap = catalog.k_path_cqap(2)
+    db = path_database(k=2, n_edges=160, domain=40, seed=7)
+    index = CQAPIndex(cqap, db, space_budget=10.0 ** 6).preprocess()
+    return cqap, index
+
+
+def _fresh_index(space_budget=10.0 ** 6, **kwargs):
+    cqap = catalog.k_path_cqap(2)
+    db = path_database(k=2, n_edges=160, domain=40, seed=7)
+    return CQAPIndex(cqap, db, space_budget=space_budget, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def lean_built():
+    """A lean-budget build: rules route T, so compiled plans exist."""
+    index = _fresh_index(space_budget=2.0).preprocess()
+    assert any(step.plan is not None for step in index.compiled_online)
+    return index
+
+
+class TestGoodIndex:
+    def test_built_index_verifies_clean(self, built):
+        _cqap, index = built
+        assert verify_index(index) == []
+
+    def test_check_index_is_silent_on_clean(self, built):
+        _cqap, index = built
+        check_index(index)  # must not raise
+
+    def test_preprocess_verify_plans_kwarg(self):
+        index = _fresh_index().preprocess(verify_plans=True)
+        assert index.ready
+
+    def test_unpreprocessed_index_reports(self):
+        issues = verify_index(_fresh_index())
+        assert issues and "not preprocessed" in issues[0]
+
+    def test_selection_verifies_standalone(self, built):
+        cqap, index = built
+        assert verify_selection(index.selection, cqap) == []
+
+    def test_sharded_selection_verifies(self):
+        index = _fresh_index(shards=4).preprocess(verify_plans=True)
+        assert index.selection.shards == 4
+        assert verify_index(index) == []
+
+
+class TestCorruptedSelection:
+    """Deliberately corrupted SelectionResults must be rejected."""
+
+    def test_tampered_space_is_caught(self, built):
+        cqap, index = built
+        bad = dataclasses.replace(index.selection,
+                                  estimated_space=index.selection.estimated_space + 123.0)
+        issues = verify_selection(bad, cqap)
+        assert any("estimated_space" in i for i in issues)
+
+    def test_tampered_time_is_caught(self, built):
+        cqap, index = built
+        bad = dataclasses.replace(index.selection,
+                                  estimated_time=index.selection.estimated_time * 2 + 17.0)
+        issues = verify_selection(bad, cqap)
+        assert any("estimated_time" in i for i in issues)
+
+    def test_flipped_route_is_caught(self, built):
+        cqap, index = built
+        estimates = list(index.selection.estimates)
+        target = next(i for i, e in enumerate(estimates)
+                      if e.route in ("S", "T"))
+        flipped = "T" if estimates[target].route == "S" else "S"
+        estimates[target] = estimates[target].routed(flipped)
+        bad = dataclasses.replace(index.selection, estimates=estimates)
+        issues = verify_selection(bad, cqap)
+        assert any("route" in i for i in issues)
+
+    def test_flipped_over_budget_is_caught(self, built):
+        cqap, index = built
+        bad = dataclasses.replace(index.selection,
+                                  over_budget=not index.selection.over_budget)
+        issues = verify_selection(bad, cqap)
+        assert any("over_budget" in i for i in issues)
+
+    def test_dominated_rule_is_caught(self, built):
+        cqap, index = built
+        base = index.selection.rules[0]
+        # a strict componentwise superset of an existing rule's targets
+        extra = varset(cqap.access)
+        assert extra not in base.t_targets
+        dominated = TwoPhaseRule(base.s_targets,
+                                 base.t_targets | frozenset({extra}))
+        est = RuleEstimate(rule=dominated, s_target=None,
+                           s_space=float("inf"), t_target=extra,
+                           t_time=5.0).routed("T")
+        bad = dataclasses.replace(
+            index.selection,
+            rules=list(index.selection.rules) + [dominated],
+            estimates=list(index.selection.estimates) + [est],
+        )
+        issues = verify_selection(bad, cqap)
+        assert any("subset-minimal" in i for i in issues)
+
+    def test_foreign_target_is_caught(self, built):
+        cqap, index = built
+        alien = varset(("zz",))
+        rule = TwoPhaseRule(frozenset(), frozenset({alien}))
+        est = RuleEstimate(rule=rule, s_target=None, s_space=float("inf"),
+                           t_target=alien, t_time=3.0).routed("T")
+        bad = dataclasses.replace(
+            index.selection,
+            rules=list(index.selection.rules) + [rule],
+            estimates=list(index.selection.estimates) + [est],
+        )
+        issues = verify_selection(bad, cqap)
+        assert any("outside the query" in i for i in issues)
+        assert any("not a T-view schema" in i for i in issues)
+
+    def test_unparallel_estimates_are_caught(self, built):
+        cqap, index = built
+        bad = dataclasses.replace(index.selection,
+                                  estimates=index.selection.estimates[:-1] or [])
+        issues = verify_selection(bad, cqap)
+        assert any("not parallel" in i for i in issues)
+
+
+class TestCorruptedIndex:
+    def test_stale_stats_snapshot_is_caught(self):
+        index = _fresh_index().preprocess()
+        index.stats.selection = {**index.stats.selection, "selected_rules": 99}
+        issues = verify_index(index)
+        assert any("stale" in i for i in issues)
+
+    def test_wrong_stored_tuples_is_caught(self):
+        index = _fresh_index().preprocess()
+        index.stats.stored_tuples += 5
+        issues = verify_index(index)
+        assert any("stored_tuples" in i for i in issues)
+        with pytest.raises(PlanVerificationError) as exc:
+            check_index(index)
+        assert "stored_tuples" in str(exc.value)
+
+    def test_unpinned_participant_is_caught(self):
+        index = _fresh_index(space_budget=2.0).preprocess()
+        plan = next(step.plan for step in index.compiled_online
+                    if step.plan is not None)
+        part = next(p for level in plan.levels for p in level if p[5])
+        part[6] = None
+        issues = verify_compiled_plans(index.compiled_online)
+        assert any("no hash index pinned" in i for i in issues)
+
+    def test_pinned_request_slot_is_caught(self):
+        index = _fresh_index(space_budget=2.0).preprocess()
+        plan = next(step.plan for step in index.compiled_online
+                    if step.plan is not None)
+        culprit = None
+        for level in plan.levels:
+            for p in level:
+                if not p[5]:
+                    culprit = p
+        if culprit is None:
+            pytest.skip("no request-slot participant in this plan")
+        culprit[6] = {}
+        issues = verify_compiled_plans(index.compiled_online)
+        assert any("must never pin" in i for i in issues)
+
+
+class TestParticipantAccessor:
+    def test_iter_participants_matches_raw_specs(self, lean_built):
+        index = lean_built
+        for step in index.compiled_online:
+            if step.plan is None:
+                continue
+            specs = list(step.plan.iter_participants())
+            raw = [p for level in step.plan.levels for p in level]
+            assert len(specs) == len(raw)
+            for spec, part in zip(specs, raw):
+                assert spec.slot == part[0]
+                assert spec.bound_key == part[1]
+                assert spec.pinnable == part[5]
+                assert spec.index is part[6]
+                assert spec.membership_index is part[7]
