@@ -40,8 +40,10 @@ sys.path.insert(0, str(Path(__file__).parent))
 #: added the ``relation_backends`` axis to the engine payload (warm
 #: uncached throughput per relation backend: set vs columnar); v5 added
 #: the ``updates`` axis (single-tuple delta maintenance cost vs a full
-#: re-prepare)
-SCHEMA_VERSION = 5
+#: re-prepare); v6 added the ``observability`` axis to the serving payload
+#: (off-path overhead of the disabled tracing hooks, tracing overhead, and
+#: the observation contract: histogram counts vs probes served, exemplars)
+SCHEMA_VERSION = 6
 
 #: top-level keys every emitted payload must carry
 REQUIRED_KEYS = ("schema_version", "commit", "date", "benchmark",
@@ -55,7 +57,7 @@ REQUIRED_METRICS = {
     "rule_selection": ("planning", "budget_sweep", "estimator_accuracy"),
     "serving": ("baseline_probes_per_sec", "throughput_grid",
                 "best_speedup", "single_shard_overhead",
-                "process_grid", "process_scaling"),
+                "process_grid", "process_scaling", "observability"),
 }
 
 
@@ -131,6 +133,17 @@ def validate_payload(payload: dict) -> list:
                         "delta_speedup_vs_reprepare"):
                 if key not in updates:
                     problems.append(f"updates missing {key!r}")
+    if benchmark == "serving":
+        observability = metrics.get("observability")
+        if not isinstance(observability, dict):
+            problems.append("observability is not an object")
+        else:
+            for key in ("off_path_overhead", "tracing_overhead",
+                        "off_probes_per_sec", "on_probes_per_sec",
+                        "probes_served", "work_observations",
+                        "latency_observations", "exemplars"):
+                if key not in observability:
+                    problems.append(f"observability missing {key!r}")
     return problems
 
 
@@ -314,7 +327,9 @@ def main(argv=None) -> int:
           f"{sm['best_speedup']:.2f}x, single-shard overhead "
           f"{sm['single_shard_overhead']:+.1%}, process fleet "
           f"{sm['process_scaling']['speedup_4_vs_1']:.2f}x critical-path "
-          f"speedup at {sm['process_scaling']['shard_counts'][-1]} shards",
+          f"speedup at {sm['process_scaling']['shard_counts'][-1]} shards, "
+          f"tracing off-path {sm['observability']['off_path_overhead']:+.1%}"
+          f" / on {sm['observability']['tracing_overhead']:+.1%}",
           flush=True)
     return 0
 

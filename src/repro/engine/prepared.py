@@ -27,6 +27,8 @@ from repro.core.index import CQAPIndex
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.engine.cache import LRUCache
+from repro.obs import metrics_section, record_probe
+from repro.obs.trace import STATE as _OBS, TRACER
 from repro.query.cq import CQAP, normalize_access_binding
 from repro.util.counters import Counters
 
@@ -119,18 +121,33 @@ class PreparedQuery:
     # ------------------------------------------------------------------
     def probe(self, binding, counters: Optional[Counters] = None) -> Relation:
         """Answer one access binding; cached answers cost one dict lookup."""
+        observe = _OBS.enabled
+        start = time.perf_counter() if observe else 0.0
         key = self._normalize_binding(binding)
         with self._stats_lock:
             self.probes_served += 1
         cached = self.cache.get(key)
         if cached is not None:
+            if observe:
+                record_probe(key, "cache", 0,
+                             time.perf_counter() - start)
             return self._from_cache_payload(cached)
         ctr = counters or Counters()
+        span = base = None
+        if observe:
+            span = TRACER.start_span("engine.probe", binding=list(key))
+            base = ctr.copy()
         answer = self._index.answer(key, counters=ctr)
         with self._stats_lock:
             self.online_phases += 1
         if self.cache.capacity > 0:
             self.cache.put(key, (answer.schema, frozenset(answer.tuples)))
+        if observe:
+            work = ctr.delta_since(base).online_work
+            TRACER.finish_span(span, route="online", work=work)
+            record_probe(key, "online", work,
+                         time.perf_counter() - start,
+                         trace_id=span.trace_id)
         return answer
 
     def probe_boolean(self, binding,
@@ -160,6 +177,9 @@ class PreparedQuery:
         batched paths and dedupe savings show up in ``online_phases``,
         not in a silently smaller served count.
         """
+        observe = _OBS.enabled
+        start = time.perf_counter() if observe else 0.0
+        span = TRACER.start_span("engine.probe_many") if observe else None
         keys: List[Binding] = [self._normalize_binding(b) for b in bindings]
         unique = list(dict.fromkeys(keys))
         with self._stats_lock:
@@ -167,15 +187,22 @@ class PreparedQuery:
             self.probes_served += len(keys)
         results: Dict[Binding, Relation] = {}
         missing: List[Binding] = []
+        hit_keys: set = set()
         for key in unique:
             cached = self.cache.get(key)
             if cached is not None:
                 results[key] = self._from_cache_payload(cached)
+                if observe:
+                    hit_keys.add(key)
             else:
                 missing.append(key)
+        total_work = 0
         if missing:
             ctr = counters or Counters()
+            base = ctr.copy() if observe else None
             batched = self._index.answer(missing, counters=ctr)
+            if observe:
+                total_work = ctr.delta_since(base).online_work
             with self._stats_lock:
                 self.online_phases += 1
             access_pos = tuple(batched.schema.index(v)
@@ -192,6 +219,26 @@ class PreparedQuery:
                     self.cache.put(key, (batched.schema, rows))
                 results[key] = Relation(f"{self.cqap.name}_answer",
                                         batched.schema, rows)
+        if observe:
+            # one observation per *incoming* binding, matching the
+            # probes_served contract: duplicates route as "dedupe", hits
+            # as "cache", and the batch's online work amortizes evenly
+            # over the misses that shared the single online phase
+            elapsed = time.perf_counter() - start
+            amortized = total_work / len(missing) if missing else 0.0
+            seen: set = set()
+            for key in keys:
+                if key in seen:
+                    route, work = "dedupe", 0.0
+                elif key in hit_keys:
+                    route, work = "cache", 0.0
+                else:
+                    route, work = "online", amortized
+                seen.add(key)
+                record_probe(key, route, work, elapsed,
+                             trace_id=span.trace_id)
+            TRACER.finish_span(span, n_keys=len(keys),
+                               n_missing=len(missing), work=total_work)
         return results
 
     def probe_many_boolean(self, bindings: Iterable,
@@ -363,4 +410,5 @@ class PreparedQuery:
 
         return stats_envelope(query=self.cqap.name,
                               engine=self.engine_section(),
-                              updates=self.updates_section())
+                              updates=self.updates_section(),
+                              metrics=metrics_section())

@@ -1,0 +1,166 @@
+"""Fixed-bucket, log-spaced, mergeable histograms.
+
+The paper's guarantees are *per-probe* — answering time bounded by the
+tradeoff curve for every access request — so the observability layer needs
+distributions, not sums.  A :class:`Histogram` has a *frozen* bucket
+boundary vector fixed at construction; two histograms over the same
+boundaries merge by element-wise addition, which makes the merge exact,
+associative and commutative (the property the worker→parent merge in the
+process fleet relies on, and the one the hypothesis test pins).
+
+Bucket semantics follow Prometheus: bucket ``i`` counts observations with
+``value <= bounds[i]``; one implicit overflow bucket (``+Inf``) catches the
+rest.  Instances are plain picklable objects, so a worker-side histogram
+ships back to the parent inside a result tuple.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: wall-latency bounds: half-decades from 1 microsecond to ~31.6 seconds
+LATENCY_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** ((i - 12) / 2) for i in range(16)
+)
+
+#: intrinsic-work bounds (probes+scans+joins_emitted per probe): powers of
+#: four from 1 to ~1.07e9 — cache hits land in the first bucket (work 0)
+WORK_BUCKETS: Tuple[float, ...] = tuple(float(4 ** i) for i in range(16))
+
+
+class Histogram:
+    """A mergeable fixed-bucket histogram with exact counts.
+
+    ``bounds`` must be strictly increasing; it is frozen at construction
+    and two histograms only merge when their bounds are identical.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = WORK_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing, got {bounds}")
+        self.bounds: Tuple[float, ...] = bounds
+        #: per-bucket counts; the trailing slot is the +Inf overflow bucket
+        self.buckets: List[int] = [0] * (len(bounds) + 1)
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def record(self, value: float, n: int = 1) -> None:
+        """Add ``n`` observations of ``value``."""
+        if n <= 0:
+            return
+        value = float(value)
+        self.buckets[bisect_left(self.bounds, value)] += n
+        self.count += n
+        self.total += value * n
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Element-wise add ``other`` into this histogram (exact)."""
+        if self.bounds != other.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds: "
+                f"{self.bounds} vs {other.bounds}")
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.count += other.count
+        self.total += other.total
+        for attr, pick in (("min", min), ("max", max)):
+            theirs = getattr(other, attr)
+            if theirs is not None:
+                mine = getattr(self, attr)
+                setattr(self, attr,
+                        theirs if mine is None else pick(mine, theirs))
+        return self
+
+    def copy(self) -> "Histogram":
+        clone = Histogram(self.bounds)
+        clone.buckets = list(self.buckets)
+        clone.count = self.count
+        clone.total = self.total
+        clone.min = self.min
+        clone.max = self.max
+        return clone
+
+    def __add__(self, other: "Histogram") -> "Histogram":
+        return self.copy().merge(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (self.bounds == other.bounds
+                and self.buckets == other.buckets
+                and self.count == other.count
+                and self.total == other.total
+                and self.min == other.min
+                and self.max == other.max)
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, unhashable
+        raise TypeError("Histogram is mutable and unhashable")
+
+    # ------------------------------------------------------------------
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.buckets):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.buckets[-1]))
+        return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bucket bound at quantile ``q`` (0..1); None when empty.
+
+        A bucket estimate, not an exact order statistic: the answer is
+        the smallest bucket boundary whose cumulative count reaches
+        ``q * count`` (the overflow bucket reports the observed max).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        running = 0
+        for bound, n in zip(self.bounds, self.buckets):
+            running += n
+            if running >= target:
+                return bound
+        return self.max
+
+    def snapshot(self) -> Dict:
+        """JSON-able state: counts, sum, min/max, quantile estimates."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "buckets": [[bound, n]
+                        for bound, n in zip(self.bounds, self.buckets)],
+            "overflow": self.buckets[-1],
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram(count={self.count}, sum={self.total:g}, "
+                f"buckets={len(self.bounds)}+inf)")
+
+
+def merge_all(histograms: Iterable[Histogram],
+              bounds: Sequence[float] = WORK_BUCKETS) -> Histogram:
+    """Fold many histograms into one fresh accumulator."""
+    acc = Histogram(bounds)
+    for h in histograms:
+        acc.merge(h)
+    return acc

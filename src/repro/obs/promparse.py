@@ -1,0 +1,224 @@
+"""A minimal, dependency-free Prometheus text-exposition parser.
+
+Exists so CI can *validate* what :meth:`~repro.obs.registry.
+MetricsRegistry.render_prometheus` emits without installing a Prometheus
+client: the benchmark-smoke job serves a short workload with tracing on,
+scrapes the exposition, and runs :func:`validate_exposition` over it.
+The parser accepts the subset of the format the registry produces (and
+any well-formed exposition using it): ``# HELP`` / ``# TYPE`` comments,
+samples with optional ``{label="value"}`` bodies, and histogram series
+(``_bucket``/``_sum``/``_count``).
+
+Validation is strict where a scrape consumer would break:
+
+* every sample line must parse and belong to a ``# TYPE``-declared family
+  (histogram suffixes resolve to their base family);
+* histogram bucket series must be cumulative (non-decreasing in ``le``),
+  must end with an ``le="+Inf"`` bucket, and that bucket must equal the
+  family's ``_count`` sample for the same label set;
+* counter values must be non-negative and finite.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+Sample = Tuple[str, Dict[str, str], float]
+
+
+class ExpositionError(ValueError):
+    """The exposition text violates the format (line number included)."""
+
+
+def _parse_labels(body: str, lineno: int) -> Dict[str, str]:
+    """Parse the inside of one ``{...}`` label body (handles escapes)."""
+    labels: Dict[str, str] = {}
+    i, n = 0, len(body)
+    while i < n:
+        eq = body.find("=", i)
+        if eq < 0:
+            raise ExpositionError(
+                f"line {lineno}: malformed label body {body!r}")
+        name = body[i:eq].strip()
+        if not re.match(r"^[a-zA-Z_][a-zA-Z0-9_]*$", name):
+            raise ExpositionError(
+                f"line {lineno}: invalid label name {name!r}")
+        i = eq + 1
+        if i >= n or body[i] != '"':
+            raise ExpositionError(
+                f"line {lineno}: label {name!r} value is not quoted")
+        i += 1
+        chars: List[str] = []
+        while i < n:
+            ch = body[i]
+            if ch == "\\":
+                if i + 1 >= n:
+                    raise ExpositionError(
+                        f"line {lineno}: dangling escape in label value")
+                esc = body[i + 1]
+                chars.append({"n": "\n", "\\": "\\", '"': '"'}
+                             .get(esc, esc))
+                i += 2
+                continue
+            if ch == '"':
+                break
+            chars.append(ch)
+            i += 1
+        else:
+            raise ExpositionError(
+                f"line {lineno}: unterminated label value for {name!r}")
+        labels[name] = "".join(chars)
+        i += 1  # past the closing quote
+        if i < n:
+            if body[i] != ",":
+                raise ExpositionError(
+                    f"line {lineno}: expected ',' between labels, got "
+                    f"{body[i]!r}")
+            i += 1
+    return labels
+
+
+def _parse_value(token: str, lineno: int) -> float:
+    token = token.strip()
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    try:
+        return float(token)
+    except ValueError:
+        raise ExpositionError(
+            f"line {lineno}: unparseable sample value {token!r}") from None
+
+
+def parse_exposition(text: str) -> Dict[str, Dict]:
+    """Parse an exposition into ``{family: {type, help, samples}}``.
+
+    ``samples`` preserves file order as ``(sample_name, labels, value)``
+    tuples; histogram series samples attach to their base family name.
+    """
+    families: Dict[str, Dict] = {}
+
+    def family(name: str) -> Dict:
+        return families.setdefault(
+            name, {"type": None, "help": None, "samples": []})
+
+    def base_family(sample_name: str) -> str:
+        for suffix in _HIST_SUFFIXES:
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if families.get(base, {}).get("type") == "histogram":
+                    return base
+        return sample_name
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                if not _NAME_RE.match(name):
+                    raise ExpositionError(
+                        f"line {lineno}: invalid metric name {name!r}")
+                if parts[1] == "HELP":
+                    family(name)["help"] = parts[3] if len(parts) > 3 \
+                        else ""
+                else:
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                        raise ExpositionError(
+                            f"line {lineno}: unknown metric type "
+                            f"{kind!r}")
+                    family(name)["type"] = kind
+            continue
+        match = re.match(
+            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)"
+            r"(?:\s+\d+)?$", line)
+        if not match:
+            raise ExpositionError(
+                f"line {lineno}: unparseable sample line {line!r}")
+        sample_name, label_body, value_token = match.groups()
+        labels = _parse_labels(label_body, lineno) if label_body else {}
+        value = _parse_value(value_token, lineno)
+        family(base_family(sample_name))["samples"].append(
+            (sample_name, labels, value))
+    return families
+
+
+def _labelset_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+
+
+def validate_exposition(text: str) -> Dict[str, Dict]:
+    """Parse *and* check scrape-consumer invariants; returns the parse.
+
+    Raises :class:`ExpositionError` naming the first violation.
+    """
+    families = parse_exposition(text)
+    for name, info in families.items():
+        kind = info["type"]
+        if kind is None:
+            raise ExpositionError(
+                f"family {name!r} has samples but no # TYPE line")
+        if kind == "histogram":
+            _validate_histogram(name, info["samples"])
+        elif kind == "counter":
+            for sample_name, labels, value in info["samples"]:
+                if value < 0 or math.isinf(value) or math.isnan(value):
+                    raise ExpositionError(
+                        f"counter {sample_name}{labels} has invalid "
+                        f"value {value}")
+    return families
+
+
+def _validate_histogram(name: str, samples: List[Sample]) -> None:
+    buckets: Dict[Tuple, List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple, float] = {}
+    sums: Dict[Tuple, float] = {}
+    for sample_name, labels, value in samples:
+        key = _labelset_key(labels)
+        if sample_name == f"{name}_bucket":
+            le = labels.get("le")
+            if le is None:
+                raise ExpositionError(
+                    f"histogram {name} bucket sample missing 'le'")
+            bound = math.inf if le == "+Inf" else float(le)
+            buckets.setdefault(key, []).append((bound, value))
+        elif sample_name == f"{name}_count":
+            counts[key] = value
+        elif sample_name == f"{name}_sum":
+            sums[key] = value
+        else:
+            raise ExpositionError(
+                f"histogram {name} has stray sample {sample_name!r}")
+    for key, series in buckets.items():
+        series.sort(key=lambda bv: bv[0])
+        running: Optional[float] = None
+        for bound, value in series:
+            if running is not None and value < running:
+                raise ExpositionError(
+                    f"histogram {name}{dict(key)} buckets are not "
+                    f"cumulative at le={bound}")
+            running = value
+        if series[-1][0] != math.inf:
+            raise ExpositionError(
+                f"histogram {name}{dict(key)} is missing the le=\"+Inf\" "
+                "bucket")
+        if key not in counts:
+            raise ExpositionError(
+                f"histogram {name}{dict(key)} is missing a _count sample")
+        if key not in sums:
+            raise ExpositionError(
+                f"histogram {name}{dict(key)} is missing a _sum sample")
+        if counts[key] != series[-1][1]:
+            raise ExpositionError(
+                f"histogram {name}{dict(key)} _count {counts[key]} != "
+                f"+Inf bucket {series[-1][1]}")

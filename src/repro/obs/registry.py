@@ -1,0 +1,350 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+Every serving layer — engine, scheduler, sharding, fleet, updates —
+publishes into the module-level :data:`REGISTRY` when observability is
+enabled (:mod:`repro.obs`).  Metrics follow the Prometheus data model:
+
+* a metric *family* has a name, a type, a help string and a fixed set of
+  label names;
+* each distinct label-value combination is a *child* holding the actual
+  value (or :class:`~repro.obs.hist.Histogram`);
+* :meth:`MetricsRegistry.render_prometheus` emits the text exposition
+  format (``# HELP`` / ``# TYPE`` + samples; histograms as cumulative
+  ``_bucket{le=...}`` series with ``_sum``/``_count``), and
+  :meth:`MetricsRegistry.render_json` the equivalent JSON document.
+
+All mutation goes through a per-family lock, so concurrent scheduler
+threads never lose increments.  The registry itself does nothing unless
+some layer publishes into it — the enable flag lives in
+:mod:`repro.obs.trace` and is checked by the instrumented layers, not
+here.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.hist import WORK_BUCKETS, Histogram
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt(value: float) -> str:
+    """A sample value in exposition form (ints unadorned, floats repr)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value)
+
+
+def _label_suffix(labelnames: Tuple[str, ...],
+                  labelvalues: Tuple[str, ...],
+                  extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = list(zip(labelnames, labelvalues)) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+class _Family:
+    """Shared plumbing: name/help/labels, child table, one lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str]) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        labelnames = tuple(labelnames)
+        for label in labelnames:
+            if not _LABEL_RE.match(label) or label == "le":
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help_text
+        self.labelnames = labelnames
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labelvalues: object):
+        """The child at this label combination (created on first use)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels "
+                f"{sorted(self.labelnames)}, got {sorted(labelvalues)}")
+        key = tuple(str(labelvalues[label]) for label in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def _default_child(self):
+        """The no-label child, for unlabeled convenience calls."""
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name!r} has labels "
+                f"{sorted(self.labelnames)}; call .labels(...) first")
+        return self.labels()
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up, got inc({n})")
+        with self._lock:
+            self.value += n
+
+
+class Counter(_Family):
+    """A monotonically increasing value (optionally labeled)."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild(self._lock)
+
+    def inc(self, n: float = 1) -> None:
+        self._default_child().inc(n)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def dec(self, n: float = 1) -> None:
+        with self._lock:
+            self.value -= n
+
+
+class Gauge(_Family):
+    """A value that can go up and down (optionally labeled)."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild(self._lock)
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, n: float = 1) -> None:
+        self._default_child().inc(n)
+
+    def dec(self, n: float = 1) -> None:
+        self._default_child().dec(n)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "hist")
+
+    def __init__(self, lock: threading.Lock,
+                 bounds: Tuple[float, ...]) -> None:
+        self._lock = lock
+        self.hist = Histogram(bounds)
+
+    def observe(self, value: float, n: int = 1) -> None:
+        with self._lock:
+            self.hist.record(value, n)
+
+    def merge(self, other: Histogram) -> None:
+        """Exact worker→parent merge of a shipped histogram."""
+        with self._lock:
+            self.hist.merge(other)
+
+    def snapshot(self) -> Histogram:
+        with self._lock:
+            return self.hist.copy()
+
+
+class HistogramFamily(_Family):
+    """A labeled family of fixed-bucket histograms (shared bounds)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str],
+                 bounds: Sequence[float] = WORK_BUCKETS) -> None:
+        super().__init__(name, help_text, labelnames)
+        self.bounds = tuple(float(b) for b in bounds)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self._lock, self.bounds)
+
+    def observe(self, value: float, n: int = 1) -> None:
+        self._default_child().observe(value, n)
+
+    def merge(self, other: Histogram) -> None:
+        self._default_child().merge(other)
+
+    def merged(self) -> Histogram:
+        """One histogram folding every labeled child together (exact)."""
+        acc = Histogram(self.bounds)
+        for _key, child in self.children():
+            acc.merge(child.snapshot())
+        return acc
+
+
+class MetricsRegistry:
+    """Name → metric family table with idempotent get-or-create."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help_text: str,
+                       labelnames: Sequence[str], **kwargs) -> _Family:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                if existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}, not {tuple(labelnames)}")
+                return existing
+            family = cls(name, help_text, labelnames, **kwargs)
+            self._metrics[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (),
+                  bounds: Sequence[float] = WORK_BUCKETS,
+                  ) -> HistogramFamily:
+        family = self._get_or_create(HistogramFamily, name, help_text,
+                                     labelnames, bounds=bounds)
+        if family.bounds != tuple(float(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{family.bounds}")
+        return family
+
+    def get(self, name: str) -> Optional[_Family]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Drop every registered family (a fresh observation window)."""
+        with self._lock:
+            self._metrics = {}
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def collect(self) -> Dict:
+        """JSON-able snapshot of every family and child."""
+        out: Dict = {}
+        for family in self.families():
+            samples = []
+            for key, child in family.children():
+                labels = dict(zip(family.labelnames, key))
+                if family.kind == "histogram":
+                    samples.append({"labels": labels,
+                                    **child.snapshot().snapshot()})
+                else:
+                    samples.append({"labels": labels,
+                                    "value": child.value})
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return out
+
+    def _exposition_lines(self) -> Iterator[str]:
+        for family in self.families():
+            if family.help:
+                yield f"# HELP {family.name} {family.help}"
+            yield f"# TYPE {family.name} {family.kind}"
+            for key, child in family.children():
+                if family.kind == "histogram":
+                    hist = child.snapshot()
+                    for bound, running in hist.cumulative():
+                        le = "+Inf" if bound == float("inf") \
+                            else _fmt(bound)
+                        suffix = _label_suffix(family.labelnames, key,
+                                               (("le", le),))
+                        yield (f"{family.name}_bucket{suffix} "
+                               f"{running}")
+                    suffix = _label_suffix(family.labelnames, key)
+                    yield f"{family.name}_sum{suffix} {_fmt(hist.total)}"
+                    yield f"{family.name}_count{suffix} {hist.count}"
+                else:
+                    suffix = _label_suffix(family.labelnames, key)
+                    yield f"{family.name}{suffix} {_fmt(child.value)}"
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition of every registered metric."""
+        return "\n".join(self._exposition_lines()) + "\n"
+
+    def render_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.collect(), indent=indent, sort_keys=True)
+
+
+#: The process-wide registry every instrumented layer publishes into.
+REGISTRY = MetricsRegistry()

@@ -32,11 +32,15 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.data.relation import Relation
 from repro.engine.cache import LRUCache
+from repro.obs import metrics_section, record_probe
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import STATE as _OBS, TRACER
 from repro.serving.sharding import Binding, merge_counters
 from repro.serving.stats import stats_envelope
 from repro.util.counters import Counters
@@ -168,16 +172,22 @@ class BatchScheduler:
         per-probe cost.
         """
         backend = self.backend_obj
+        observe = _OBS.enabled
+        start = time.perf_counter() if observe else 0.0
+        span = TRACER.start_span("scheduler.batch") if observe else None
         keys = [backend.normalize(b) for b in bindings]
         unique = list(dict.fromkeys(keys))
         results: Dict[Binding, Relation] = {}
         groups: Dict[int, List[Binding]] = {}
         hits = 0
+        hit_keys: set = set()
         for key in unique:
             cached = self.cache.get(key)
             if cached is not None:
                 results[key] = cached
                 hits += 1
+                if observe:
+                    hit_keys.add(key)
             else:
                 groups.setdefault(backend.shard_of(key),
                                   []).append(key)
@@ -187,22 +197,46 @@ class BatchScheduler:
             self.unique_probes += len(unique)
             self.cache_served += hits
         missing = sum(len(group) for group in groups.values())
+        # propagate the trace context to backends that understand it (the
+        # process fleet rides it over the pickle boundary; the thread
+        # backend stamps in-process child spans)
+        ctx = (span.trace_id, span.span_id) if observe and getattr(
+            backend, "supports_trace_ctx", False) else None
+        ordered = sorted(groups.items())
+        dispatch_start = time.perf_counter() if observe else 0.0
         if self._submit_group is not None and groups:
             # process backend: submit every group before collecting any
             # result, so the worker processes overlap
-            futures = [self._submit_group(shard_id, group)
-                       for shard_id, group in sorted(groups.items())]
+            if ctx is not None:
+                futures = [self._submit_group(shard_id, group,
+                                              trace_ctx=ctx)
+                           for shard_id, group in ordered]
+            else:
+                futures = [self._submit_group(shard_id, group)
+                           for shard_id, group in ordered]
             parts = [future.result() for future in futures]
         elif len(groups) <= 1 or missing < self.inline_threshold:
             # one home shard, or too few misses to be worth dispatching
-            parts = [backend.answer_group(shard_id, group)
-                     for shard_id, group in sorted(groups.items())]
+            if ctx is not None:
+                parts = [backend.answer_group(shard_id, group,
+                                              trace_ctx=ctx)
+                         for shard_id, group in ordered]
+            else:
+                parts = [backend.answer_group(shard_id, group)
+                         for shard_id, group in ordered]
         else:
             pool = self._pool_handle()
-            parts = list(pool.map(
-                lambda item: backend.answer_group(item[0], item[1]),
-                sorted(groups.items()),
-            ))
+            if ctx is not None:
+                parts = list(pool.map(
+                    lambda item: backend.answer_group(item[0], item[1],
+                                                      trace_ctx=ctx),
+                    ordered,
+                ))
+            else:
+                parts = list(pool.map(
+                    lambda item: backend.answer_group(item[0], item[1]),
+                    ordered,
+                ))
         with self._stats_lock:
             self.shard_phases += len(groups)
         for answered, ctr in parts:
@@ -211,7 +245,49 @@ class BatchScheduler:
             for key, relation in answered.items():
                 results[key] = relation
                 self.cache.put(key, relation)
+        if observe:
+            self._record_batch(span, keys, hit_keys, ordered, parts,
+                               time.perf_counter() - dispatch_start,
+                               time.perf_counter() - start)
         return keys, [results[key] for key in keys]
+
+    def _record_batch(self, span, keys, hit_keys, ordered, parts,
+                      dispatch_seconds: float, elapsed: float) -> None:
+        """Publish one batch's spans, per-probe observations, counters."""
+        backend = self.backend_obj
+        shard_states = getattr(backend, "shards", None)
+        route_of: Dict[Binding, Tuple[float, int]] = {}
+        total_work = 0
+        for (shard_id, group), (_answered, ctr) in zip(ordered, parts):
+            work = ctr.online_work
+            total_work += work
+            TRACER.add_span(
+                "scheduler.dispatch", trace_id=span.trace_id,
+                parent_id=span.span_id, duration=dispatch_seconds,
+                attrs={"shard": shard_id, "n_keys": len(group),
+                       "work": work})
+            amortized = work / len(group) if group else 0.0
+            for key in group:
+                route_of[key] = (amortized, shard_id)
+        seen: set = set()
+        for key in keys:
+            shard = pid = None
+            if key in seen:
+                route, work = "dedupe", 0.0
+            elif key in hit_keys:
+                route, work = "cache", 0.0
+            else:
+                amortized, shard = route_of[key]
+                route, work = "shard", amortized
+                if shard_states is not None:
+                    pid = getattr(shard_states[shard], "pid", None)
+            seen.add(key)
+            record_probe(key, route, work, elapsed, shard=shard,
+                         pid=pid, trace_id=span.trace_id)
+        TRACER.finish_span(span, n_keys=len(keys), n_groups=len(ordered),
+                           work=total_work)
+        REGISTRY.counter("repro_batches_total",
+                         "probe batches the scheduler executed").inc()
 
     def run_boolean(self, bindings: Iterable) -> List[bool]:
         """Batched Boolean variant, input order preserved."""
@@ -255,5 +331,6 @@ class BatchScheduler:
             backend=getattr(backend, "backend", None),
             scheduler=self.scheduler_section(),
             updates=updates_section() if updates_section else None,
+            metrics=metrics_section(),
             shards=shard_sections() if shard_sections else (),
         )

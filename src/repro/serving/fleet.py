@@ -49,11 +49,16 @@ from repro.core.index import CQAPIndex
 from repro.core.online_yannakakis import OnlineYannakakis
 from repro.core.two_phase import TwoPhaseExecutor
 from repro.data.relation import Relation
+from repro.obs import metrics_section
+from repro.obs.hist import WORK_BUCKETS, Histogram
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import TRACER, new_id
 from repro.query.cq import normalize_access_binding
 from repro.serving.sharding import (
     Binding,
     ShardPayload,
     access_hash,
+    merge_counters,
     partition_prefixes,
     shard_payloads,
     split_by_binding,
@@ -148,13 +153,21 @@ def _worker_ping() -> Dict:
 
 
 def _serve_group(keys: Sequence[Binding],
+                 trace_ctx: Optional[Tuple[str, str]] = None,
                  ) -> Tuple[Tuple[str, ...], Dict[Binding, frozenset],
-                            Counters, float]:
+                            Counters, float, Optional[Dict]]:
     """Answer one probe group in-worker; ships rows, counters, CPU time.
 
     Mirrors :meth:`ShardedIndex.answer_on_shard` + the per-binding split,
     but returns plain ``frozenset`` row sets instead of Relations — the
     parent rebuilds Relations once, so no index caches ever cross back.
+
+    ``trace_ctx`` is the scheduler's (trace id, parent span id) pair,
+    riding the pickled submission; when present the worker additionally
+    ships an observability payload — its own child span (stamped with
+    this process's pid and CPU ``process_time``) and a group-local
+    intrinsic-work histogram the parent merges exactly into
+    ``repro_worker_probe_work``.
     """
     state = _worker_state()
     t0 = time.process_time()
@@ -178,8 +191,27 @@ def _serve_group(keys: Sequence[Binding],
     }
     state.probes_served += len(keys)
     state.online_phases += 1
-    return (batched.schema, per_key, ctr,
-            time.process_time() - t0)
+    cpu = time.process_time() - t0
+    obs_payload: Optional[Dict] = None
+    if trace_ctx is not None:
+        trace_id, parent_id = trace_ctx
+        work_hist = Histogram(WORK_BUCKETS)
+        amortized = ctr.online_work / len(keys) if keys else 0.0
+        work_hist.record(amortized, n=len(keys))
+        obs_payload = {
+            "span": {
+                "name": "worker.serve_group",
+                "trace_id": trace_id,
+                "parent_id": parent_id,
+                "span_id": new_id("w"),
+                "duration": cpu,
+                "attrs": {"shard": state.shard_id, "pid": os.getpid(),
+                          "process_time": cpu, "n_keys": len(keys),
+                          "work": ctr.online_work},
+            },
+            "work_hist": work_hist,
+        }
+    return batched.schema, per_key, ctr, cpu, obs_payload
 
 
 @dataclass
@@ -338,6 +370,9 @@ class ProcessShardFleet:
     """
 
     backend = "process"
+    #: the scheduler may pass ``trace_ctx=`` to ``submit_group`` /
+    #: ``answer_group``; it rides the pickled submission to the worker
+    supports_trace_ctx = True
 
     def __init__(self, index: CQAPIndex, n_shards: int = 4,
                  mp_context: Optional[str] = None) -> None:
@@ -438,6 +473,7 @@ class ProcessShardFleet:
             ) from exc
 
     def submit_group(self, shard_id: int, group: Sequence[Binding],
+                     trace_ctx: Optional[Tuple[str, str]] = None,
                      ) -> _FleetFuture:
         """Dispatch one shard group to its worker; returns a future.
 
@@ -447,26 +483,44 @@ class ProcessShardFleet:
         """
         keys = list(group)
         pool = self._pools[shard_id]
-        future = self._guard(shard_id, lambda: pool.submit(_serve_group,
-                                                           keys))
+        future = self._guard(
+            shard_id, lambda: pool.submit(_serve_group, keys, trace_ctx))
         return _FleetFuture(self, shard_id, keys, future)
 
     def answer_group(self, shard_id: int, group: Sequence[Binding],
+                     trace_ctx: Optional[Tuple[str, str]] = None,
                      ) -> Tuple[Dict[Binding, Relation], Counters]:
         """Synchronous backend contract: submit and wait."""
-        return self.submit_group(shard_id, group).result()
+        return self.submit_group(shard_id, group,
+                                 trace_ctx=trace_ctx).result()
 
     def _collect(self, shard_id: int, keys: List[Binding], future,
                  ) -> Tuple[Dict[Binding, Relation], Counters]:
-        schema, per_key, ctr, cpu = self._guard(shard_id, future.result)
+        schema, per_key, ctr, cpu, obs_payload = self._guard(
+            shard_id, future.result)
         state = self.shards[shard_id]
         state.probes_served += len(keys)
         state.online_phases += 1
         state.cpu_seconds += cpu
-        state.counters.probes += ctr.probes
-        state.counters.scans += ctr.scans
-        state.counters.stores += ctr.stores
-        state.counters.joins_emitted += ctr.joins_emitted
+        merge_counters(state.counters, ctr)
+        if obs_payload is not None:
+            span = obs_payload["span"]
+            TRACER.add_span(span["name"], trace_id=span["trace_id"],
+                            parent_id=span["parent_id"],
+                            span_id=span["span_id"],
+                            duration=span["duration"],
+                            attrs=span["attrs"])
+            REGISTRY.histogram(
+                "repro_worker_probe_work",
+                "per-probe intrinsic work recorded inside the worker "
+                "processes, merged worker-to-parent",
+                ("shard",), bounds=WORK_BUCKETS,
+            ).labels(shard=shard_id).merge(obs_payload["work_hist"])
+            REGISTRY.counter(
+                "repro_shard_groups_total",
+                "shard groups served, by backend and shard",
+                ("backend", "shard"),
+            ).labels(backend="process", shard=shard_id).inc()
         name = f"{self.cqap.name}_answer"
         return {
             key: Relation(name, schema, per_key[key]) for key in keys
@@ -478,10 +532,7 @@ class ProcessShardFleet:
         key = self.normalize(binding)
         answered, ctr = self.answer_group(self.shard_of(key), [key])
         if counters is not None:
-            counters.probes += ctr.probes
-            counters.scans += ctr.scans
-            counters.stores += ctr.stores
-            counters.joins_emitted += ctr.joins_emitted
+            merge_counters(counters, ctr)
         return answered[key]
 
     # ------------------------------------------------------------------
@@ -639,5 +690,6 @@ class ProcessShardFleet:
             backend=self.backend,
             engine=self.engine_section(),
             updates=self.updates_section(),
+            metrics=metrics_section(),
             shards=self.shard_sections(),
         )

@@ -31,6 +31,9 @@ from collections import deque
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.data.relation import Relation
+from repro.obs import metrics_section
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import STATE as _OBS
 from repro.serving.batching import BatchScheduler
 from repro.serving.stats import stats_envelope
 
@@ -122,6 +125,12 @@ class Server:
             keys, answers = self.scheduler.run_keyed(batch)
             self.batches_served += 1
             self.probes_served += len(batch)
+            if _OBS.enabled:
+                REGISTRY.counter("repro_server_batches_total",
+                                 "stream batches the server executed").inc()
+                REGISTRY.counter("repro_server_probes_total",
+                                 "probe bindings the server served",
+                                 ).inc(len(batch))
             yield from zip(keys, answers)
 
     def serve_all(self, workload_stream: Iterable,
@@ -154,5 +163,6 @@ class Server:
             scheduler=self.scheduler.scheduler_section(),
             server=self.server_section(),
             updates=updates_section() if updates_section else None,
+            metrics=metrics_section(),
             shards=shard_sections() if shard_sections else (),
         )

@@ -43,6 +43,7 @@ reproducible across processes (Python's builtin string hash is salted).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -50,6 +51,9 @@ from repro.core.index import CQAPIndex
 from repro.core.online_yannakakis import OnlineYannakakis
 from repro.core.two_phase import TwoPhaseExecutor
 from repro.data.relation import Relation, stable_hash
+from repro.obs import metrics_section
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import STATE as _OBS, TRACER
 from repro.query.cq import normalize_access_binding
 from repro.query.hypergraph import VarSet
 from repro.serving.stats import stats_envelope
@@ -265,6 +269,8 @@ class ShardedIndex:
 
     #: backend-contract tag: in-process shards, dispatched on threads
     backend = "thread"
+    #: the scheduler may pass ``trace_ctx=`` to :meth:`answer_group`
+    supports_trace_ctx = True
 
     def __init__(self, index: CQAPIndex, n_shards: int = 4) -> None:
         if not index.ready:
@@ -491,16 +497,35 @@ class ShardedIndex:
         return Relation(f"{self.cqap.name}_answer", head, out_rows)
 
     def answer_group(self, shard_id: int, group: Sequence[Binding],
+                     trace_ctx: Optional[Tuple[str, str]] = None,
                      ) -> Tuple[Dict[Binding, Relation], Counters]:
         """One shard's online phase for a group, split back per binding.
 
         This is the synchronous half of the backend contract the
         :class:`~repro.serving.batching.BatchScheduler` dispatches
         against; the process fleet implements the same method (plus an
-        asynchronous ``submit_group``) against its workers.
+        asynchronous ``submit_group``) against its workers.  When the
+        scheduler hands down a ``trace_ctx`` (trace id, parent span id),
+        the shard's serve stamps a child span and the per-shard group
+        counter into the observability layer.
         """
         ctr = Counters()
-        batched = self.answer_on_shard(shard_id, group, counters=ctr)
+        if trace_ctx is not None and _OBS.enabled:
+            trace_id, parent_id = trace_ctx
+            span = TRACER.start_span("shard.serve_group",
+                                     trace_id=trace_id,
+                                     parent_id=parent_id,
+                                     shard=shard_id, pid=os.getpid(),
+                                     n_keys=len(group))
+            batched = self.answer_on_shard(shard_id, group, counters=ctr)
+            TRACER.finish_span(span, work=ctr.online_work)
+            REGISTRY.counter(
+                "repro_shard_groups_total",
+                "shard groups served, by backend and shard",
+                ("backend", "shard"),
+            ).labels(backend="thread", shard=shard_id).inc()
+        else:
+            batched = self.answer_on_shard(shard_id, group, counters=ctr)
         return split_by_binding(batched, self.access, group), ctr
 
     def probe(self, binding,
@@ -573,5 +598,6 @@ class ShardedIndex:
             backend=self.backend,
             engine=self.engine_section(),
             updates=self.updates_section(),
+            metrics=metrics_section(),
             shards=self.shard_sections(),
         )

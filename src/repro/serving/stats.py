@@ -9,13 +9,14 @@ server.Server` and :class:`~repro.serving.fleet.ProcessShardFleet` — now
 returns one envelope::
 
     {
-        "schema_version": 2,
+        "schema_version": 3,
         "query": <cqap name or None>,
         "backend": <"thread" | "process" | None>,
         "engine": <prepare/selection/planner section or None>,
         "scheduler": <dedupe/cache/dispatch section or None>,
         "server": <stream/backpressure section or None>,
         "updates": <delta/reselection/eviction section or None>,
+        "metrics": <observability snapshot or None>,
         "shards": [<per-shard lifecycle snapshot>, ...],
     }
 
@@ -24,6 +25,12 @@ fronts a :class:`~repro.core.index.CQAPIndex` reports the index's delta
 accounting (inserts/deletes/deltas_applied/reselections) merged with its
 own coherence counters (cache keys invalidated, shard rebuilds, rows
 routed to shard partitions).
+
+Schema version 3 (PR 10) added the ``metrics`` section: the
+observability layer's snapshot (:func:`repro.obs.metrics_section` —
+per-probe latency/work histograms, route counters, slow-probe
+exemplars).  It is ``None`` whenever observability never recorded during
+the envelope's window, so the disabled hot path stays free.
 
 A layer fills the sections it owns and leaves the rest ``None`` (or ``[]``
 for ``shards``); the top-of-stack :meth:`Server.stats` fills all of them.
@@ -36,7 +43,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 #: bump when the envelope's required keys or their meaning change
-STATS_SCHEMA_VERSION = 2
+STATS_SCHEMA_VERSION = 3
 
 #: keys every envelope carries, whatever layer produced it
 REQUIRED_KEYS = (
@@ -47,6 +54,7 @@ REQUIRED_KEYS = (
     "scheduler",
     "server",
     "updates",
+    "metrics",
     "shards",
 )
 
@@ -58,6 +66,7 @@ def stats_envelope(
     scheduler: Optional[Dict] = None,
     server: Optional[Dict] = None,
     updates: Optional[Dict] = None,
+    metrics: Optional[Dict] = None,
     shards: Iterable[Dict] = (),
 ) -> Dict:
     """Assemble one schema-versioned stats payload."""
@@ -69,6 +78,7 @@ def stats_envelope(
         "scheduler": scheduler,
         "server": server,
         "updates": updates,
+        "metrics": metrics,
         "shards": list(shards),
     }
 
@@ -90,7 +100,7 @@ def validate_stats(payload: Dict) -> Dict:
         raise ValueError(
             f"stats schema_version {payload['schema_version']!r} != "
             f"{STATS_SCHEMA_VERSION} (regenerate the producer)")
-    for section in ("engine", "scheduler", "server", "updates"):
+    for section in ("engine", "scheduler", "server", "updates", "metrics"):
         value = payload[section]
         if value is not None and not isinstance(value, dict):
             raise ValueError(f"stats section {section!r} must be a dict "

@@ -75,6 +75,8 @@ from repro.core.joins import project_join
 from repro.core.split import HEAVY, LIGHT, Subproblem
 from repro.core.two_phase import S_PHASE
 from repro.data.relation import Relation
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import STATE as _OBS
 from repro.query.hypergraph import VarSet
 from repro.util.counters import Counters, global_counters
 
@@ -278,6 +280,18 @@ def _affected_keys(index, name: str, row: Tuple_,
 # ----------------------------------------------------------------------
 # the maintenance driver
 # ----------------------------------------------------------------------
+def _publish_update_metrics(event: "UpdateEvent") -> None:
+    """Publish one applied delta into the observability registry."""
+    if not _OBS.enabled:
+        return
+    REGISTRY.counter("repro_update_deltas_total",
+                     "single-tuple deltas applied, by operation",
+                     ("op",)).labels(op=event.op).inc()
+    if event.reselected:
+        REGISTRY.counter("repro_update_reselections_total",
+                         "drift-triggered rule re-selections").inc()
+
+
 def apply_delta(index, op: str, name: str, row: Tuple_,
                 counters: Optional[Counters] = None) -> UpdateEvent:
     """Apply one single-tuple delta through ``index`` and its listeners.
@@ -346,10 +360,12 @@ def apply_delta(index, op: str, name: str, row: Tuple_,
             index._configure(None)
             index.update_counts["reselections"] += 1
             event.reselected = True
+        _publish_update_metrics(event)
         return event
 
     if not in_query:
         # db-only mutation: no materialized structure references ``name``
+        _publish_update_metrics(event)
         index.notify_delta(event)
         return event
 
@@ -456,5 +472,6 @@ def apply_delta(index, op: str, name: str, row: Tuple_,
         index.reselect(counters=ctr)
         event.reselected = True
 
+    _publish_update_metrics(event)
     index.notify_delta(event)
     return event

@@ -52,6 +52,17 @@ class Counters:
             "online_work": self.online_work,
         }
 
+    def delta_since(self, snapshot: "Counters") -> "Counters":
+        """The work done since ``snapshot`` was taken (``self - snapshot``).
+
+        The monotone way to attribute per-probe work to a shared counter
+        bundle: take a :meth:`copy` before the probe, diff after.  Never
+        :meth:`reset` a shared bundle mid-stream — concurrent readers
+        (per-shard serving counters, the observability layer) rely on the
+        totals only ever growing.
+        """
+        return self - snapshot
+
     def __sub__(self, other: "Counters") -> "Counters":
         return Counters(
             probes=self.probes - other.probes,

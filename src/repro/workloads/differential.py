@@ -109,6 +109,7 @@ PATHS: Tuple[str, ...] = (
     "update_replay",
     "update_replay_columnar",
     "update_replay_process",
+    "serving_observability",
 )
 
 LEAN_BUDGET = 2
@@ -650,6 +651,55 @@ def run_scenario(workload: Workload,
                 serving_path(batch_index, "thread", SHARD_SWEEP))
             run("serving_process" + suffix,
                 serving_path(batch_index, "process", process_sweep))
+
+    # -- path 19: serving with observability enabled --------------------
+    # same thread/4-shard configuration the sharded sweep covers, but
+    # with tracing on: proves the instrumented hot path is observation-
+    # only (answers bit-identical to the oracle AND to the uninstrumented
+    # serving_sharded run below)
+    obs_index = (indexes.get("index_rich") or indexes.get("index_medium")
+                 or indexes.get("index_lean"))
+    if obs_index is None:
+        outcome.skips.append(("serving_observability",
+                              "no preprocessed index"))
+    else:
+        def observability_path() -> Dict[Row, AnswerSet]:
+            import repro.obs as obs
+            from repro.serving import serve
+
+            with obs.tracing():
+                with serve(obs_index, backend="thread", shards=4,
+                           batch_size=SHARD_BATCH,
+                           cache_size=workload.cache_size,
+                           inline_threshold=0) as server:
+                    answers = {key: answer_rows(rel, head)
+                               for key, rel
+                               in server.serve(workload.probes)}
+                hist = obs.probe_work_histogram()
+                if hist is None or hist.count == 0:
+                    raise AssertionError(
+                        "observability was enabled but recorded no "
+                        "per-probe work observations")
+            return answers
+
+        run("serving_observability", observability_path)
+        if ("serving_observability" in produced
+                and "serving_sharded" in produced):
+            outcome.comparisons += 1
+            if produced["serving_observability"] \
+                    != produced["serving_sharded"]:
+                changed = sorted(
+                    key for key in set(produced["serving_sharded"])
+                    | set(produced["serving_observability"])
+                    if produced["serving_sharded"].get(key)
+                    != produced["serving_observability"].get(key)
+                )
+                outcome.disagreements.append(Disagreement(
+                    seed, "serving_observability.bit_identity",
+                    f"tracing-enabled answers differ from the "
+                    f"uninstrumented serving path at bindings {changed}",
+                    repro,
+                ))
 
     # -- paths 16-18: seeded update replay ------------------------------
     _run_update_replay(outcome, workload, repro, "update_replay",

@@ -16,6 +16,6 @@ class Layer:
 class DictLayer:
     def stats(self):
         return {
-            "schema_version": 2,
+            "schema_version": 3,
             "queue_depth": 4,  # undeclared key: REP004
         }

@@ -16,6 +16,7 @@ class Layer:
 class DictLayer:
     def stats(self):
         return {
-            "schema_version": 2,
+            "schema_version": 3,
             "query": "q",
+            "metrics": None,
         }

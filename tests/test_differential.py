@@ -109,6 +109,11 @@ class TestDifferentialHarness:
             1 for p in PATHS
             if p.endswith("_columnar") and p not in update_steps
             and p not in skipped and p[:-len("_columnar")] not in skipped)
+        # the traced serving path adds one traced-vs-untraced
+        # bit-identity diff when both serving paths produced answers
+        if ("serving_observability" not in skipped
+                and "serving_sharded" not in skipped):
+            identity_checks += 1
         replay_checks = sum(update_checks(p, s)
                             for p, s in update_steps.items())
         assert outcome.comparisons == (ran * unique + batch_checks
